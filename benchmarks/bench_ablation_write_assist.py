@@ -1,0 +1,89 @@
+"""Ablation: WL overdrive vs negative BL as the write assist.
+
+The paper compares the two write assists at the cell level (Fig. 5) and
+adopts WLOD because it is "slightly more effective in improving the
+WM"; it never quantifies the alternative at the *array* level.  This
+ablation does: it runs the full co-optimization for the 6T-HVT array
+under the adopted WLOD policy and under a negative-BL policy (wordline
+at nominal Vdd, the write-low bitline driven to the minimum level whose
+WM meets delta), and compares the resulting EDP.
+
+Expected trade-off: negative BL removes the WL-overdrive swing but adds
+a full extra bitline swing (Vdd - V_BL) on every write plus its
+precharge restore — the bitline is the biggest capacitance in the
+array, so the WLOD choice should win on energy at equal yield,
+vindicating the paper's selection for a second, independent reason.
+"""
+
+import math
+
+from repro.analysis import optimize_all
+from repro.analysis.tables import render_dict_table
+from repro.opt import DesignSpace, ExhaustiveOptimizer, policy_m2_negative_bl
+
+CAPACITIES = (1024, 4096, 16384)
+
+
+def minimum_v_bl(char, delta, vdd):
+    """Least-negative characterized V_BL with WM(vdd, v_bl) >= delta."""
+    lut = char.v_wl_flip_vs_vbl
+    for v_bl in sorted(lut.xs, reverse=True):  # 0 first, then deeper
+        if v_bl >= 0:
+            continue
+        if vdd - lut(float(v_bl)) >= delta:
+            return float(v_bl)
+    raise AssertionError("no characterized V_BL meets the WM floor")
+
+
+def bench_write_assist_ablation(benchmark, paper_session, report_writer):
+    session = paper_session
+    vdd = session.library.vdd
+    char = session.chars["hvt"]
+    v_bl = minimum_v_bl(char, session.delta, vdd)
+
+    def run():
+        wlod_sweep = optimize_all(session, capacities=CAPACITIES)
+        nbl_policy = policy_m2_negative_bl(
+            session.yield_levels("hvt"), vdd, v_bl
+        )
+        optimizer = ExhaustiveOptimizer(
+            session.model("hvt"), DesignSpace(), session.constraint("hvt")
+        )
+        nbl = {
+            capacity: optimizer.optimize(capacity * 8, nbl_policy)
+            for capacity in CAPACITIES
+        }
+        return wlod_sweep, nbl
+
+    wlod_sweep, nbl = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for capacity in CAPACITIES:
+        wlod = wlod_sweep.get(capacity, "hvt", "M2").metrics
+        alt = nbl[capacity].metrics
+        rows.append({
+            "capacity_B": capacity,
+            "EDP_wlod": wlod.edp * 1e24,
+            "EDP_negbl": alt.edp * 1e24,
+            "negbl_overhead_pct":
+                (alt.edp / wlod.edp - 1.0) * 100.0,
+            "D_wlod_ns": wlod.d_array * 1e9,
+            "D_negbl_ns": alt.d_array * 1e9,
+            "E_wlod_fJ": wlod.e_total * 1e15,
+            "E_negbl_fJ": alt.e_total * 1e15,
+        })
+    report = render_dict_table(
+        rows,
+        title="Write-assist ablation (HVT, M2 rails, V_BL=%.0f mV)"
+        % (v_bl * 1e3),
+    )
+    report_writer("ablation_write_assist", report)
+
+    # The negative-BL level that meets delta is near the paper's -100 mV.
+    assert -0.16 <= v_bl <= -0.05
+    for row in rows:
+        # Both policies produce feasible, finite designs...
+        assert math.isfinite(row["EDP_negbl"])
+        # ... and WLOD is never substantially worse: the paper's choice
+        # holds up at the array level.
+        assert row["EDP_wlod"] <= row["EDP_negbl"] * 1.05

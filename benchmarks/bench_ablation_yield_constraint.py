@@ -1,0 +1,70 @@
+"""Ablation: fixed-delta vs mu - k*sigma yield constraints.
+
+The paper states the accurate constraint is
+``min((mu - k sigma)_HSNM, (mu - k sigma)_RSNM, (mu - k sigma)_WM) >= 0``
+but optimizes with the simplified ``min(HSNM, RSNM, WM) >= 0.35*Vdd``
+"for simplicity".  This ablation runs the 4KB 6T-HVT-M2 optimization
+under both formulations (the Monte Carlo constraint at k = 3 with a
+reduced sample count) and checks that the simplification is benign:
+both constraints admit deep negative Gnd and land on (nearly) the same
+minimum-EDP design.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_dict_table
+from repro.opt import (
+    DesignSpace,
+    ExhaustiveOptimizer,
+    MonteCarloYieldConstraint,
+    make_policy,
+)
+
+CAPACITY_BITS = 4096 * 8
+
+
+def bench_yield_constraint_ablation(benchmark, paper_session,
+                                    report_writer):
+    session = paper_session
+    model = session.model("hvt")
+    space = DesignSpace()
+    policy = make_policy("M2", session.yield_levels("hvt"))
+
+    def run():
+        fixed = ExhaustiveOptimizer(
+            model, space, session.constraint("hvt")
+        ).optimize(CAPACITY_BITS, policy)
+        mc_constraint = MonteCarloYieldConstraint(
+            session.library, "hvt", k=3.0, n_samples=40,
+            v_wl_flip=session.chars["hvt"].v_wl_flip,
+        )
+        mc = ExhaustiveOptimizer(
+            model, space, mc_constraint
+        ).optimize(CAPACITY_BITS, policy)
+        return fixed, mc
+
+    fixed, mc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in (("fixed delta=0.35*Vdd", fixed),
+                          ("mu - 3 sigma >= 0", mc)):
+        d = result.design
+        rows.append({
+            "constraint": label,
+            "n_r": d.n_r,
+            "V_SSC_mV": round(d.v_ssc * 1e3),
+            "N_pre": int(d.n_pre),
+            "N_wr": int(d.n_wr),
+            "EDP_1e-24": result.metrics.edp * 1e24,
+        })
+    report_writer(
+        "ablation_yield_constraint",
+        render_dict_table(rows, title="Yield-constraint ablation "
+                                      "(4KB 6T-HVT-M2)"),
+    )
+
+    # Both formulations find a deep-negative-Gnd design...
+    assert fixed.design.v_ssc <= -0.15
+    assert mc.design.v_ssc <= -0.15
+    # ... with closely matching EDP: the paper's simplification is safe.
+    assert mc.metrics.edp == pytest.approx(fixed.metrics.edp, rel=0.10)

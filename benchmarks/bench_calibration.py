@@ -1,0 +1,28 @@
+"""Calibration benchmark: every device-level number the paper states.
+
+Regenerates the Section-2/Section-5 calibration points: the 2x/20x/10x
+LVT-vs-HVT current ratios, the absolute 6T cell leakage powers, the
+read-current power-law fit (a, b, Vt), and the 4.3x read-current boost
+the negative-Gnd assist delivers at V_SSC = -240 mV.
+"""
+
+from repro.analysis import calibration_checkpoints
+
+
+def bench_calibration_checkpoints(benchmark, paper_session, report_writer):
+    result = benchmark.pedantic(
+        calibration_checkpoints, args=(paper_session,),
+        rounds=1, iterations=1,
+    )
+    report_writer("calibration", result.report())
+    # Hard reproduction gates: the shape-defining ratios must hold.
+    assert 1.8 <= result.ion_ratio <= 2.2
+    assert 17.0 <= result.ioff_ratio <= 23.0
+    assert 8.0 <= result.onoff_gain <= 13.0
+    assert abs(result.leakage["lvt"] * 1e9 - 1.692) / 1.692 < 0.05
+    assert abs(result.leakage["hvt"] * 1e9 - 0.082) / 0.082 < 0.05
+    a, b, vt = result.read_fit
+    assert 1.0 < a < 1.7
+    assert 3e-5 < b < 3e-4
+    assert 0.25 < vt < 0.48
+    assert 3.0 < result.iread_boost_ratio < 5.5

@@ -1,0 +1,54 @@
+"""Validation benchmark: analytic BL delay vs transistor-level column.
+
+The paper's periphery models are "derived analytically and verified by
+SPICE simulations"; this benchmark performs the same verification for
+our stack.  A full transient testbench — the accessed 6T cell at
+transistor level, the lumped Table-1 bitline load, the precharger
+releasing as the WL fires — is run across assist conditions and column
+depths, and the analytic ``C_BL * DeltaV_S / I_read`` prediction is
+compared against the simulated sensing time.
+"""
+
+from repro.analysis.tables import render_dict_table
+from repro.periphery.column import measure_read_column
+
+CONDITIONS = (
+    # (n_rows, v_ddc, v_ssc)
+    (64, 0.45, 0.0),
+    (64, 0.55, 0.0),
+    (64, 0.55, -0.10),
+    (64, 0.55, -0.24),
+    (256, 0.55, 0.0),
+    (256, 0.55, -0.24),
+    (512, 0.55, -0.24),
+)
+
+
+def bench_column_validation(benchmark, paper_session, report_writer):
+    library = paper_session.library
+    cell = paper_session.cells["hvt"]
+
+    def run():
+        return [
+            measure_read_column(library, cell, n_rows=n_rows,
+                                v_ddc=v_ddc, v_ssc=v_ssc)
+            for n_rows, v_ddc, v_ssc in CONDITIONS
+        ]
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{
+        "n_rows": m.n_rows,
+        "V_DDC_mV": round(m.v_ddc * 1e3),
+        "V_SSC_mV": round(m.v_ssc * 1e3),
+        "analytic_ps": m.analytic_delay * 1e12,
+        "simulated_ps": m.simulated_delay * 1e12,
+        "sim/analytic": m.agreement,
+    } for m in measurements]
+    report_writer(
+        "column_validation",
+        render_dict_table(rows, title="BL delay: analytic model vs "
+                                      "transistor-level column"),
+    )
+
+    for m in measurements:
+        assert abs(m.agreement - 1.0) < 0.15

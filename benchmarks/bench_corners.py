@@ -1,0 +1,46 @@
+"""Extension benchmark: cell figures of merit across process corners.
+
+The paper's yield analysis covers random within-die variation; this
+benchmark adds the systematic die-to-die corners (TT/FF/SS/FS/SF via
+global +-15 mV Vt shifts) and reports how the 6T-HVT cell's margins,
+leakage, read current, and writability move — i.e. whether the chosen
+assist levels still clear the 0.35*Vdd floor at the worst corner.
+"""
+
+from repro.analysis.tables import render_dict_table
+from repro.devices import corner_sweep
+
+
+def bench_process_corners(benchmark, paper_session, report_writer):
+    library = paper_session.library
+    summaries = benchmark.pedantic(
+        corner_sweep, args=(library, "hvt"), rounds=1, iterations=1,
+    )
+    rows = []
+    for name in ("tt", "ff", "ss", "fs", "sf"):
+        s = summaries[name]
+        rows.append({
+            "corner": name.upper(),
+            "HSNM_mV": s.hsnm * 1e3,
+            "RSNM_mV": s.rsnm * 1e3,
+            "leak_nW": s.leakage * 1e9,
+            "I_read_uA": s.i_read * 1e6,
+            "WL_flip_mV": s.v_wl_flip * 1e3,
+        })
+    report_writer(
+        "corners",
+        render_dict_table(rows, title="6T-HVT across process corners"),
+    )
+
+    tt = summaries["tt"]
+    # Hold margin survives every corner at nominal Vdd.
+    delta = 0.35 * library.vdd
+    for s in summaries.values():
+        assert s.hsnm >= delta * 0.85
+    # FF: leakier and faster; SS: the opposite.
+    assert summaries["ff"].leakage > tt.leakage > summaries["ss"].leakage
+    assert summaries["ff"].i_read > tt.i_read > summaries["ss"].i_read
+    # Writability worst case is SF (weak access, strong pull-up): the
+    # paper's WLOD level must still cover it with margin to spare.
+    worst_flip = max(s.v_wl_flip for s in summaries.values())
+    assert worst_flip < 0.540  # the adopted V_WL

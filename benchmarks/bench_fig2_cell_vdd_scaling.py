@@ -1,0 +1,41 @@
+"""Figure 2 benchmark: HSNM and leakage power of 6T-LVT vs 6T-HVT under
+supply scaling from 100 mV to the nominal 450 mV.
+
+Shape checks reproduced from the paper: ~20x leakage gap at nominal,
+LVT-at-100mV still leaking several times more than HVT-at-450mV, HVT
+holding margin at every swept supply while LVT fails below ~250 mV.
+"""
+
+from repro.analysis import fig2_cell_vdd_scaling
+
+
+def bench_fig2(benchmark, paper_session, report_writer):
+    result = benchmark.pedantic(
+        fig2_cell_vdd_scaling, args=(paper_session,),
+        rounds=1, iterations=1,
+    )
+    report_writer("fig2_cell_vdd_scaling", result.report())
+
+    # 20x leakage reduction at nominal Vdd.
+    assert 18.0 <= result.leakage_reduction_at_nominal() <= 23.0
+    # LVT at 100 mV still leaks a few times more than HVT at 450 mV.
+    assert result.lvt_low_vs_hvt_nominal() > 2.0
+    # Leakage decreases monotonically with Vdd for both flavors.
+    for flavor in ("lvt", "hvt"):
+        leaks = result.leakage[flavor]
+        assert all(a < b for a, b in zip(leaks, leaks[1:]))
+    # LVT cannot meet the hold-yield floor under 250 mV (paper) and HVT
+    # is never worse.  Known deviation (see EXPERIMENTS.md): the paper's
+    # HVT holds margin down to 100 mV, while our compact model — whose
+    # LVT and HVT share one subthreshold slope — has the two flavors
+    # converge at deep-subthreshold supplies.
+    hvt_ok = result.hsnm_yield_vdd("hvt")
+    lvt_ok = result.hsnm_yield_vdd("lvt")
+    assert lvt_ok is not None and abs(lvt_ok - 0.25) < 0.06
+    assert hvt_ok is not None and hvt_ok <= lvt_ok
+    for h_l, h_h in zip(result.hsnm["lvt"], result.hsnm["hvt"]):
+        assert h_h >= h_l - 0.001
+    # Both flavors hold comfortably at the nominal supply (paper: HSNM
+    # in both SRAMs at 450 mV is above delta).
+    assert result.hsnm["lvt"][-1] >= 0.35 * 0.45
+    assert result.hsnm["hvt"][-1] >= 0.35 * 0.45

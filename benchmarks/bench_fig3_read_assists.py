@@ -1,0 +1,42 @@
+"""Figure 3 benchmark: read-assist trade-offs on the 6T-HVT cell.
+
+Regenerates (a) the no-assist RSNM / read-current comparison of the two
+flavors, (b) the Vdd-boost sweep, (c) the negative-Gnd sweep, (d) the
+WL-underdrive sweep, plus the cross points the paper calls out (HVT
+needs V_DDC = 550 mV; V_SSC ~ -100 mV recovers the LVT no-assist BL
+delay; WLUD must drop to ~300 mV and costs read current).
+"""
+
+from repro.analysis import fig3_read_assists
+
+
+def bench_fig3(benchmark, paper_session, report_writer):
+    result = benchmark.pedantic(
+        fig3_read_assists, args=(paper_session,), rounds=1, iterations=1,
+    )
+    report_writer("fig3_read_assists", result.report())
+
+    # (a) HVT has better RSNM but ~half the read current.
+    assert result.rsnm_ratio > 1.0
+    assert 0.4 <= result.iread_ratio <= 0.6
+
+    # (b) Vdd boost raises RSNM monotonically; HVT crosses delta at the
+    # paper's 550 mV.
+    hvt_rows = result.boost_rows["hvt"]
+    rsnms = [r.rsnm for r in hvt_rows]
+    assert all(a < b for a, b in zip(rsnms, rsnms[1:]))
+    assert abs(result.v_ddc_cross["hvt"] - 0.550) <= 0.020
+    # LVT needs a higher boost than HVT.
+    assert result.v_ddc_cross["lvt"] > result.v_ddc_cross["hvt"]
+
+    # (c) Negative Gnd cuts BL delay monotonically (levels go 0 -> -240).
+    delays = [r.bl_delay for r in result.gnd_rows]
+    assert all(a > b for a, b in zip(delays, delays[1:]))
+    # The LVT-delay-matching point sits in the paper's neighbourhood.
+    assert -0.16 <= result.v_ssc_match <= -0.05
+
+    # (d) WL underdrive helps RSNM but hurts BL delay (levels fall).
+    wlud = result.wlud_rows
+    assert wlud[0].rsnm < wlud[-1].rsnm
+    assert wlud[0].bl_delay < wlud[-1].bl_delay
+    assert 0.24 <= result.v_wl_cross <= 0.40

@@ -1,0 +1,36 @@
+"""Figure 5 benchmark: write-assist trade-offs on the 6T-HVT cell.
+
+Regenerates the WL-overdrive and negative-BL sweeps (write margin and
+cell write delay) and the cross points: WM reaches delta at
+V_WL ~ 540 mV (HVT) / ~490 mV (LVT) for WLOD and at V_BL ~ -100 mV for
+negative BL; both assists speed up the cell write; negative BL is the
+stronger delay lever at equal WL drive.
+"""
+
+from repro.analysis import fig5_write_assists
+
+
+def bench_fig5(benchmark, paper_session, report_writer):
+    result = benchmark.pedantic(
+        fig5_write_assists, args=(paper_session,), rounds=1, iterations=1,
+    )
+    report_writer("fig5_write_assists", result.report())
+
+    # WLOD: WM rises linearly with V_WL, write delay falls.
+    wms = [r.wm for r in result.wlod_rows]
+    assert all(a < b for a, b in zip(wms, wms[1:]))
+    finite = [r.write_delay for r in result.wlod_rows
+              if r.write_delay != float("inf")]
+    assert all(a > b for a, b in zip(finite, finite[1:]))
+
+    # Negative BL: WM rises as the bitline goes negative, delay falls.
+    wms = [r.wm for r in result.negbl_rows]
+    assert all(a < b for a, b in zip(wms, wms[1:]))
+
+    # Cross points near the paper's (540 / 490 / -100 mV).
+    assert abs(result.v_wl_cross["hvt"] - 0.540) <= 0.025
+    assert abs(result.v_wl_cross["lvt"] - 0.490) <= 0.030
+    assert -0.16 <= result.v_bl_cross <= -0.04
+
+    # The anchored no-assist cell write delay is the paper's 1.5 ps.
+    assert abs(result.write_delay_no_assist - 1.5e-12) < 0.15e-12

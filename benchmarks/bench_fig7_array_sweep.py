@@ -1,0 +1,45 @@
+"""Figure 7 benchmark: delay (a), energy (b), EDP (c) of the four array
+configurations across 128B..16KB, plus the BL-vs-total delay comparison
+of the HVT arrays (d).
+
+Shape checks from the paper's discussion: HVT-M1 is the slowest config
+(low read current, no negative Gnd); the negative-Gnd assist cuts the
+HVT BL delay by ~3.3x and the total delay by ~1.8x on average; HVT
+arrays use far less energy at large capacities (leakage dominance); and
+every metric grows monotonically with capacity.
+"""
+
+from repro.analysis import CAPACITIES_BYTES, optimize_all
+
+
+def bench_fig7(benchmark, paper_session, report_writer):
+    sweep = benchmark.pedantic(
+        optimize_all, args=(paper_session,), rounds=1, iterations=1,
+    )
+    report_writer("fig7_array_sweep", sweep.fig7_report())
+
+    delay = sweep.series("delay")
+    energy = sweep.series("energy")
+    edp = sweep.series("edp")
+
+    for capacity in CAPACITIES_BYTES:
+        # (a) HVT-M1 is the slowest configuration at every capacity.
+        slowest = max(delay[capacity], key=delay[capacity].get)
+        assert slowest == "6T-HVT-M1"
+        # (b) at >=1KB the HVT arrays use less energy than both LVT ones.
+        if capacity >= 1024:
+            assert energy[capacity]["6T-HVT-M2"] < energy[capacity]["6T-LVT-M2"]
+            assert energy[capacity]["6T-HVT-M1"] < energy[capacity]["6T-LVT-M1"]
+            # (c) and win on EDP.
+            assert edp[capacity]["6T-HVT-M2"] < edp[capacity]["6T-LVT-M2"]
+
+    # Metrics grow monotonically with capacity for every configuration.
+    for series in (delay, energy, edp):
+        for label in series[CAPACITIES_BYTES[0]]:
+            values = [series[c][label] for c in CAPACITIES_BYTES]
+            assert all(a < b for a, b in zip(values, values[1:]))
+
+    # (d) negative Gnd slashes the HVT bitline delay.
+    stats = sweep.headline()
+    assert stats.bl_delay_reduction > 2.0
+    assert stats.total_delay_reduction > 1.2

@@ -1,0 +1,30 @@
+"""Headline benchmark: the abstract's claims.
+
+"For SRAM array capacities ranging from 1KB to 16KB, on average 59%
+lower energy-delay product with maximum 12% (and on average 9%)
+performance penalty is achieved" — plus the 78%-at-8% 16KB data point
+and the 14%-EDP / 4%-penalty small-array regime.
+"""
+
+from repro.analysis import compute_headline, optimize_all
+
+
+def bench_headline(benchmark, paper_session, report_writer):
+    sweep = optimize_all(paper_session)
+    stats = benchmark.pedantic(
+        compute_headline, args=(sweep,), rounds=1, iterations=1,
+    )
+    report_writer("headline", stats.report())
+
+    # Large arrays: a big EDP win at a modest delay penalty.
+    assert 0.40 <= stats.avg_edp_gain_large <= 0.70    # paper: 0.59
+    assert 0.00 <= stats.avg_delay_penalty_large <= 0.15  # paper: 0.09
+    assert stats.max_delay_penalty_large <= 0.18       # paper: 0.12
+    # The 16KB flagship point.
+    assert 0.65 <= stats.gain_16kb <= 0.85             # paper: 0.78
+    assert stats.penalty_16kb <= 0.15                  # paper: 0.08
+    # Small arrays gain much less (leakage matters less, BLs are short).
+    assert stats.avg_edp_gain_small < stats.avg_edp_gain_large
+    # EDP gain grows with capacity (leakage dominance).
+    gains = [row["edp_gain_pct"] for row in stats.per_capacity]
+    assert all(a < b for a, b in zip(gains, gains[1:]))

@@ -1,0 +1,57 @@
+"""Extension benchmark: the leakage story across temperature.
+
+The paper's 20x HVT leakage advantage is a room-temperature number;
+leakage-dominated designs are signed off hot.  This benchmark re-runs
+the cell leakage and hold-margin comparison from -40C to 125C and
+reports how the LVT/HVT gap and the margins move.
+"""
+
+from repro.analysis.tables import render_dict_table
+from repro.cell import SRAM6TCell, cell_leakage_power, hold_snm
+from repro.devices import celsius, library_at_temperature
+
+TEMPERATURES_C = (-40, 25, 85, 125)
+
+
+def bench_temperature_sweep(benchmark, paper_session, report_writer):
+    library = paper_session.library
+    vdd = library.vdd
+
+    def run():
+        rows = []
+        for t_c in TEMPERATURES_C:
+            lib_t = library_at_temperature(library, celsius(t_c))
+            lvt = SRAM6TCell.from_library(lib_t, "lvt")
+            hvt = SRAM6TCell.from_library(lib_t, "hvt")
+            leak_lvt = cell_leakage_power(lvt, vdd)
+            leak_hvt = cell_leakage_power(hvt, vdd)
+            rows.append({
+                "T_C": t_c,
+                "leak_lvt_nW": leak_lvt * 1e9,
+                "leak_hvt_nW": leak_hvt * 1e9,
+                "ratio": leak_lvt / leak_hvt,
+                "HSNM_hvt_mV": hold_snm(hvt, vdd) * 1e3,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_writer(
+        "temperature",
+        render_dict_table(rows, title="Cell leakage/margins vs "
+                                      "temperature"),
+    )
+
+    leaks_hvt = [row["leak_hvt_nW"] for row in rows]
+    ratios = [row["ratio"] for row in rows]
+    margins = [row["HSNM_hvt_mV"] for row in rows]
+    # Leakage rises monotonically (and steeply) with temperature.
+    assert all(a < b for a, b in zip(leaks_hvt, leaks_hvt[1:]))
+    assert leaks_hvt[-1] > 10.0 * leaks_hvt[1]
+    # The HVT advantage narrows from the cold corner to the hot ones —
+    # though only mildly, since the junction-floor component (which
+    # scales identically for both flavors) dominates when hot.
+    assert max(ratios[2:]) < ratios[0]
+    assert ratios[-1] > 3.0
+    # Hold margin erodes with temperature yet clears delta at 125C.
+    assert all(a > b for a, b in zip(margins, margins[1:]))
+    assert margins[-1] > 0.35 * vdd * 1e3 * 0.8

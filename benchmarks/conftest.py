@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reuses one characterization cache (repo root,
+``.repro_cache.json``): the first cold run spends a few minutes in the
+circuit simulator, every later run is fast.  Reports are printed (run
+pytest with ``-s`` to see them live) and also written under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import Session
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+CACHE_PATH = os.path.join(_HERE, "..", ".repro_cache.json")
+OUTPUT_DIR = os.path.join(_HERE, "output")
+
+
+@pytest.fixture(scope="session")
+def paper_session():
+    """Session with the paper's V_DDC/V_WL rail presets (default mode)."""
+    return Session.create(cache_path=CACHE_PATH, voltage_mode="paper")
+
+
+@pytest.fixture(scope="session")
+def measured_session():
+    """Session with self-measured minimum rail levels."""
+    return Session.create(cache_path=CACHE_PATH, voltage_mode="measured")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable saving a report to benchmarks/output/<name>.txt."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    def save(name, text):
+        path = os.path.join(OUTPUT_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return save

@@ -1,0 +1,79 @@
+"""Scenario: selecting assist techniques for a 6T-HVT cell.
+
+Walks the paper's Section-3 analysis: sweep each read assist (Vdd boost,
+negative Gnd, WL underdrive) and each write assist (WL overdrive,
+negative BL), then report the minimum levels that meet the 0.35*Vdd
+yield floor — the inputs the array optimizer's voltage policies use.
+"""
+
+import numpy as np
+
+from repro.assist import (
+    READ_ASSISTS,
+    WRITE_ASSISTS,
+    matching_negative_gnd,
+    maximum_wl_underdrive,
+    minimum_negative_bl,
+    minimum_vdd_boost,
+    minimum_wl_overdrive,
+    sweep_negative_gnd,
+    sweep_vdd_boost,
+    sweep_wl_underdrive,
+)
+from repro.cell import SRAM6TCell
+from repro.devices import DeviceLibrary
+
+
+def main():
+    library = DeviceLibrary.default_7nm()
+    vdd = library.vdd
+    delta = 0.35 * vdd
+    hvt = SRAM6TCell.from_library(library, "hvt")
+    lvt = SRAM6TCell.from_library(library, "lvt")
+
+    print("Assist-technique catalog:")
+    for tech in READ_ASSISTS + WRITE_ASSISTS:
+        print("  %-22s (%s) moves %-6s %s; improves %s"
+              % (tech.name, tech.operation, tech.knob,
+                 "up" if tech.direction > 0 else "down", tech.improves))
+    print()
+
+    print("Read-assist sweeps on 6T-HVT (delta = %.0f mV):" % (delta * 1e3))
+    print("  Vdd boost:")
+    for row in sweep_vdd_boost(library, hvt, np.arange(0.45, 0.66, 0.05)):
+        print("    V_DDC=%3.0f mV  RSNM=%5.1f mV  BL delay=%6.1f ps %s"
+              % (row.level * 1e3, row.rsnm * 1e3, row.bl_delay * 1e12,
+                 "<-- meets delta" if row.rsnm >= delta else ""))
+    print("  Negative Gnd:")
+    for row in sweep_negative_gnd(library, hvt,
+                                  np.arange(0.0, -0.25, -0.06)):
+        print("    V_SSC=%4.0f mV  RSNM=%5.1f mV  BL delay=%6.1f ps"
+              % (row.level * 1e3, row.rsnm * 1e3, row.bl_delay * 1e12))
+    print("  WL underdrive:")
+    for row in sweep_wl_underdrive(library, hvt,
+                                   np.arange(0.45, 0.24, -0.06)):
+        print("    V_WL =%4.0f mV  RSNM=%5.1f mV  BL delay=%6.1f ps %s"
+              % (row.level * 1e3, row.rsnm * 1e3, row.bl_delay * 1e12,
+                 "<-- meets delta" if row.rsnm >= delta else ""))
+    print()
+
+    print("Minimum assist levels (HVT):")
+    print("  Vdd boost      : V_DDC >= %.0f mV (paper: 550 mV)"
+          % (minimum_vdd_boost(library, hvt, delta) * 1e3))
+    print("  WL overdrive   : V_WL  >= %.0f mV (paper: 540 mV)"
+          % (minimum_wl_overdrive(library, hvt, delta) * 1e3))
+    print("  WL underdrive  : V_WL  <= %.0f mV (paper: 300 mV)"
+          % (maximum_wl_underdrive(library, hvt, delta) * 1e3))
+    print("  negative BL    : V_BL  <= %.0f mV (paper: -100 mV)"
+          % (minimum_negative_bl(library, hvt, delta) * 1e3))
+    v_match = matching_negative_gnd(library, hvt, lvt)
+    print("  negative Gnd matching LVT no-assist BL delay: "
+          "V_SSC = %.0f mV (paper: -100 mV)" % (v_match * 1e3))
+    print()
+    print("Conclusion (as in the paper): adopt Vdd boost + negative Gnd "
+          "for reads and WL overdrive for writes; WLUD sacrifices read "
+          "current and negative BL needs a per-column negative rail.")
+
+
+if __name__ == "__main__":
+    main()

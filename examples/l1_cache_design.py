@@ -1,0 +1,87 @@
+"""Scenario: choosing the data-array design for an energy-constrained
+L1 cache.
+
+An embedded core needs a 16KB L1 data array read/written 64 bits at a
+time.  The power budget is dominated by standby leakage (the cache is
+mostly idle: activity factor 0.1), but the access path still has to hit
+a cycle-time target.  This script uses the co-optimization framework to
+answer, for each candidate configuration:
+
+* what is the best organization (rows/columns) and periphery sizing?
+* what do delay, energy, and leakage look like?
+* which configuration meets the cycle budget at the lowest energy?
+
+It also shows the Pareto front of the HVT-M2 search space, so a
+designer can trade a little delay for extra energy savings (or vice
+versa) instead of taking the EDP optimum blindly.
+"""
+
+from repro.analysis import Session, optimize_all
+from repro.array import ArrayConfig
+from repro.opt import best_weighted, pareto_front
+from repro.units import capacity_label
+
+CAPACITY_BYTES = 16 * 1024
+
+#: A mostly-idle L1: one access every ten cycles on average.
+L1_CONFIG = ArrayConfig(alpha=0.1, beta=0.7)
+
+#: Cycle budget for the array access [s].
+CYCLE_BUDGET = 1.1e-9
+
+
+def main():
+    print("L1 data array study: %s, alpha=%.1f, beta=%.1f"
+          % (capacity_label(CAPACITY_BYTES), L1_CONFIG.alpha,
+             L1_CONFIG.beta))
+    session = Session.create(config=L1_CONFIG)
+    sweep = optimize_all(session, capacities=(CAPACITY_BYTES,),
+                         keep_landscape=True)
+
+    print()
+    print("candidate      D [ns]   E [fJ]   leak%%   EDP [1e-24 Js]   "
+          "meets %.2f ns?" % (CYCLE_BUDGET * 1e9))
+    best = None
+    for flavor in ("lvt", "hvt"):
+        for method in ("M1", "M2"):
+            result = sweep.get(CAPACITY_BYTES, flavor, method)
+            m = result.metrics
+            meets = m.d_array <= CYCLE_BUDGET
+            print("%-12s  %7.3f  %7.1f  %5.1f   %14.2f   %s"
+                  % (result.label, m.d_array * 1e9, m.e_total * 1e15,
+                     m.leakage_fraction * 100.0, m.edp * 1e24,
+                     "yes" if meets else "NO"))
+            if meets and (best is None or m.e_total < best[1].e_total):
+                best = (result, m)
+    print()
+    if best is None:
+        print("No configuration meets the cycle budget!")
+        return
+    result, metrics = best
+    print("Recommended: %s  (%s)" % (result.label,
+                                     result.design.describe()))
+    print("  access delay %.3f ns, energy/access %.1f fJ, "
+          "leakage fraction %.0f%%"
+          % (metrics.d_array * 1e9, metrics.e_total * 1e15,
+             metrics.leakage_fraction * 100.0))
+
+    # --- Pareto view of the winning flavor's search space ------------------
+    hvt_m2 = sweep.get(CAPACITY_BYTES, "hvt", "M2")
+    front = pareto_front(hvt_m2.landscape)
+    print()
+    print("HVT-M2 energy-delay Pareto front (%d points):" % len(front))
+    print("  D [ns]    E [fJ]    n_r   V_SSC [mV]  N_pre  N_wr")
+    for p in front:
+        print("  %7.3f  %8.1f  %4d   %9.0f  %5d  %4d"
+              % (p.d_array * 1e9, p.e_total * 1e15, p.n_r,
+                 p.v_ssc * 1e3, p.n_pre, p.n_wr))
+    edp_pt = best_weighted(front, 1.0, 1.0)
+    ed2_pt = best_weighted(front, 1.0, 2.0)
+    print("EDP optimum:  D=%.3f ns E=%.1f fJ" % (edp_pt.d_array * 1e9,
+                                                 edp_pt.e_total * 1e15))
+    print("ED^2 optimum: D=%.3f ns E=%.1f fJ (performance-leaning)"
+          % (ed2_pt.d_array * 1e9, ed2_pt.e_total * 1e15))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: characterize a 6T FinFET SRAM cell and co-optimize a 4KB
+array for minimum energy-delay product.
+
+Run from the repository root::
+
+    python examples/quickstart.py
+
+The first run characterizes the cell and periphery with the built-in
+circuit simulator (a couple of minutes) and caches the results in
+``.repro_cache.json``; later runs finish in seconds.
+"""
+
+from repro.analysis import Session, optimize_all
+from repro.cell import (
+    SRAM6TCell,
+    cell_leakage_power,
+    hold_snm,
+    read_current,
+    read_snm,
+    write_margin,
+)
+from repro.devices import DeviceLibrary
+from repro.units import as_mV, as_nA, as_nW, as_uA
+
+
+def main():
+    library = DeviceLibrary.default_7nm()
+    vdd = library.vdd
+    print("7nm FinFET library, nominal Vdd = %.0f mV" % as_mV(vdd))
+    print()
+
+    # --- device level -----------------------------------------------------
+    for flavor in ("lvt", "hvt"):
+        nfet = library.nfet(flavor)
+        print("%s NFET: Ion = %.1f uA/fin, Ioff = %.2f nA/fin, "
+              "Ion/Ioff = %.0f"
+              % (flavor.upper(), as_uA(nfet.ion(vdd)),
+                 as_nA(nfet.ioff(vdd)), nfet.on_off_ratio(vdd)))
+    print()
+
+    # --- cell level ---------------------------------------------------------
+    for flavor in ("lvt", "hvt"):
+        cell = SRAM6TCell.from_library(library, flavor)
+        print("6T-%s cell at nominal bias:" % flavor.upper())
+        print("  hold SNM    = %6.1f mV" % as_mV(hold_snm(cell, vdd)))
+        print("  read SNM    = %6.1f mV" % as_mV(read_snm(cell, vdd=vdd)))
+        print("  write margin= %6.1f mV" % as_mV(write_margin(cell, vdd=vdd)))
+        print("  read current= %6.2f uA" % as_uA(read_current(cell, vdd=vdd)))
+        print("  leakage     = %6.3f nW" % as_nW(cell_leakage_power(cell, vdd)))
+    print()
+
+    # --- array level: co-optimize a 4KB array ------------------------------
+    print("Characterizing periphery and optimizing a 4KB array "
+          "(cached after the first run)...")
+    session = Session.create()
+    sweep = optimize_all(session, capacities=(4096,))
+    for flavor in ("lvt", "hvt"):
+        for method in ("M1", "M2"):
+            result = sweep.get(4096, flavor, method)
+            m = result.metrics
+            print("  %s: D = %.3f ns, E = %.1f fJ, EDP = %.3g Js  [%s]"
+                  % (result.label, m.d_array * 1e9, m.e_total * 1e15,
+                     m.edp, result.design.describe()))
+    hvt = sweep.get(4096, "hvt", "M2").metrics
+    lvt = sweep.get(4096, "lvt", "M2").metrics
+    print()
+    print("6T-HVT-M2 vs 6T-LVT-M2 at 4KB: %.0f%% lower EDP, "
+          "%.0f%% delay penalty"
+          % ((1 - hvt.edp / lvt.edp) * 100.0,
+             (hvt.d_array / lvt.d_array - 1) * 100.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup script.
+
+A classic setup.py is used (rather than a PEP 517 pyproject build) so
+that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package is unavailable.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Device-circuit-architecture co-optimization framework for "
+        "minimizing the energy-delay product of FinFET SRAM arrays "
+        "(reproduction of Shafaei et al., DAC 2016)"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

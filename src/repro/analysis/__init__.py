@@ -1,0 +1,66 @@
+"""Experiment drivers reproducing every paper figure/table."""
+
+from .experiments import (
+    CAPACITIES_BYTES,
+    FLAVORS,
+    METHODS,
+    PAPER_LEVELS,
+    CalibrationResult,
+    Fig2Result,
+    Fig3Result,
+    Fig5Result,
+    HeadlineResult,
+    Session,
+    SweepResult,
+    calibration_checkpoints,
+    compute_headline,
+    fig2_cell_vdd_scaling,
+    fig3_read_assists,
+    fig5_write_assists,
+    optimize_all,
+)
+from .charts import bar_chart, grouped_bar_chart, sparkline
+from .extensions import (
+    breakdown_study,
+    corners_study,
+    temperature_study,
+    word_width_study,
+)
+from .selfcheck import SelfCheckResult, run_selfcheck
+from .serialize import load_json, save_json, to_json
+from .tables import paper_vs_measured, render_dict_table, render_table
+
+__all__ = [
+    "CAPACITIES_BYTES",
+    "FLAVORS",
+    "METHODS",
+    "PAPER_LEVELS",
+    "CalibrationResult",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig5Result",
+    "HeadlineResult",
+    "SelfCheckResult",
+    "Session",
+    "SweepResult",
+    "bar_chart",
+    "breakdown_study",
+    "grouped_bar_chart",
+    "run_selfcheck",
+    "sparkline",
+    "calibration_checkpoints",
+    "compute_headline",
+    "corners_study",
+    "fig2_cell_vdd_scaling",
+    "fig3_read_assists",
+    "fig5_write_assists",
+    "load_json",
+    "optimize_all",
+    "temperature_study",
+    "word_width_study",
+    "paper_vs_measured",
+    "render_dict_table",
+    "render_table",
+    "save_json",
+    "to_json",
+]

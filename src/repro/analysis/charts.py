@@ -1,0 +1,99 @@
+"""Terminal (ASCII) charts for experiment reports.
+
+The paper's Figure 7 is a log-scale line plot; the benchmark reports
+are plain text, so these helpers render comparable horizontal bar
+charts and sparklines that survive a terminal and a text file.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Eight-level block characters for sparklines.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+_BAR = "#"
+
+
+def sparkline(values):
+    """A one-line sparkline, e.g. ``▁▂▄█`` (empty input -> '')."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARKS[0] * len(values)
+    out = []
+    for v in values:
+        level = int((v - lo) / (hi - lo) * (len(_SPARKS) - 1))
+        out.append(_SPARKS[level])
+    return "".join(out)
+
+
+def bar_chart(rows, width=44, title=None, unit="", log=False):
+    """Horizontal bar chart from ``[(label, value), ...]``.
+
+    ``log=True`` scales bar lengths logarithmically (the paper's
+    Figure 7 axes are log-scale; linear bars would flatten the small
+    capacities into invisibility).
+    """
+    rows = [(str(label), float(value)) for label, value in rows]
+    if not rows:
+        return title or "(empty chart)"
+    if any(v < 0 for _l, v in rows):
+        raise ValueError("bar_chart needs non-negative values")
+    label_width = max(len(label) for label, _v in rows)
+    values = [v for _l, v in rows]
+    v_max = max(values)
+    lines = []
+    if title:
+        lines.append(title)
+    if v_max == 0:
+        scale = lambda v: 0  # noqa: E731 - trivial closure
+    elif log:
+        positives = [v for v in values if v > 0]
+        v_min = min(positives) if positives else v_max
+        span = math.log10(v_max / v_min) if v_max > v_min else 1.0
+
+        def scale(v):
+            if v <= 0:
+                return 0
+            if span == 0:
+                return width
+            frac = (math.log10(v / v_min)) / span
+            return max(int(round(frac * (width - 1))) + 1, 1)
+    else:
+        def scale(v):
+            return int(round(v / v_max * width))
+
+    for label, value in rows:
+        bar = _BAR * scale(value)
+        lines.append("%s | %s %.4g%s" % (
+            label.ljust(label_width), bar.ljust(width), value, unit
+        ))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(categories, series, width=36, title=None, unit="",
+                      log=False):
+    """Grouped bars: one block per category, one bar per series.
+
+    ``series`` maps series name -> list of values (len(categories)).
+    """
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                "series %r has %d values for %d categories"
+                % (name, len(values), len(categories))
+            )
+    lines = []
+    if title:
+        lines.append(title)
+    name_width = max(len(str(n)) for n in series)
+    for k, category in enumerate(categories):
+        lines.append("%s:" % category)
+        rows = [(name.rjust(name_width), values[k])
+                for name, values in series.items()]
+        chart = bar_chart(rows, width=width, unit=unit, log=log)
+        lines.extend("  " + line for line in chart.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Drivers for the extension studies (beyond the paper's figures).
+
+Each mirrors the style of :mod:`repro.analysis.experiments`: a plain
+result object with a ``report()`` method, consumed by the CLI and the
+extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cell.leakage import cell_leakage_power
+from ..cell.snm import hold_snm
+from ..cell.sram6t import SRAM6TCell
+from ..devices.corners import corner_sweep
+from ..devices.temperature import celsius, library_at_temperature
+from ..units import capacity_label
+from .experiments import optimize_all
+from .tables import render_dict_table
+
+
+@dataclass
+class CornersResult:
+    rows: list
+
+    def report(self):
+        return render_dict_table(
+            self.rows, title="6T-HVT across process corners"
+        )
+
+
+def corners_study(session, flavor="hvt"):
+    """Cell figures of merit at the five global corners."""
+    summaries = corner_sweep(session.library, flavor)
+    rows = []
+    for name in ("tt", "ff", "ss", "fs", "sf"):
+        s = summaries[name]
+        rows.append({
+            "corner": name.upper(),
+            "HSNM_mV": s.hsnm * 1e3,
+            "RSNM_mV": s.rsnm * 1e3,
+            "leak_nW": s.leakage * 1e9,
+            "I_read_uA": s.i_read * 1e6,
+            "WL_flip_mV": s.v_wl_flip * 1e3,
+        })
+    return CornersResult(rows=rows)
+
+
+@dataclass
+class TemperatureResult:
+    rows: list
+
+    def report(self):
+        return render_dict_table(
+            self.rows, title="Cell leakage/margins vs temperature"
+        )
+
+
+def temperature_study(session, temperatures_c=(-40, 25, 85, 125)):
+    """Leakage and hold margins across the temperature range."""
+    library = session.library
+    vdd = library.vdd
+    rows = []
+    for t_c in temperatures_c:
+        lib_t = library_at_temperature(library, celsius(t_c))
+        lvt = SRAM6TCell.from_library(lib_t, "lvt")
+        hvt = SRAM6TCell.from_library(lib_t, "hvt")
+        leak_lvt = cell_leakage_power(lvt, vdd)
+        leak_hvt = cell_leakage_power(hvt, vdd)
+        rows.append({
+            "T_C": t_c,
+            "leak_lvt_nW": leak_lvt * 1e9,
+            "leak_hvt_nW": leak_hvt * 1e9,
+            "ratio": leak_lvt / leak_hvt,
+            "HSNM_hvt_mV": hold_snm(hvt, vdd) * 1e3,
+        })
+    return TemperatureResult(rows=rows)
+
+
+@dataclass
+class BreakdownResult:
+    capacity_bytes: int
+    label: str
+    rows: list
+    d_array: float
+    e_total: float
+
+    def report(self):
+        title = "Component breakdown: %s %s (D=%.3g ns, E=%.3g fJ)" % (
+            capacity_label(self.capacity_bytes), self.label,
+            self.d_array * 1e9, self.e_total * 1e15,
+        )
+        return render_dict_table(self.rows, title=title)
+
+
+def breakdown_study(session, capacity_bytes=16384, flavor="hvt",
+                    method="M2"):
+    """Per-component delay/energy of the optimized design."""
+    sweep = optimize_all(session, capacities=(capacity_bytes,))
+    result = sweep.get(capacity_bytes, flavor, method)
+    metrics = result.metrics
+    return BreakdownResult(
+        capacity_bytes=capacity_bytes,
+        label=result.label,
+        rows=metrics.breakdown(),
+        d_array=float(metrics.d_array),
+        e_total=float(metrics.e_total),
+    )
+
+
+@dataclass
+class WordWidthResult:
+    rows: list
+
+    def report(self):
+        return render_dict_table(
+            self.rows,
+            title="Word-width sensitivity (optimized 6T-HVT-M2)",
+        )
+
+
+def word_width_study(session, capacity_bytes=4096,
+                     widths=(16, 32, 64, 128)):
+    """Re-optimize one capacity across access widths W.
+
+    Narrower words push more columns behind the mux (larger
+    ``log(n_c/W)`` decoders and COL loading); wider words forbid
+    narrow organizations entirely.  The paper fixes W = 64.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .experiments import Session
+
+    rows = []
+    for width in widths:
+        config = dc_replace(session.config, word_bits=width)
+        sub_session = Session(
+            library=session.library, config=config, cache=session.cache,
+            voltage_mode=session.voltage_mode, chars=session.chars,
+            cells=session.cells, levels=session.levels,
+        )
+        sweep = optimize_all(sub_session, capacities=(capacity_bytes,))
+        result = sweep.get(capacity_bytes, "hvt", "M2")
+        m = result.metrics
+        rows.append({
+            "W_bits": width,
+            "n_r": result.design.n_r,
+            "n_c": result.design.n_c,
+            "D_ns": float(m.d_array) * 1e9,
+            "E_fJ": float(m.e_total) * 1e15,
+            "EDP_1e-24": float(m.edp) * 1e24,
+        })
+    return WordWidthResult(rows=rows)

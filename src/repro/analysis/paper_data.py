@@ -1,0 +1,114 @@
+"""Ground-truth numbers transcribed from the paper, for side-by-side
+reporting in benchmarks and EXPERIMENTS.md.
+
+Only values printed in the paper's text and Table 4 are recorded here;
+figure curves (Figs. 2, 3, 5, 7) are published as plots without data
+tables, so their reproductions are judged by cross points and ratios
+the text states.
+"""
+
+from __future__ import annotations
+
+#: Paper Table 4: minimum-EDP design parameters.  Voltages in mV.
+PAPER_TABLE4 = {
+    (128, "lvt", "M1"): dict(n_r=64, n_c=16, n_pre=7, n_wr=1,
+                             v_ddc=640, v_ssc=0, v_wl=640),
+    (128, "hvt", "M1"): dict(n_r=32, n_c=32, n_pre=4, n_wr=1,
+                             v_ddc=550, v_ssc=0, v_wl=550),
+    (128, "lvt", "M2"): dict(n_r=64, n_c=16, n_pre=8, n_wr=1,
+                             v_ddc=640, v_ssc=-210, v_wl=490),
+    (128, "hvt", "M2"): dict(n_r=64, n_c=16, n_pre=7, n_wr=1,
+                             v_ddc=550, v_ssc=-240, v_wl=550),
+    (256, "lvt", "M1"): dict(n_r=64, n_c=32, n_pre=7, n_wr=1,
+                             v_ddc=640, v_ssc=0, v_wl=640),
+    (256, "hvt", "M1"): dict(n_r=64, n_c=32, n_pre=5, n_wr=1,
+                             v_ddc=550, v_ssc=0, v_wl=550),
+    (256, "lvt", "M2"): dict(n_r=64, n_c=32, n_pre=9, n_wr=1,
+                             v_ddc=640, v_ssc=-180, v_wl=490),
+    (256, "hvt", "M2"): dict(n_r=64, n_c=32, n_pre=8, n_wr=1,
+                             v_ddc=550, v_ssc=-230, v_wl=550),
+    (1024, "lvt", "M1"): dict(n_r=128, n_c=64, n_pre=12, n_wr=1,
+                              v_ddc=640, v_ssc=0, v_wl=640),
+    (1024, "hvt", "M1"): dict(n_r=128, n_c=64, n_pre=7, n_wr=1,
+                              v_ddc=550, v_ssc=0, v_wl=550),
+    (1024, "lvt", "M2"): dict(n_r=128, n_c=64, n_pre=16, n_wr=2,
+                              v_ddc=640, v_ssc=-240, v_wl=490),
+    (1024, "hvt", "M2"): dict(n_r=128, n_c=64, n_pre=12, n_wr=2,
+                              v_ddc=550, v_ssc=-240, v_wl=550),
+    (4096, "lvt", "M1"): dict(n_r=256, n_c=128, n_pre=18, n_wr=4,
+                              v_ddc=640, v_ssc=0, v_wl=640),
+    (4096, "hvt", "M1"): dict(n_r=256, n_c=128, n_pre=11, n_wr=2,
+                              v_ddc=550, v_ssc=0, v_wl=550),
+    (4096, "lvt", "M2"): dict(n_r=512, n_c=64, n_pre=37, n_wr=3,
+                              v_ddc=640, v_ssc=-240, v_wl=490),
+    (4096, "hvt", "M2"): dict(n_r=512, n_c=64, n_pre=25, n_wr=3,
+                              v_ddc=550, v_ssc=-240, v_wl=550),
+    (16384, "lvt", "M1"): dict(n_r=512, n_c=256, n_pre=26, n_wr=4,
+                               v_ddc=640, v_ssc=0, v_wl=640),
+    (16384, "hvt", "M1"): dict(n_r=512, n_c=256, n_pre=16, n_wr=2,
+                               v_ddc=550, v_ssc=0, v_wl=550),
+    (16384, "lvt", "M2"): dict(n_r=512, n_c=256, n_pre=40, n_wr=8,
+                               v_ddc=640, v_ssc=-240, v_wl=490),
+    (16384, "hvt", "M2"): dict(n_r=512, n_c=256, n_pre=30, n_wr=6,
+                               v_ddc=550, v_ssc=-240, v_wl=550),
+}
+
+#: Headline statistics from the abstract and Section 5.
+PAPER_HEADLINE = {
+    "avg_edp_gain_large_pct": 59.0,
+    "avg_edp_gain_small_pct": 14.0,
+    "avg_delay_penalty_large_pct": 9.0,
+    "max_delay_penalty_pct": 12.0,
+    "gain_16kb_pct": 78.0,
+    "penalty_16kb_pct": 8.0,
+    "bl_delay_reduction_x": 3.3,
+    "total_delay_reduction_x": 1.8,
+}
+
+#: Device/cell calibration points (Sections 2 and 5).
+PAPER_DEVICE = {
+    "ion_ratio": 2.0,
+    "ioff_ratio": 20.0,
+    "onoff_gain": 10.0,
+    "leak_lvt_nw": 1.692,
+    "leak_hvt_nw": 0.082,
+    "read_fit_a": 1.3,
+    "read_fit_b": 9.5e-5,
+    "read_fit_vt_mv": 335.0,
+    "rsnm_ratio_hvt_lvt": 1.9,
+    "iread_boost_x": 4.3,
+}
+
+#: Assist cross points (Sections 3 and 5), in mV.
+PAPER_ASSIST_LEVELS = {
+    "v_ddc_min_lvt": 640,
+    "v_ddc_min_hvt": 550,
+    "v_wl_min_lvt": 490,
+    "v_wl_min_hvt": 540,
+    "wlud_max_hvt": 300,
+    "neg_bl_hvt": -100,
+    "v_ssc_match_lvt_delay": -100,
+    "cell_write_delay_ps": 1.5,
+}
+
+
+def table4_comparison_rows(sweep):
+    """Side-by-side (ours vs paper) rows for a finished sweep."""
+    rows = []
+    for (capacity, flavor, method), paper in sorted(
+        PAPER_TABLE4.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+    ):
+        result = sweep.get(capacity, flavor, method)
+        d = result.design
+        rows.append({
+            "capacity": "%dB" % capacity if capacity < 1024
+            else "%dKB" % (capacity // 1024),
+            "config": result.label,
+            "n_r": "%d/%d" % (d.n_r, paper["n_r"]),
+            "n_c": "%d/%d" % (d.n_c, paper["n_c"]),
+            "N_pre": "%d/%d" % (d.n_pre, paper["n_pre"]),
+            "N_wr": "%d/%d" % (d.n_wr, paper["n_wr"]),
+            "V_SSC": "%d/%d" % (round(d.v_ssc * 1e3), paper["v_ssc"]),
+            "org_match": (d.n_r == paper["n_r"]),
+        })
+    return rows

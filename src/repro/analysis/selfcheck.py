@@ -1,0 +1,83 @@
+"""Programmatic reproduction self-check.
+
+Runs the cheap, load-bearing calibration gates — the numbers that the
+rest of the reproduction stands on — and reports pass/fail for each.
+Exposed as ``python -m repro.cli selfcheck``; a fresh clone that passes
+this check will reproduce the paper-level results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .experiments import calibration_checkpoints
+from .tables import render_dict_table
+
+
+@dataclass(frozen=True)
+class Check:
+    """One gate: a name, the achieved value, and its accepted window."""
+
+    name: str
+    value: float
+    lo: float
+    hi: float
+
+    @property
+    def passed(self):
+        return self.lo <= self.value <= self.hi
+
+
+@dataclass
+class SelfCheckResult:
+    checks: list
+
+    @property
+    def all_passed(self):
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_failed(self):
+        return sum(1 for c in self.checks if not c.passed)
+
+    def report(self):
+        rows = [{
+            "check": c.name,
+            "value": c.value,
+            "window": "[%.4g, %.4g]" % (c.lo, c.hi),
+            "pass": c.passed,
+        } for c in self.checks]
+        verdict = ("ALL CHECKS PASSED" if self.all_passed
+                   else "%d CHECK(S) FAILED" % self.n_failed)
+        return render_dict_table(
+            rows, title="Reproduction self-check"
+        ) + "\n" + verdict
+
+
+def run_selfcheck(session):
+    """Evaluate every calibration gate against its accepted window."""
+    cal = calibration_checkpoints(session)
+    a, b, vt = cal.read_fit
+    hvt_char = session.chars["hvt"]
+    checks = [
+        Check("Ion ratio LVT/HVT (paper 2.0)", cal.ion_ratio, 1.8, 2.2),
+        Check("Ioff ratio LVT/HVT (paper 20)", cal.ioff_ratio, 17.0, 23.0),
+        Check("ON/OFF gain HVT/LVT (paper 10)", cal.onoff_gain, 8.0, 13.0),
+        Check("6T-LVT leakage nW (paper 1.692)",
+              cal.leakage["lvt"] * 1e9, 1.60, 1.78),
+        Check("6T-HVT leakage nW (paper 0.082)",
+              cal.leakage["hvt"] * 1e9, 0.078, 0.086),
+        Check("read fit a (paper 1.3)", a, 1.0, 1.7),
+        Check("read fit b A/V^a (paper 9.5e-5)", b, 3e-5, 3e-4),
+        Check("read fit Vt mV (paper 335)", vt * 1e3, 250.0, 480.0),
+        Check("I_read boost at -240mV (paper 4.3x)",
+              cal.iread_boost_ratio, 3.0, 5.5),
+        Check("HVT V_WL flip mV (paper implies 382)",
+              hvt_char.v_wl_flip * 1e3, 350.0, 400.0),
+        Check("cell write delay ps (paper 1.5, anchored)",
+              hvt_char.d_write_sram(session.library.vdd) * 1e12,
+              1.3, 1.7),
+        Check("sense delay ps (constant, sanity)",
+              hvt_char.sense.delay * 1e12, 0.5, 50.0),
+    ]
+    return SelfCheckResult(checks=checks)

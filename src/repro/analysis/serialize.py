@@ -1,0 +1,45 @@
+"""JSON round-trip of experiment results (for archiving bench outputs)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+
+def _coerce(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _coerce(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _coerce(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Fall back to the repr for non-data objects (models, LUTs, ...).
+    return repr(value)
+
+
+def to_json(result, indent=2):
+    """Serialize any result dataclass (best effort) to JSON text."""
+    return json.dumps(_coerce(result), indent=indent)
+
+
+def save_json(result, path):
+    """Write a result to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        handle.write(to_json(result))
+
+
+def load_json(path):
+    """Load a previously saved result as plain dicts/lists."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmarks print the same rows/series the paper reports; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-lists table with aligned columns.
+
+    ``rows`` entries may be any mix of strings and numbers; numbers are
+    formatted with ``%.4g``.
+    """
+    def fmt(value):
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (bool, np.bool_)):
+            return "yes" if value else "no"
+        if isinstance(value, (int, np.integer)):
+            return str(int(value))
+        if value is None:
+            return "-"
+        return "%.4g" % value
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_dict_table(dict_rows, title=None, columns=None):
+    """Render a list of homogeneous dicts."""
+    if not dict_rows:
+        return title or "(empty)"
+    headers = columns or list(dict_rows[0])
+    rows = [[row.get(h) for h in headers] for row in dict_rows]
+    return render_table(headers, rows, title)
+
+
+def paper_vs_measured(rows, title=None):
+    """Render (name, paper, measured) rows with a deviation column."""
+    out = []
+    for name, paper, measured in rows:
+        if paper in (None, 0):
+            dev = "-"
+        else:
+            dev = "%+.1f%%" % ((measured - paper) / abs(paper) * 100.0)
+        out.append([name, paper, measured, dev])
+    return render_table(["quantity", "paper", "measured", "dev"], out, title)

@@ -1,0 +1,57 @@
+"""Architecture-level analytical SRAM array model (paper Tables 1-3).
+
+Public API:
+
+* :class:`ArrayGeometry` — layout-derived wire capacitance rules.
+* :class:`ArrayOrganization` — validated (n_r, n_c, W) organizations.
+* :class:`ArrayConfig` — workload constants (beta, alpha, delta, ...).
+* :class:`DeviceCaps` + the Table-1 capacitance functions.
+* :func:`compute_components` — Table-2 component delays/energies.
+* :class:`SRAMArrayModel` / :class:`DesignPoint` / :class:`ArrayMetrics`
+  — full design-point evaluation (Eqs. (2)-(5)).
+"""
+
+from .capacitance import (
+    RAIL_DRIVER_FINS,
+    WL_DRIVER_FINS,
+    DeviceCaps,
+    all_capacitances,
+    c_bl,
+    c_col,
+    c_cvdd,
+    c_cvss,
+    c_wl,
+)
+from .components import ComponentSet, compute_components
+from .config import ArrayConfig
+from .energy import read_energy, total_energy, write_energy
+from .geometry import ArrayGeometry
+from .model import ArrayMetrics, DesignPoint, SRAMArrayModel
+from .organization import DEFAULT_WORD_BITS, ArrayOrganization
+from .timing import read_delay, write_delay
+
+__all__ = [
+    "DEFAULT_WORD_BITS",
+    "RAIL_DRIVER_FINS",
+    "WL_DRIVER_FINS",
+    "ArrayConfig",
+    "ArrayGeometry",
+    "ArrayMetrics",
+    "ArrayOrganization",
+    "ComponentSet",
+    "DesignPoint",
+    "DeviceCaps",
+    "SRAMArrayModel",
+    "all_capacitances",
+    "c_bl",
+    "c_col",
+    "c_cvdd",
+    "c_cvss",
+    "c_wl",
+    "compute_components",
+    "read_delay",
+    "read_energy",
+    "total_energy",
+    "write_delay",
+    "write_energy",
+]

@@ -1,0 +1,117 @@
+"""Interconnect capacitances of the SRAM array (paper Table 1).
+
+Each function implements one row of Table 1 verbatim.  ``N_pre`` and
+``N_wr`` may be numpy arrays (the exhaustive optimizer evaluates whole
+fin-count grids at once); all expressions are plain arithmetic and
+broadcast transparently.
+
+Fixed fin counts from the paper's peripheral design:
+
+* the CVDD / CVSS rail-mux drivers use 20-fin devices (sized for the
+  worst case n_c = 1024, Section 4), giving the ``2 * 20 * C_d`` terms;
+* the WL / COL driver last stage uses 27-fin devices, giving the
+  ``27 * (C_dn + C_dp)`` terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fin count of the CVDD/CVSS rail multiplexer drivers.
+RAIL_DRIVER_FINS = 20
+
+#: Fin count of the WL (and COL) superbuffer last-stage inverter.
+WL_DRIVER_FINS = 27
+
+
+@dataclass(frozen=True)
+class DeviceCaps:
+    """Per-fin gate/drain capacitances of the periphery devices [F]."""
+
+    c_gn: float
+    c_gp: float
+    c_dn: float
+    c_dp: float
+
+    @classmethod
+    def from_library(cls, library):
+        """Caps taken from the library's LVT devices (periphery flavor)."""
+        return cls(
+            c_gn=library.nfet_lvt.c_gate,
+            c_gp=library.pfet_lvt.c_gate,
+            c_dn=library.nfet_lvt.c_drain,
+            c_dp=library.pfet_lvt.c_drain,
+        )
+
+
+def c_cvdd(geometry, caps, org):
+    """Cell-Vdd rail capacitance: ``n_c (C_width + 2 C_dp) + 2*20*C_dp``."""
+    return (
+        org.n_c * (geometry.c_width + 2.0 * caps.c_dp)
+        + 2.0 * RAIL_DRIVER_FINS * caps.c_dp
+    )
+
+
+def c_cvss(geometry, caps, org):
+    """Cell-Vss rail capacitance: ``n_c (C_width + 2 C_dn) + 2*20*C_dn``."""
+    return (
+        org.n_c * (geometry.c_width + 2.0 * caps.c_dn)
+        + 2.0 * RAIL_DRIVER_FINS * caps.c_dn
+    )
+
+
+def c_wl(geometry, caps, org):
+    """Wordline capacitance: ``n_c (C_width + 2 C_gn) + 27 (C_dn + C_dp)``.
+
+    Each cell loads the WL with its two access-transistor gates.
+    """
+    return (
+        org.n_c * (geometry.c_width + 2.0 * caps.c_gn)
+        + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
+    )
+
+
+def c_col(geometry, caps, org, n_wr):
+    """Column-select line capacitance (0 without a column mux):
+    ``n_c C_width + 27 (C_dn + C_dp) + 2 W N_wr (C_gn + C_gp)``.
+
+    The ``2 W N_wr`` term is the transmission gates of the W selected
+    write paths (two gates each).
+    """
+    if not org.has_column_mux:
+        return 0.0 * n_wr if hasattr(n_wr, "shape") else 0.0
+    return (
+        org.n_c * geometry.c_width
+        + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
+        + 2.0 * org.word_bits * n_wr * (caps.c_gn + caps.c_gp)
+    )
+
+
+def c_bl(geometry, caps, org, n_pre, n_wr):
+    """Bitline capacitance (Table 1, two cases).
+
+    Common terms: one access-drain plus one cell-height of wire per row,
+    and ``(N_pre + 1) C_dp`` for the precharge devices (N_pre fins on the
+    pull-up plus the equalizer share).  Without a column mux the write
+    buffer (``N_wr (C_dn + C_dp)``) and the sense-amp input (``C_dp``)
+    hang directly on the BL; with a mux the BL sees the two transmission
+    gates (``2 N_wr (C_dn + C_dp)``) instead.
+    """
+    common = (
+        org.n_r * (geometry.c_height + caps.c_dn)
+        + (n_pre + 1.0) * caps.c_dp
+    )
+    if org.has_column_mux:
+        return common + 2.0 * n_wr * (caps.c_dn + caps.c_dp)
+    return common + n_wr * (caps.c_dn + caps.c_dp) + caps.c_dp
+
+
+def all_capacitances(geometry, caps, org, n_pre, n_wr):
+    """Dict with every Table-1 capacitance for one organization."""
+    return {
+        "CVDD": c_cvdd(geometry, caps, org),
+        "CVSS": c_cvss(geometry, caps, org),
+        "WL": c_wl(geometry, caps, org),
+        "COL": c_col(geometry, caps, org, n_wr),
+        "BL": c_bl(geometry, caps, org, n_pre, n_wr),
+    }

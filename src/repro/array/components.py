@@ -1,0 +1,123 @@
+"""Per-component delays and switching energies (paper Table 2).
+
+Every interconnect-driven component follows Eq. (1)::
+
+    D = C * DeltaV / I          E_sw = C * V * DeltaV
+
+with the (C, V, DeltaV, I) assignments of Table 2, including the paper's
+fitted average-current coefficients (0.30, 0.15, 0.25, 0.18, 0.33, 0.50)
+and the fixed driver fin counts (20 for the CVDD/CVSS rail muxes, 27 for
+the WL/COL driver last stage).
+
+``n_pre`` / ``n_wr`` may be numpy arrays; everything broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .capacitance import RAIL_DRIVER_FINS, WL_DRIVER_FINS, all_capacitances
+
+#: Table-2 fitted average-current coefficients.
+COEFF_CVDD = 0.30
+COEFF_CVSS = 0.15
+COEFF_WL_RD = 0.25
+COEFF_WL_WR = 0.18
+COEFF_COL = 0.33
+COEFF_BL_WR = 0.50
+COEFF_PRE = 0.50
+
+
+@dataclass
+class ComponentSet:
+    """Delays [s] and switching energies [J] of every Table-2 component."""
+
+    delays: dict = field(default_factory=dict)
+    energies: dict = field(default_factory=dict)
+    capacitances: dict = field(default_factory=dict)
+
+    def delay(self, name):
+        return self.delays[name]
+
+    def energy(self, name):
+        return self.energies[name]
+
+
+def _safe_div(numerator, current):
+    """C*dV / I with a guard: zero numerator yields zero delay even when
+    the drive current is also zero (e.g. V_SSC = 0 disables the CVSS
+    swing entirely)."""
+    numerator = np.asarray(numerator, dtype=float)
+    current = np.asarray(current, dtype=float)
+    zero = numerator == 0.0
+    out = np.where(zero, 0.0, numerator / np.where(zero, 1.0, current))
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def compute_components(char, org, config, n_pre, n_wr,
+                       v_ddc, v_ssc, v_wl, v_bl=0.0):
+    """Evaluate Table 2 for one design point (fins may be arrays).
+
+    ``v_bl`` is the write-low bitline level: 0 in the paper's adopted
+    scheme, negative under the negative-BL write assist (extension),
+    which widens the write/precharge bitline swings to ``Vdd - v_bl``.
+    """
+    vdd = char.vdd
+    dvs = config.delta_v_sense
+    caps = all_capacitances(char.geometry, char.caps, org, n_pre, n_wr)
+    out = ComponentSet(capacitances=caps)
+    d, e = out.delays, out.energies
+
+    # Cell Vdd rail: swings Vdd -> V_DDC through the 20-fin PFET mux.
+    dv_cvdd = max(v_ddc - vdd, 0.0)
+    i_cvdd = COEFF_CVDD * RAIL_DRIVER_FINS * char.i_cvdd(v_ddc)
+    d["CVDD"] = _safe_div(caps["CVDD"] * dv_cvdd, i_cvdd)
+    e["CVDD"] = caps["CVDD"] * vdd * dv_cvdd
+
+    # Cell Vss rail: swings 0 -> V_SSC through the 20-fin NFET mux.
+    dv_cvss = abs(min(v_ssc, 0.0))
+    i_cvss = COEFF_CVSS * RAIL_DRIVER_FINS * char.i_cvss(v_ssc)
+    d["CVSS"] = _safe_div(caps["CVSS"] * dv_cvss, i_cvss)
+    e["CVSS"] = caps["CVSS"] * vdd * dv_cvss
+
+    # Wordline during read: full-Vdd swing from the 27-fin last stage.
+    i_wl_rd = COEFF_WL_RD * WL_DRIVER_FINS * char.i_on_pfet
+    d["WL_rd"] = _safe_div(caps["WL"] * vdd, i_wl_rd)
+    e["WL_rd"] = caps["WL"] * vdd * vdd
+
+    # Wordline during write: overdriven to V_WL from the V_WL rail.
+    i_wl_wr = COEFF_WL_WR * WL_DRIVER_FINS * char.i_wl(v_wl)
+    d["WL_wr"] = _safe_div(caps["WL"] * v_wl, i_wl_wr)
+    e["WL_wr"] = caps["WL"] * vdd * v_wl
+
+    # Column-select line (zero without a column mux).
+    i_col = COEFF_COL * WL_DRIVER_FINS * char.i_on_pfet
+    d["COL"] = _safe_div(caps["COL"] * vdd, i_col)
+    e["COL"] = caps["COL"] * vdd * vdd
+
+    # Bitline during read: discharged by DeltaV_S at the cell's read
+    # current; Table 2 books its energy against the boosted cell rails.
+    i_read = char.i_read(v_ddc, v_ssc)
+    d["BL_rd"] = _safe_div(caps["BL"] * dvs, i_read)
+    e["BL_rd"] = caps["BL"] * (v_ddc - v_ssc) * dvs
+
+    # Bitline during write: the write buffer swings the BL from its
+    # precharged Vdd down to v_bl (0, or negative under the assist).
+    write_swing = vdd - min(v_bl, 0.0)
+    i_bl_wr = COEFF_BL_WR * n_wr * char.i_on_tg
+    d["BL_wr"] = _safe_div(caps["BL"] * write_swing, i_bl_wr)
+    e["BL_wr"] = caps["BL"] * vdd * write_swing
+
+    # Precharge: restore DeltaV_S after a read, the full write swing
+    # after a write.
+    i_pre = COEFF_PRE * n_pre * char.i_on_pfet
+    d["PRE_rd"] = _safe_div(caps["BL"] * dvs, i_pre)
+    e["PRE_rd"] = caps["BL"] * vdd * dvs
+    d["PRE_wr"] = _safe_div(caps["BL"] * write_swing, i_pre)
+    e["PRE_wr"] = caps["BL"] * vdd * write_swing
+
+    return out

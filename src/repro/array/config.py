@@ -1,0 +1,51 @@
+"""Array evaluation configuration (the paper's Section-5 constants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .organization import DEFAULT_WORD_BITS
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Workload and modeling constants for array evaluation.
+
+    Defaults reproduce the paper's Section-5 settings: beta = alpha = 0.5,
+    delta = 0.35 * Vdd, W = 64 bits, DeltaV_S = 120 mV.
+    """
+
+    #: Fraction of accesses that are reads (Eq. 3).
+    beta: float = 0.5
+    #: Array activity factor: probability of an access per cycle (Eq. 5).
+    alpha: float = 0.5
+    #: Minimum acceptable noise margin, as a fraction of Vdd.
+    delta_fraction: float = 0.35
+    #: Bits read/written per access.
+    word_bits: int = DEFAULT_WORD_BITS
+    #: Sensing voltage DeltaV_S [V].
+    delta_v_sense: float = 0.120
+    #: DC-DC converter efficiency applied to assist-rail energies
+    #: (the paper multiplies assist energies by an inefficiency factor).
+    dcdc_efficiency: float = 0.90
+    #: Extension (off = paper-faithful Table 3): account for every
+    #: column's bitline discharge/precharge and all W sensed/written
+    #: columns per access instead of the single worst-case column.
+    count_all_columns: bool = False
+
+    def __post_init__(self):
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 < self.dcdc_efficiency <= 1.0:
+            raise ValueError("dcdc_efficiency must be in (0, 1]")
+
+    def delta(self, vdd):
+        """Absolute noise-margin floor [V]."""
+        return self.delta_fraction * vdd
+
+    @property
+    def assist_energy_factor(self):
+        """Multiplier on assist-rail energies (1 / converter efficiency)."""
+        return 1.0 / self.dcdc_efficiency

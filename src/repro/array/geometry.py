@@ -1,0 +1,74 @@
+"""Physical geometry of the SRAM array (paper Figure 1(b) + Section 5).
+
+Wire capacitance follows the paper's layout-derived rule: the wire
+running across one cell *width* has capacitance
+``C_width = 5 * P_Metal * C_w`` and across one cell *height*
+``C_height = 0.4 * C_width``, with the 7nm metal pitch
+``P_Metal = 43 nm`` (scaled from Intel 14nm [10]) and the ITRS-2012 wire
+capacitance ``C_w = 0.17 fF/um``.
+
+The 6T cell is therefore 5 metal pitches wide and 2 pitches tall —
+width 2.5x the height, which is why the optimizer tends to prefer
+fewer columns (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 7nm metal pitch [m] (paper Section 5).
+P_METAL = 43e-9
+
+#: Wire capacitance per meter [F/m] (0.17 fF/um, ITRS 2012 for 7nm).
+C_W_PER_M = 0.17e-15 / 1e-6
+
+#: Cell width in metal pitches (Figure 1(b) layout).
+CELL_WIDTH_PITCHES = 5
+
+#: Height-to-width capacitance ratio (paper: C_height = 0.4 * C_width).
+HEIGHT_WIDTH_RATIO = 0.4
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Wire-capacitance geometry of the array."""
+
+    p_metal: float = P_METAL
+    c_w_per_m: float = C_W_PER_M
+
+    @property
+    def cell_width(self):
+        """Cell width [m]."""
+        return CELL_WIDTH_PITCHES * self.p_metal
+
+    @property
+    def cell_height(self):
+        """Cell height [m]."""
+        return HEIGHT_WIDTH_RATIO * self.cell_width
+
+    @property
+    def c_width(self):
+        """Wire capacitance across one cell width [F]."""
+        return self.cell_width * self.c_w_per_m
+
+    @property
+    def c_height(self):
+        """Wire capacitance across one cell height [F]."""
+        return HEIGHT_WIDTH_RATIO * self.c_width
+
+    def row_wire_capacitance(self, n_c):
+        """Wire capacitance of a full horizontal wire over n_c cells [F]."""
+        return n_c * self.c_width
+
+    def column_wire_capacitance(self, n_r):
+        """Wire capacitance of a full vertical wire over n_r cells [F]."""
+        return n_r * self.c_height
+
+    def footprint(self, n_r, n_c):
+        """(width, height) of the cell matrix [m]."""
+        return n_c * self.cell_width, n_r * self.cell_height
+
+    def aspect_ratio(self, n_r, n_c):
+        """Width / height of the cell matrix."""
+        width, height = self.footprint(n_r, n_c)
+        return width / height

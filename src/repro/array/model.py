@@ -1,0 +1,185 @@
+"""The analytical SRAM array model: one evaluation per design point.
+
+Ties Table 1 (capacitances), Table 2 (component delays/energies),
+Table 3 (access delays/energies), and Eqs. (2)-(5) (array delay, energy,
+and their product) together over one :class:`ArrayCharacterization`.
+
+``n_pre`` / ``n_wr`` may be numpy arrays: a single call then evaluates a
+whole fin-count grid, which is how the exhaustive optimizer sweeps its
+250k-point design space in well under the paper's two minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .components import compute_components
+from .config import ArrayConfig
+from .energy import read_energy, total_energy, write_energy
+from .organization import ArrayOrganization
+from .timing import read_delay, write_delay
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate array design (the optimizer's decision vector)."""
+
+    n_r: int
+    n_c: int
+    n_pre: object  # int or numpy array
+    n_wr: object   # int or numpy array
+    v_ddc: float
+    v_ssc: float
+    v_wl: float
+    #: Write-low bitline level (0 = paper's adopted WLOD-only scheme;
+    #: negative under the negative-BL write-assist extension).
+    v_bl: float = 0.0
+
+    def describe(self):
+        text = (
+            "%dx%d N_pre=%s N_wr=%s V_DDC=%.0fmV V_SSC=%.0fmV V_WL=%.0fmV"
+            % (self.n_r, self.n_c, self.n_pre, self.n_wr,
+               self.v_ddc * 1e3, self.v_ssc * 1e3, self.v_wl * 1e3)
+        )
+        if self.v_bl < 0:
+            text += " V_BL=%.0fmV" % (self.v_bl * 1e3)
+        return text
+
+
+@dataclass
+class ArrayMetrics:
+    """Evaluated delay/energy/EDP of one design point (or fin grid)."""
+
+    design: DesignPoint
+    d_rd: object
+    d_wr: object
+    d_array: object
+    e_sw_rd: object
+    e_sw_wr: object
+    e_sw: object
+    e_leak: object
+    e_total: object
+    edp: object
+    components: object = None
+    read_parts: dict = field(default_factory=dict)
+    write_parts: dict = field(default_factory=dict)
+    #: Slack [s] of the paper's rail-arrival requirement: the assisted
+    #: CVDD/CVSS rails must settle before the WL reaches 50% of Vdd
+    #: (Section 4; the 20-fin rail drivers are sized for n_c = 1024 to
+    #: guarantee this).  Positive = requirement met.
+    rail_arrival_slack: object = None
+
+    #: Cell-matrix footprint (width, height) [m] and its aspect ratio.
+    footprint: tuple = None
+    aspect_ratio: float = None
+
+    @property
+    def rails_timely(self):
+        """True when the rail-arrival requirement holds."""
+        return self.rail_arrival_slack >= 0
+
+    @property
+    def area(self):
+        """Cell-matrix area [m^2] (periphery excluded)."""
+        return self.footprint[0] * self.footprint[1]
+
+    @property
+    def bl_read_delay(self):
+        """The BL discharge share of the read path (Fig. 7(d))."""
+        return self.read_parts.get("bl")
+
+    def breakdown(self):
+        """Per-component delay/energy rows for reporting."""
+        rows = []
+        for name in sorted(self.components.delays):
+            rows.append({
+                "component": name,
+                "delay_ps": float(np.mean(self.components.delays[name]))
+                * 1e12,
+                "energy_fJ": float(np.mean(self.components.energies[name]))
+                * 1e15,
+            })
+        return rows
+
+    @property
+    def leakage_fraction(self):
+        """Leakage share of the total energy."""
+        return self.e_leak / self.e_total
+
+
+class SRAMArrayModel:
+    """Evaluate array metrics for one characterized cell flavor."""
+
+    def __init__(self, characterization, config=None):
+        self.char = characterization
+        self.config = config or ArrayConfig()
+
+    def organization(self, capacity_bits, n_r):
+        """Validated organization for a capacity/row-count pair."""
+        return ArrayOrganization.from_capacity(
+            capacity_bits, n_r, self.config.word_bits
+        )
+
+    def evaluate(self, capacity_bits, design):
+        """Full Table-1..3 + Eq.(2)-(5) evaluation of ``design``.
+
+        ``design.n_pre`` / ``design.n_wr`` may be numpy arrays; every
+        metric field then carries the broadcast shape.
+        """
+        org = ArrayOrganization(
+            n_r=design.n_r, n_c=design.n_c,
+            word_bits=self.config.word_bits,
+        )
+        if org.capacity_bits != capacity_bits:
+            raise ValueError(
+                "design %dx%d does not match capacity %d bits"
+                % (design.n_r, design.n_c, capacity_bits)
+            )
+        components = compute_components(
+            self.char, org, self.config,
+            design.n_pre, design.n_wr,
+            design.v_ddc, design.v_ssc, design.v_wl, design.v_bl,
+        )
+        read_parts, write_parts = {}, {}
+        d_rd = read_delay(self.char, org, components, read_parts)
+        d_wr = write_delay(self.char, org, components, design.v_wl,
+                           write_parts, design.v_bl)
+        d_array = np.maximum(d_rd, d_wr)
+        e_sw_rd = read_energy(self.char, org, self.config, components)
+        e_sw_wr = write_energy(self.char, org, self.config, components,
+                               design.v_wl, design.v_bl)
+        e_sw, e_leak, e_total = total_energy(
+            self.config, e_sw_rd, e_sw_wr, capacity_bits,
+            self.char.p_leak_sram, d_array,
+        )
+        # Rail-arrival requirement (Section 4): the assist rails switch
+        # at access start and must settle before WL reaches 50% of Vdd
+        # at the worst-case row.
+        wl_half_time = (
+            self.char.decoder.delay(org.row_address_bits)
+            + self.char.driver.first_three_delay
+            + 0.5 * components.delay("WL_rd")
+        )
+        rail_settle = np.maximum(
+            components.delay("CVDD"), components.delay("CVSS")
+        )
+        return ArrayMetrics(
+            design=design,
+            d_rd=d_rd,
+            d_wr=d_wr,
+            d_array=d_array,
+            e_sw_rd=e_sw_rd,
+            e_sw_wr=e_sw_wr,
+            e_sw=e_sw,
+            e_leak=e_leak,
+            e_total=e_total,
+            edp=e_total * d_array,
+            components=components,
+            read_parts=read_parts,
+            write_parts=write_parts,
+            rail_arrival_slack=wl_half_time - rail_settle,
+            footprint=self.char.geometry.footprint(org.n_r, org.n_c),
+            aspect_ratio=self.char.geometry.aspect_ratio(org.n_r, org.n_c),
+        )

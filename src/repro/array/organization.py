@@ -1,0 +1,85 @@
+"""Array organization: rows, columns, word width, capacity.
+
+The paper assumes ``n_r`` and ``n_c`` are powers of two with
+``M = n_r * n_c`` bits total and ``W`` bits accessed per cycle.  When
+``n_c > W`` a column multiplexer (with its own decoder and drivers) is
+needed; when ``n_c <= W`` all column-mux terms vanish (Table 1/Table 3
+case splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignSpaceError
+from ..units import is_power_of_two, log2_int
+
+#: Word width used throughout the paper's evaluation [bits].
+DEFAULT_WORD_BITS = 64
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """A validated (n_r, n_c, W) organization."""
+
+    n_r: int
+    n_c: int
+    word_bits: int = DEFAULT_WORD_BITS
+
+    def __post_init__(self):
+        for name, value in (("n_r", self.n_r), ("n_c", self.n_c)):
+            if not is_power_of_two(value):
+                raise DesignSpaceError(
+                    "%s must be a power of two, got %r" % (name, value)
+                )
+        if not is_power_of_two(self.word_bits):
+            raise DesignSpaceError(
+                "word_bits must be a power of two, got %r" % (self.word_bits,)
+            )
+
+    @classmethod
+    def from_capacity(cls, capacity_bits, n_r, word_bits=DEFAULT_WORD_BITS):
+        """Organization of a ``capacity_bits`` array with ``n_r`` rows."""
+        if not is_power_of_two(capacity_bits):
+            raise DesignSpaceError(
+                "capacity must be a power of two bits, got %r"
+                % (capacity_bits,)
+            )
+        if capacity_bits % n_r:
+            raise DesignSpaceError(
+                "n_r=%d does not divide capacity %d bits" % (n_r, capacity_bits)
+            )
+        return cls(n_r=n_r, n_c=capacity_bits // n_r, word_bits=word_bits)
+
+    @property
+    def capacity_bits(self):
+        """Total bits M = n_r * n_c."""
+        return self.n_r * self.n_c
+
+    @property
+    def capacity_bytes(self):
+        return self.capacity_bits // 8
+
+    @property
+    def has_column_mux(self):
+        """True when n_c > W (column multiplexer present)."""
+        return self.n_c > self.word_bits
+
+    @property
+    def row_address_bits(self):
+        """log2(n_r) — the row-decoder input width."""
+        return log2_int(self.n_r)
+
+    @property
+    def column_address_bits(self):
+        """log2(n_c / W) — the column-decoder input width (0 without mux)."""
+        if not self.has_column_mux:
+            return 0
+        return log2_int(self.n_c // self.word_bits)
+
+    @property
+    def words_per_row(self):
+        return max(self.n_c // self.word_bits, 1)
+
+    def __str__(self):
+        return "%dx%d (W=%d)" % (self.n_r, self.n_c, self.word_bits)

@@ -1,0 +1,98 @@
+"""Catalog of read/write assist techniques (paper Section 3).
+
+Each technique is a declarative descriptor: which bias knob it moves,
+in which direction, and what it is for.  The study functions in
+:mod:`repro.assist.study` sweep these knobs and measure their effect on
+the cell's reliability (RSNM / WM) and performance (BL delay / cell
+write delay), reproducing Figures 3 and 5.
+
+The paper's adopted combination (its Figure 4): Vdd boost + negative
+Gnd for reads, wordline overdrive for writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cell.bias import CellBias
+
+
+@dataclass(frozen=True)
+class AssistTechnique:
+    """One assist technique descriptor."""
+
+    name: str
+    #: "read" or "write".
+    operation: str
+    #: The CellBias field this technique moves.
+    knob: str
+    #: +1 when the assist raises the knob above nominal, -1 when it
+    #: lowers it below nominal.
+    direction: int
+    #: What the technique primarily improves.
+    improves: str
+    #: Known side effect (the trade-off the paper discusses).
+    side_effect: str
+
+    def apply(self, bias, level):
+        """A copy of ``bias`` with this technique's knob at ``level``."""
+        if self.knob not in ("v_wl", "v_ddc", "v_ssc", "v_bl"):
+            raise ValueError("unknown bias knob %r" % (self.knob,))
+        return replace(bias, **{self.knob: level})
+
+    def nominal_level(self, bias):
+        """The knob's no-assist level."""
+        if self.knob == "v_ddc":
+            return bias.vdd
+        if self.knob == "v_wl":
+            return bias.vdd
+        return 0.0
+
+
+#: Read assists (Section 3.1).
+WL_UNDERDRIVE = AssistTechnique(
+    name="WL underdrive (WLUD)", operation="read", knob="v_wl",
+    direction=-1, improves="RSNM",
+    side_effect="reduces read current, increasing BL delay",
+)
+VDD_BOOST = AssistTechnique(
+    name="Vdd boost", operation="read", knob="v_ddc",
+    direction=+1, improves="RSNM",
+    side_effect="raises read energy (no read-delay impact)",
+)
+NEGATIVE_GND = AssistTechnique(
+    name="Negative Gnd", operation="read", knob="v_ssc",
+    direction=-1, improves="read current (BL delay)",
+    side_effect="raises energy; weak RSNM benefit; degrades below -240mV",
+)
+
+#: Write assists (Section 3.2).
+WL_OVERDRIVE = AssistTechnique(
+    name="WL overdrive (WLOD)", operation="write", knob="v_wl",
+    direction=+1, improves="WM",
+    side_effect="raises WL delay and write energy",
+)
+NEGATIVE_BL = AssistTechnique(
+    name="Negative BL", operation="write", knob="v_bl",
+    direction=-1, improves="cell write delay and WM",
+    side_effect="needs a negative BL rail per column",
+)
+
+READ_ASSISTS = (WL_UNDERDRIVE, VDD_BOOST, NEGATIVE_GND)
+WRITE_ASSISTS = (WL_OVERDRIVE, NEGATIVE_BL)
+
+#: The combination the paper adopts.
+ADOPTED = (VDD_BOOST, NEGATIVE_GND, WL_OVERDRIVE)
+
+
+def read_bias_with_assists(vdd, v_ddc=None, v_ssc=0.0, v_wl=None):
+    """Read bias under the adopted read assists."""
+    bias = CellBias.read(vdd=vdd, v_ddc=v_ddc, v_ssc=v_ssc)
+    if v_wl is not None:
+        bias = bias.with_wordline(v_wl)
+    return bias
+
+
+def write_bias_with_assists(vdd, v_wl=None, v_bl_low=0.0):
+    """Write bias under the adopted write assist (plus negative BL)."""
+    return CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl_low)

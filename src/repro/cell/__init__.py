@@ -1,0 +1,91 @@
+"""6T SRAM cell characterization (SNM, WM, read current, leakage, MC).
+
+Public API:
+
+* :class:`SRAM6TCell` — the cell (netlist builder + per-transistor params).
+* :class:`CellBias` — operating conditions including assist levels.
+* :func:`hold_snm`, :func:`read_snm`, :func:`butterfly` — noise margins.
+* :func:`write_margin`, :func:`flip_wordline_voltage` — write margin.
+* :func:`read_current`, :func:`read_state` — bitline discharge current.
+* :func:`cell_leakage_power` — standby leakage.
+* :func:`cell_write_event` — transient write delay/energy.
+* :func:`run_cell_montecarlo` — variation-aware yield analysis.
+"""
+
+from .bias import CellBias
+from .leakage import cell_leakage_power, leakage_vs_vdd
+from .montecarlo import (
+    MonteCarloResult,
+    required_margin_fraction,
+    run_cell_montecarlo,
+    sample_cells,
+)
+from .dynamic_noise import (
+    DynamicNoiseMargin,
+    cell_flips_under_pulse,
+    dnm_analysis,
+    dynamic_noise_margin,
+)
+from .read_current import ReadState, read_current, read_current_grid, read_state
+from .retention import (
+    RetentionResult,
+    data_retention_voltage,
+    retention_analysis,
+)
+from .snm import ButterflyResult, butterfly, hold_snm, read_snm, vtc
+from .sram6t import TRANSISTOR_ROLES, SRAM6TCell
+from .sram8t import AREA_RATIO_VS_6T, SRAM8TCell
+from .timing_yield import (
+    SA_OFFSET_SIGMA,
+    ReadTimingResult,
+    read_timing_analysis,
+)
+from .write import (
+    WriteMarginResult,
+    bitline_write_margin,
+    cell_flips,
+    flip_wordline_voltage,
+    write_margin,
+)
+from .write_delay import WriteEvent, cell_write_event, write_delay_vs_wordline
+
+__all__ = [
+    "AREA_RATIO_VS_6T",
+    "ButterflyResult",
+    "CellBias",
+    "DynamicNoiseMargin",
+    "ReadTimingResult",
+    "RetentionResult",
+    "SA_OFFSET_SIGMA",
+    "SRAM8TCell",
+    "bitline_write_margin",
+    "cell_flips_under_pulse",
+    "data_retention_voltage",
+    "dnm_analysis",
+    "dynamic_noise_margin",
+    "read_timing_analysis",
+    "retention_analysis",
+    "MonteCarloResult",
+    "ReadState",
+    "SRAM6TCell",
+    "TRANSISTOR_ROLES",
+    "WriteEvent",
+    "WriteMarginResult",
+    "butterfly",
+    "cell_flips",
+    "cell_leakage_power",
+    "cell_write_event",
+    "flip_wordline_voltage",
+    "hold_snm",
+    "leakage_vs_vdd",
+    "read_current",
+    "read_current_grid",
+    "read_snm",
+    "read_state",
+    "required_margin_fraction",
+    "run_cell_montecarlo",
+    "sample_cells",
+    "vtc",
+    "write_delay_vs_wordline",
+    "write_margin",
+]

@@ -1,0 +1,91 @@
+"""Bias conditions applied to the 6T cell by the array and its assists.
+
+A :class:`CellBias` captures the full electrical environment the array
+imposes on one cell during an operation: the cell supply rails (which the
+Vdd-boost and negative-Gnd assists move away from nominal), the wordline
+level (WL over/underdrive), and the two bitline levels (precharge or
+write data, including the negative-BL assist).
+
+The paper's adopted scheme (its Figure 4):
+
+* read:  ``V_DDC`` boosted, ``V_SSC`` negative, WL at nominal Vdd,
+  both bitlines precharged to Vdd;
+* write: WL overdriven to ``V_WL``, the '0'-side bitline at 0 (or
+  negative with the negative-BL assist), rails at nominal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..devices.library import VDD_NOMINAL
+
+
+@dataclass(frozen=True)
+class CellBias:
+    """Voltages at the cell boundary [V]."""
+
+    #: Nominal array supply (reference for noise-margin yield levels).
+    vdd: float = VDD_NOMINAL
+    #: Cell supply rail (``V_DDC`` >= vdd under the Vdd-boost assist).
+    v_ddc: float = VDD_NOMINAL
+    #: Cell ground rail (``V_SSC`` <= 0 under the negative-Gnd assist).
+    v_ssc: float = 0.0
+    #: Wordline level when asserted.
+    v_wl: float = VDD_NOMINAL
+    #: Bitline on the Q side.
+    v_bl: float = VDD_NOMINAL
+    #: Bitline on the QB side.
+    v_blb: float = VDD_NOMINAL
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.v_ddc <= self.v_ssc:
+            raise ValueError(
+                "cell supply rail must exceed cell ground rail "
+                "(v_ddc=%g, v_ssc=%g)" % (self.v_ddc, self.v_ssc)
+            )
+
+    # -- constructors for the standard operations ---------------------------
+
+    @classmethod
+    def hold(cls, vdd=VDD_NOMINAL):
+        """Retention: WL off, bitlines precharged, nominal rails."""
+        return cls(vdd=vdd, v_ddc=vdd, v_ssc=0.0, v_wl=0.0,
+                   v_bl=vdd, v_blb=vdd)
+
+    @classmethod
+    def read(cls, vdd=VDD_NOMINAL, v_ddc=None, v_ssc=0.0):
+        """Read access: WL at nominal Vdd, bitlines precharged, rails at
+        the (possibly assisted) ``v_ddc`` / ``v_ssc`` levels."""
+        v_ddc = vdd if v_ddc is None else v_ddc
+        return cls(vdd=vdd, v_ddc=v_ddc, v_ssc=v_ssc, v_wl=vdd,
+                   v_bl=vdd, v_blb=vdd)
+
+    @classmethod
+    def write(cls, vdd=VDD_NOMINAL, v_wl=None, v_bl_low=0.0):
+        """Write access flipping Q from 1 to 0: the Q-side bitline is
+        driven low (``v_bl_low``; negative under the negative-BL assist),
+        the QB side is held at Vdd, WL at the (possibly overdriven)
+        ``v_wl``."""
+        v_wl = vdd if v_wl is None else v_wl
+        return cls(vdd=vdd, v_ddc=vdd, v_ssc=0.0, v_wl=v_wl,
+                   v_bl=v_bl_low, v_blb=vdd)
+
+    def with_wordline(self, v_wl):
+        """Copy with a different asserted-WL level."""
+        return replace(self, v_wl=v_wl)
+
+    def with_rails(self, v_ddc=None, v_ssc=None):
+        """Copy with different cell rails."""
+        return replace(
+            self,
+            v_ddc=self.v_ddc if v_ddc is None else v_ddc,
+            v_ssc=self.v_ssc if v_ssc is None else v_ssc,
+        )
+
+    @property
+    def cell_swing(self):
+        """Internal node swing ``v_ddc - v_ssc`` [V]."""
+        return self.v_ddc - self.v_ssc

@@ -1,0 +1,83 @@
+"""Data-retention voltage (DRV) analysis (extension).
+
+Figure 2 of the paper shows hold margins across supply scaling and
+argues LVT cells "cannot meet the yield requirements under 250 mV".
+The industry figure of merit for that cliff is the *data-retention
+voltage*: the minimum standby supply at which the cell still holds data
+with the required margin.  Standby leakage scales with the retention
+supply, so DRV determines the floor of drowsy/retention power modes —
+one more axis where the HVT cell's margin behaviour matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CharacterizationError
+from .snm import hold_snm
+
+#: Search bounds for the retention supply [V].
+_V_MIN = 0.04
+_V_MAX = 0.60
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """DRV plus the standby leakage saved by retention mode."""
+
+    drv: float
+    hsnm_at_drv: float
+    leakage_at_drv: float
+    leakage_nominal: float
+
+    @property
+    def retention_saving(self):
+        """Leakage reduction factor of dropping to the DRV."""
+        return self.leakage_nominal / self.leakage_at_drv
+
+
+def data_retention_voltage(cell, margin_fraction=0.35, resolution=0.002,
+                           v_max=_V_MAX):
+    """Minimum Vdd [V] with ``HSNM >= margin_fraction * Vdd``.
+
+    The margin *fraction* requirement makes this non-trivially monotone
+    (both sides scale with Vdd); empirically the normalized margin
+    grows with Vdd throughout the search range for these cells, so
+    bisection applies.  Raises when even ``v_max`` fails.
+    """
+
+    def ok(vdd):
+        return hold_snm(cell, vdd) >= margin_fraction * vdd
+
+    lo, hi = _V_MIN, float(v_max)
+    if not ok(hi):
+        raise CharacterizationError(
+            "cell fails the hold-margin floor even at %.0f mV" % (hi * 1e3)
+        )
+    if ok(lo):
+        return lo
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def retention_analysis(cell, vdd_nominal, margin_fraction=0.35,
+                       guard_band=0.0):
+    """Full retention study: DRV, margin there, and leakage saving.
+
+    ``guard_band`` [V] is added to the DRV for the reported retention
+    supply (practical designs hold margin above the exact cliff).
+    """
+    from .leakage import cell_leakage_power
+
+    drv = data_retention_voltage(cell, margin_fraction) + guard_band
+    return RetentionResult(
+        drv=drv,
+        hsnm_at_drv=hold_snm(cell, drv),
+        leakage_at_drv=cell_leakage_power(cell, drv),
+        leakage_nominal=cell_leakage_power(cell, vdd_nominal),
+    )

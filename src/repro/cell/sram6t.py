@@ -1,0 +1,142 @@
+"""The 6T SRAM cell: structure and netlist construction.
+
+Topology (paper Figure 1(a)) — inverter L drives node Q (input QB),
+inverter R drives node QB (input Q); access transistors connect Q to BL
+and QB to BLB, gated by WL::
+
+            CVDD ----+----------+
+                     |          |
+                  [PU_L]     [PU_R]
+         WL          |          |          WL
+    BL --[AX_L]--  Q +--x-------+ QB --[AX_R]-- BLB
+                     |          |
+                  [PD_L]     [PD_R]
+                     |          |
+            CVSS ----+----------+
+
+All six transistors are single-fin (the all-single-fin cell the paper
+adopts for area efficiency); the class still stores one parameter set
+per transistor so Monte Carlo variation can perturb them individually.
+"""
+
+from __future__ import annotations
+
+from ..devices.library import DeviceLibrary
+from ..devices.model import FinFET
+from ..spice.netlist import Circuit
+
+#: Transistor roles in a fixed order (used by Monte Carlo sampling).
+TRANSISTOR_ROLES = ("pu_l", "pd_l", "ax_l", "pu_r", "pd_r", "ax_r")
+
+
+class SRAM6TCell:
+    """A 6T cell instance (six parameter sets, all single-fin)."""
+
+    def __init__(self, nfet, pfet, overrides=None):
+        """``nfet``/``pfet`` are the baseline FinFET parameter sets for
+        the pull-down+access and pull-up transistors; ``overrides`` maps
+        role names from :data:`TRANSISTOR_ROLES` to per-transistor
+        parameter sets (used by variation sampling)."""
+        defaults = {
+            "pu_l": pfet, "pu_r": pfet,
+            "pd_l": nfet, "pd_r": nfet,
+            "ax_l": nfet, "ax_r": nfet,
+        }
+        overrides = overrides or {}
+        unknown = set(overrides) - set(TRANSISTOR_ROLES)
+        if unknown:
+            raise ValueError("unknown transistor roles: %s" % sorted(unknown))
+        self._params = {
+            role: overrides.get(role, defaults[role])
+            for role in TRANSISTOR_ROLES
+        }
+        for role in ("pu_l", "pu_r"):
+            if self._params[role].polarity != "p":
+                raise ValueError("%s must be a PFET" % role)
+        for role in ("pd_l", "pd_r", "ax_l", "ax_r"):
+            if self._params[role].polarity != "n":
+                raise ValueError("%s must be an NFET" % role)
+
+    @classmethod
+    def from_library(cls, library=None, flavor="hvt"):
+        """Cell built from a device library flavor ('lvt' or 'hvt')."""
+        library = library or DeviceLibrary.default_7nm()
+        return cls(
+            nfet=library.nfet_params(flavor),
+            pfet=library.pfet_params(flavor),
+        )
+
+    def params(self, role):
+        """Parameter set of one transistor role."""
+        return self._params[role]
+
+    def device(self, role):
+        """Single-fin FinFET instance for one role."""
+        return FinFET(self._params[role], nfin=1)
+
+    def all_params(self):
+        """Parameter sets in :data:`TRANSISTOR_ROLES` order."""
+        return [self._params[role] for role in TRANSISTOR_ROLES]
+
+    def with_overrides(self, overrides):
+        """A new cell with some transistors replaced (Monte Carlo)."""
+        merged = dict(self._params)
+        merged.update(overrides)
+        return SRAM6TCell(
+            nfet=self._params["pd_l"],
+            pfet=self._params["pu_l"],
+            overrides=merged,
+        )
+
+    @property
+    def is_symmetric(self):
+        """True when left and right halves share identical parameters."""
+        return (
+            self._params["pu_l"] == self._params["pu_r"]
+            and self._params["pd_l"] == self._params["pd_r"]
+            and self._params["ax_l"] == self._params["ax_r"]
+        )
+
+    # -- netlist construction ------------------------------------------------
+
+    def build_circuit(self, bias, drive_q=None, drive_qb=None,
+                      wl_value=None, node_caps=None):
+        """Full-cell netlist under ``bias``.
+
+        ``drive_q`` / ``drive_qb`` force the internal nodes with voltage
+        sources (used to break the feedback loop for VTC extraction).
+        ``wl_value`` overrides the WL source value (a constant or a
+        callable f(t) for transient runs); it defaults to ``bias.v_wl``.
+        ``node_caps`` optionally adds grounded capacitors, e.g.
+        ``{"q": 0.1e-15}``, for transient realism.
+        """
+        circuit = Circuit("sram6t")
+        circuit.add_vsource("vddc", "cvdd", "0", bias.v_ddc)
+        circuit.add_vsource("vssc", "cvss", "0", bias.v_ssc)
+        circuit.add_vsource("vwl", "wl", "0",
+                            bias.v_wl if wl_value is None else wl_value)
+        circuit.add_vsource("vbl", "bl", "0", bias.v_bl)
+        circuit.add_vsource("vblb", "blb", "0", bias.v_blb)
+        circuit.add_fet("pu_l", self.device("pu_l"), "qb", "q", "cvdd")
+        circuit.add_fet("pd_l", self.device("pd_l"), "qb", "q", "cvss")
+        circuit.add_fet("ax_l", self.device("ax_l"), "wl", "bl", "q")
+        circuit.add_fet("pu_r", self.device("pu_r"), "q", "qb", "cvdd")
+        circuit.add_fet("pd_r", self.device("pd_r"), "q", "qb", "cvss")
+        circuit.add_fet("ax_r", self.device("ax_r"), "wl", "blb", "qb")
+        if drive_q is not None:
+            circuit.add_vsource("vq", "q", "0", drive_q)
+        if drive_qb is not None:
+            circuit.add_vsource("vqb", "qb", "0", drive_qb)
+        for node, cap in (node_caps or {}).items():
+            circuit.add_capacitor("c_%s" % node, node, "0", cap)
+        return circuit
+
+    def internal_node_capacitance(self):
+        """Approximate capacitance [F] on each storage node: the drains
+        of the three connected transistors plus the gates of the opposite
+        inverter.  Used for transient write-delay realism."""
+        p = self._params
+        return (
+            p["pu_l"].c_drain + p["pd_l"].c_drain + p["ax_l"].c_drain
+            + p["pu_r"].c_gate + p["pd_r"].c_gate
+        )

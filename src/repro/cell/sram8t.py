@@ -1,0 +1,173 @@
+"""The 8T SRAM cell (extension): a decoupled-read-port alternative.
+
+The paper's introduction notes that more robust cell structures exist
+(e.g. 8T/10T cells) "but such SRAM cells come at the cost of larger
+layout area", and instead rescues the 6T cell with assist circuits.
+This module provides the 8T comparison point: a standard 6T storage
+core plus a two-transistor read buffer::
+
+                            RWL
+                             |
+    RBL --[RAX]-- x --[RPD]-- (gate of RPD on QB)
+                             |
+                            GND
+
+Reads sense RBL through the buffer while the write wordline stays low,
+so the storage nodes are never disturbed: the read SNM *equals* the
+hold SNM, eliminating the need for the Vdd-boost read assist.  The read
+port can even use LVT devices on an HVT core (separate optimization of
+retention vs read speed) — exactly the kind of trade the
+device-circuit co-optimization framework is meant to explore.
+
+Costs: two extra transistors (~30% area in published 8T layouts), an
+extra wordline and bitline per row/column, and the read-buffer leakage.
+"""
+
+from __future__ import annotations
+
+from ..devices.library import DeviceLibrary
+from ..devices.model import FinFET
+from ..errors import CharacterizationError
+from ..spice.netlist import Circuit
+from .bias import CellBias
+from .sram6t import SRAM6TCell
+
+#: Area of the 8T cell relative to the 6T (published 8T macros).
+AREA_RATIO_VS_6T = 1.3
+
+#: Bisection tolerance for the read-stack internal node [V].
+_TOL = 1e-7
+
+
+class SRAM8TCell:
+    """An 8T cell: a 6T storage core plus a 2T read buffer."""
+
+    def __init__(self, core, read_nfet, read_nfin=1):
+        """``core`` is the storage :class:`SRAM6TCell`; ``read_nfet``
+        parametrizes both read-buffer NFETs (often LVT even on an HVT
+        core); ``read_nfin`` sizes them (no read-disturb constraint, so
+        upsizing is free of stability cost)."""
+        if not isinstance(core, SRAM6TCell):
+            raise TypeError("core must be an SRAM6TCell")
+        if read_nfet.polarity != "n":
+            raise ValueError("read-buffer devices must be NFETs")
+        self.core = core
+        self.read_nfet = read_nfet
+        self.read_nfin = int(read_nfin)
+        if self.read_nfin < 1:
+            raise ValueError("read_nfin must be >= 1")
+
+    @classmethod
+    def from_library(cls, library=None, storage_flavor="hvt",
+                     read_flavor="lvt", read_nfin=1):
+        """The natural co-optimized build: HVT storage for retention,
+        LVT read port for speed."""
+        library = library or DeviceLibrary.default_7nm()
+        return cls(
+            core=SRAM6TCell.from_library(library, storage_flavor),
+            read_nfet=library.nfet_params(read_flavor),
+            read_nfin=read_nfin,
+        )
+
+    def read_devices(self):
+        """(RPD, RAX) FinFET instances."""
+        rpd = FinFET(self.read_nfet, self.read_nfin)
+        rax = FinFET(self.read_nfet, self.read_nfin)
+        return rpd, rax
+
+    # -- noise margins --------------------------------------------------------
+
+    def hold_snm(self, vdd):
+        """Hold SNM [V] — the storage core's, read port off."""
+        from .snm import hold_snm
+
+        return hold_snm(self.core, vdd)
+
+    def read_snm(self, vdd):
+        """Read SNM [V].
+
+        The decoupled port leaves the storage nodes untouched during a
+        read (write WL low), so this *is* the hold SNM — the defining
+        8T property.
+        """
+        return self.hold_snm(vdd)
+
+    # -- read current ------------------------------------------------------------
+
+    def read_current(self, vdd, v_rbl=None):
+        """Read-buffer current [A] discharging RBL (cell stores QB=1).
+
+        Solved by bisection on the buffer's internal node x:
+        ``I_RAX(RBL -> x) = I_RPD(x -> 0)`` with RPD's gate at the full
+        stored level — no disturb trade-off caps this stack, unlike the
+        6T read path.
+        """
+        v_rbl = vdd if v_rbl is None else v_rbl
+        rpd, rax = self.read_devices()
+        lo, hi = 0.0, v_rbl
+
+        def imbalance(v_x):
+            # Current into node x from RBL minus current out to ground.
+            i_in = rax.current(vdd, v_rbl, v_x)
+            i_out = rpd.current(vdd, v_x, 0.0)
+            return i_in - i_out
+
+        if imbalance(lo) < 0 or imbalance(hi) > 0:
+            raise CharacterizationError(
+                "read-buffer stack current not bracketed"
+            )
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if imbalance(mid) > 0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < _TOL:
+                break
+        v_x = 0.5 * (lo + hi)
+        return rpd.current(vdd, v_x, 0.0)
+
+    # -- leakage ---------------------------------------------------------------
+
+    def build_circuit(self, bias, read_on=False):
+        """Full 8T netlist: the 6T core plus the read buffer and RBL."""
+        circuit = self.core.build_circuit(bias)
+        circuit.add_vsource("vrwl", "rwl", "0",
+                            bias.vdd if read_on else 0.0)
+        circuit.add_vsource("vrbl", "rbl", "0", bias.v_bl)
+        rpd, rax = self.read_devices()
+        # RPD gate on QB (reads the complement), stacked under RAX.
+        circuit.add_fet("rpd", rpd, "qb", "rx", "0")
+        circuit.add_fet("rax", rax, "rwl", "rbl", "rx")
+        return circuit
+
+    def leakage_power(self, vdd):
+        """Standby leakage [W] including the read buffer against a
+        precharged RBL."""
+        from ..spice.dc import operating_point
+
+        bias = CellBias.hold(vdd)
+        circuit = self.build_circuit(bias, read_on=False)
+        solution = operating_point(
+            circuit, initial_guess={"q": 0.0, "qb": bias.v_ddc}
+        )
+        source_levels = {
+            "vddc": bias.v_ddc,
+            "vssc": bias.v_ssc,
+            "vwl": bias.v_wl,
+            "vbl": bias.v_bl,
+            "vblb": bias.v_blb,
+            "vrwl": 0.0,
+            "vrbl": bias.v_bl,
+        }
+        return sum(
+            solution.source_power(name, level)
+            for name, level in source_levels.items()
+        )
+
+    def __repr__(self):
+        return "SRAM8TCell(core vt=%.0fmV, read vt=%.0fmV x%d)" % (
+            self.core.params("pd_l").vt * 1e3,
+            self.read_nfet.vt * 1e3,
+            self.read_nfin,
+        )

@@ -1,0 +1,160 @@
+"""Write margin (WM) of the 6T cell.
+
+Following the paper (after [Lu et al. 2010]), the WM is derived from the
+minimum wordline voltage that flips the cell under write bitline
+conditions.  Generalized to wordline-overdrive operation::
+
+    WM = V_WL(applied) - V_WL(flip)
+
+which reduces to the paper's ``Vdd - V_WL(flip)`` when the wordline is
+driven at nominal Vdd, makes WLOD raise the WM (paper Fig. 5(a)), and
+makes the negative-BL assist raise it too (a lower flip voltage,
+Fig. 5(b)).
+
+The flip voltage is located by bisection on a *bistability oracle*: for
+a candidate WL level the cell state is relaxed from the Q=1 corner by
+damped fixed-point iteration of the half-circuit maps; the cell has
+flipped when it settles with Q below QB.  The relaxation map's stable
+fixed points are exactly the cell's stable DC states, so the oracle is
+monotone in the WL voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CharacterizationError
+from .bias import CellBias
+
+_DAMPING = 0.5
+_TOL = 1e-7
+_MAX_ITER = 400
+
+#: Bisection resolution for the flip voltage [V].
+FLIP_RESOLUTION = 0.0005
+
+
+def settle_from_one(cell, bias):
+    """Relax the cell from the Q=1 corner; returns ``(v_q, v_qb)``."""
+    from .snm import half_circuit_output
+
+    v_q = bias.v_ddc
+    v_qb = bias.v_ssc
+    for _ in range(_MAX_ITER):
+        v_q_new = half_circuit_output(cell, "l", v_qb, bias, access_on=True)
+        v_qb_new = half_circuit_output(cell, "r", v_q_new, bias,
+                                       access_on=True)
+        v_q_next = (1.0 - _DAMPING) * v_q + _DAMPING * v_q_new
+        v_qb_next = (1.0 - _DAMPING) * v_qb + _DAMPING * v_qb_new
+        moved = max(abs(v_q_next - v_q), abs(v_qb_next - v_qb))
+        v_q, v_qb = v_q_next, v_qb_next
+        if moved < _TOL:
+            break
+    else:
+        raise CharacterizationError(
+            "write settle iteration did not converge (last move %.3g V)"
+            % moved
+        )
+    return v_q, v_qb
+
+
+def cell_flips(cell, bias):
+    """True when the write bias flips a cell that held Q = 1."""
+    v_q, v_qb = settle_from_one(cell, bias)
+    return v_q < v_qb
+
+
+def flip_wordline_voltage(cell, vdd=None, v_bl_low=0.0, v_wl_max=None,
+                          resolution=FLIP_RESOLUTION):
+    """Minimum WL voltage [V] that flips the cell during a write.
+
+    ``v_bl_low`` is the level of the '0'-driven bitline (negative under
+    the negative-BL assist).  Raises when even ``v_wl_max`` cannot flip
+    the cell (an unwritable corner).
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    if v_wl_max is None:
+        v_wl_max = 1.8 * vdd
+
+    def bias_at(v_wl):
+        return CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl_low)
+
+    lo, hi = 0.0, float(v_wl_max)
+    if not cell_flips(cell, bias_at(hi)):
+        raise CharacterizationError(
+            "cell does not flip even at WL = %.3f V (unwritable)" % hi
+        )
+    if cell_flips(cell, bias_at(lo + 1e-6)):
+        return lo
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if cell_flips(cell, bias_at(mid)):
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class WriteMarginResult:
+    """Write margin and its underlying flip voltage."""
+
+    v_wl_applied: float
+    v_wl_flip: float
+
+    @property
+    def wm(self):
+        """Write margin [V]."""
+        return self.v_wl_applied - self.v_wl_flip
+
+
+def write_margin(cell, v_wl_applied=None, vdd=None, v_bl_low=0.0,
+                 resolution=FLIP_RESOLUTION):
+    """Write margin [V] at the applied WL level (default: nominal Vdd).
+
+    A non-positive margin means the cell cannot be written at that WL
+    level.
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    v_wl_applied = vdd if v_wl_applied is None else v_wl_applied
+    v_flip = flip_wordline_voltage(
+        cell, vdd=vdd, v_bl_low=v_bl_low,
+        v_wl_max=max(1.8 * vdd, v_wl_applied),
+        resolution=resolution,
+    )
+    return WriteMarginResult(v_wl_applied=v_wl_applied, v_wl_flip=v_flip).wm
+
+
+def bitline_write_margin(cell, v_wl=None, vdd=None,
+                         resolution=FLIP_RESOLUTION):
+    """The complementary, bitline-referred write margin [V].
+
+    Instead of asking how low the wordline may go (the paper's WL-sweep
+    WM), this asks how far the write-low bitline may *rise* above 0
+    before the write fails — a measure of tolerance to write-driver
+    non-ideality and BL residual charge.  Found by bisection on the
+    critical BL level (the write succeeds below it, fails above).
+
+    Returns 0 when the cell cannot be written even with a perfect
+    (0 V) bitline at the applied wordline.
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    v_wl = vdd if v_wl is None else v_wl
+
+    def flips_at(v_bl):
+        return cell_flips(
+            cell, CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl)
+        )
+
+    if not flips_at(0.0):
+        return 0.0
+    lo, hi = 0.0, vdd
+    if flips_at(hi):
+        return hi
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if flips_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,104 @@
+"""Cell-level write delay and write energy (transient analysis).
+
+The paper defines the cell write delay as the time from the wordline
+reaching 50% of Vdd until Q and QB reach the same value (the internal
+flip crossover).  It notes this delay is far smaller than the WL and BL
+delays — our reproduction confirms the same hierarchy — but it still
+enters the write-access delay equation (Table 3), as a function of the
+wordline (overdrive) level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..spice.stimuli import step
+from ..spice.transient import transient
+from ..spice.waveform import Waveform
+from .bias import CellBias
+
+#: Wordline stimulus timing.
+_T_START = 0.2e-12
+_T_RISE = 0.05e-12
+
+#: Base integration step and run length.  The flip is a ratioed fight
+#: between the access device and the still-on pull-up, so writes near
+#: the writability edge take many picoseconds; the default window covers
+#: the full Fig.-5 wordline sweep range.
+_DT = 1e-14
+_T_STOP = 40e-12
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """Measured cell write transient."""
+
+    #: Time from WL at 50% Vdd to the Q/QB crossover [s].
+    delay: float
+    #: Energy delivered by all sources during the event [J].
+    energy: float
+    #: True when Q and QB actually crossed within the run.
+    completed: bool
+
+
+def cell_write_event(cell, v_wl=None, vdd=None, v_bl_low=0.0,
+                     t_stop=_T_STOP, dt=_DT):
+    """Simulate a write of 0 into a cell holding Q = 1.
+
+    The wordline steps from 0 to ``v_wl``; the Q-side bitline is already
+    driven to ``v_bl_low`` (write data applied before WL assertion, as in
+    the paper's write sequence).  Returns a :class:`WriteEvent`.
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    v_wl = vdd if v_wl is None else v_wl
+    bias = CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl_low)
+    c_node = cell.internal_node_capacitance()
+    circuit = cell.build_circuit(
+        bias,
+        wl_value=step(_T_START, 0.0, v_wl, _T_RISE),
+        node_caps={"q": c_node, "qb": c_node},
+    )
+    result = transient(
+        circuit, t_stop, dt,
+        initial_guess={"q": vdd, "qb": 0.0},
+        # End shortly after the internal crossover completes; the write
+        # delay measurement only needs the Q/QB crossing.
+        stop_condition=lambda _t, v: v["q"] < v["qb"] - 0.2 * vdd,
+        stop_margin=5,
+    )
+    t_wl = result.node("wl").cross(0.5 * vdd, "rise")
+    diff = Waveform(
+        result.times,
+        np.asarray(result.node("q").values)
+        - np.asarray(result.node("qb").values),
+        "q_minus_qb",
+    )
+    energy = sum(
+        result.delivered_energy(name)
+        for name in ("vddc", "vssc", "vwl", "vbl", "vblb")
+    )
+    if not diff.crosses(0.0, "fall"):
+        return WriteEvent(delay=float("inf"), energy=energy, completed=False)
+    t_flip = diff.cross(0.0, "fall")
+    if t_flip <= t_wl:
+        raise CharacterizationError(
+            "cell flipped before the wordline asserted; the write bias "
+            "alone is destabilizing (v_bl_low=%.3f)" % v_bl_low
+        )
+    return WriteEvent(delay=t_flip - t_wl, energy=energy, completed=True)
+
+
+def write_delay_vs_wordline(cell, v_wl_values, vdd=None, v_bl_low=0.0):
+    """Write delay [s] for each WL level (paper Fig. 5 x-axis sweeps).
+
+    Levels that fail to write map to ``inf``.
+    """
+    delays = []
+    for v_wl in v_wl_values:
+        event = cell_write_event(cell, v_wl=float(v_wl), vdd=vdd,
+                                 v_bl_low=v_bl_low)
+        delays.append(event.delay)
+    return delays

@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate any paper figure/table.
+
+Usage::
+
+    python -m repro.cli calibration
+    python -m repro.cli fig2
+    python -m repro.cli fig3
+    python -m repro.cli fig5
+    python -m repro.cli table4 --voltage-mode paper
+    python -m repro.cli fig7
+    python -m repro.cli headline
+    python -m repro.cli all
+
+The first run characterizes the device/cell/periphery stack with the
+built-in simulator (a few minutes) and caches the results; later runs
+are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    Session,
+    breakdown_study,
+    calibration_checkpoints,
+    corners_study,
+    fig2_cell_vdd_scaling,
+    fig3_read_assists,
+    fig5_write_assists,
+    optimize_all,
+    run_selfcheck,
+    temperature_study,
+    word_width_study,
+)
+from .analysis.serialize import save_json
+
+#: Paper artifacts first, extension studies after.
+EXPERIMENTS = ("calibration", "fig2", "fig3", "fig5", "table4", "fig7",
+               "headline", "corners", "temperature", "breakdown",
+               "wordwidth", "selfcheck", "all")
+
+#: What "all" expands to (the paper's artifacts).
+PAPER_SET = ("calibration", "fig2", "fig3", "fig5", "table4", "fig7",
+             "headline")
+
+
+def run_experiment(name, session):
+    """Run one experiment; returns (result, text report)."""
+    if name == "calibration":
+        result = calibration_checkpoints(session)
+        return result, result.report()
+    if name == "fig2":
+        result = fig2_cell_vdd_scaling(session)
+        return result, result.report()
+    if name == "fig3":
+        result = fig3_read_assists(session)
+        return result, result.report()
+    if name == "fig5":
+        result = fig5_write_assists(session)
+        return result, result.report()
+    if name in ("table4", "fig7", "headline"):
+        sweep = optimize_all(session)
+        if name == "table4":
+            return sweep, sweep.report()
+        if name == "fig7":
+            return sweep, sweep.fig7_report()
+        headline = sweep.headline()
+        return headline, headline.report()
+    if name == "corners":
+        result = corners_study(session)
+        return result, result.report()
+    if name == "temperature":
+        result = temperature_study(session)
+        return result, result.report()
+    if name == "breakdown":
+        result = breakdown_study(session)
+        return result, result.report()
+    if name == "wordwidth":
+        result = word_width_study(session)
+        return result, result.report()
+    if name == "selfcheck":
+        result = run_selfcheck(session)
+        return result, result.report()
+    raise ValueError("unknown experiment %r" % (name,))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DAC'16 SRAM EDP co-optimization paper.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS,
+                        help="which figure/table to regenerate")
+    parser.add_argument("--voltage-mode", choices=("measured", "paper"),
+                        default="paper",
+                        help="V_DDC/V_WL presets: our measured minima or "
+                             "the paper's reported values (default)")
+    parser.add_argument("--cache", default=".repro_cache.json",
+                        help="characterization cache path ('' disables)")
+    parser.add_argument("--json", default=None,
+                        help="also dump the result object to this path")
+    args = parser.parse_args(argv)
+
+    session = Session.create(
+        cache_path=args.cache or None,
+        voltage_mode=args.voltage_mode,
+    )
+    names = PAPER_SET if args.experiment == "all" else (
+        args.experiment,
+    )
+    last_result = None
+    for name in names:
+        result, text = run_experiment(name, session)
+        print("=" * 72)
+        print("# %s" % name)
+        print("=" * 72)
+        print(text)
+        print()
+        last_result = result
+    if args.json and last_result is not None:
+        save_json(last_result, args.json)
+        print("result saved to %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""7nm FinFET compact device models (the paper's SPICE/PTM substitute).
+
+Public API:
+
+* :class:`FinFETParams` — parameter set for one device flavor.
+* :class:`FinFET` — a device instance (flavor + fin count) with smooth
+  I-V evaluation and analytic derivatives.
+* :class:`DeviceLibrary` — the calibrated 7nm LVT/HVT library
+  (:meth:`DeviceLibrary.default_7nm`).
+* :class:`VariationModel` — Pelgrom threshold-voltage variation for
+  Monte Carlo yield analysis.
+"""
+
+from .corners import (
+    GLOBAL_VT_SHIFT,
+    CornerSummary,
+    ProcessCorner,
+    corner_cell_summary,
+    corner_library,
+    corner_sweep,
+    standard_corners,
+)
+from .library import (
+    ALPHA,
+    VDD_NOMINAL,
+    VT_HVT,
+    VT_LVT,
+    DeviceLibrary,
+)
+from .model import FinFET, ids_core, ids_core_with_derivatives
+from .params import FinFETParams
+from .temperature import (
+    T_REF,
+    celsius,
+    library_at_temperature,
+    params_at_temperature,
+)
+from .variation import VariationModel, apply_shifts, sigma_vt_single_fin
+
+__all__ = [
+    "ALPHA",
+    "GLOBAL_VT_SHIFT",
+    "VDD_NOMINAL",
+    "VT_HVT",
+    "VT_LVT",
+    "CornerSummary",
+    "DeviceLibrary",
+    "FinFET",
+    "FinFETParams",
+    "ProcessCorner",
+    "T_REF",
+    "VariationModel",
+    "apply_shifts",
+    "celsius",
+    "corner_cell_summary",
+    "corner_library",
+    "corner_sweep",
+    "ids_core",
+    "ids_core_with_derivatives",
+    "library_at_temperature",
+    "params_at_temperature",
+    "sigma_vt_single_fin",
+    "standard_corners",
+]

@@ -1,0 +1,109 @@
+"""Systematic process corners (extension).
+
+The paper handles *random* (within-die) variation with Monte Carlo;
+real signoff also checks *global* (die-to-die) corners, where every
+NFET or PFET on the die shifts together.  We model the five classic
+corners as global threshold-voltage shifts:
+
+=======  ==============  ==============
+corner   NFET Vt shift   PFET Vt shift
+=======  ==============  ==============
+TT       0               0
+FF       -sigma_g        -sigma_g
+SS       +sigma_g        +sigma_g
+FS       -sigma_g        +sigma_g
+SF       +sigma_g        -sigma_g
+=======  ==============  ==============
+
+with ``sigma_g`` a 3-sigma global shift (default 15 mV).  A corner
+library behaves exactly like the nominal one, so every cell/array
+analysis can be rerun at a corner unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .library import DeviceLibrary
+
+#: Default 3-sigma global Vt shift [V].
+GLOBAL_VT_SHIFT = 0.015
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One global corner: signed NFET/PFET threshold shifts [V]."""
+
+    name: str
+    delta_vt_n: float
+    delta_vt_p: float
+
+    @property
+    def is_typical(self):
+        return self.delta_vt_n == 0.0 and self.delta_vt_p == 0.0
+
+
+def standard_corners(sigma=GLOBAL_VT_SHIFT):
+    """The five classic corners at the given global shift."""
+    return {
+        "tt": ProcessCorner("tt", 0.0, 0.0),
+        "ff": ProcessCorner("ff", -sigma, -sigma),
+        "ss": ProcessCorner("ss", +sigma, +sigma),
+        "fs": ProcessCorner("fs", -sigma, +sigma),
+        "sf": ProcessCorner("sf", +sigma, -sigma),
+    }
+
+
+def corner_library(library, corner):
+    """A :class:`DeviceLibrary` with every flavor shifted to ``corner``."""
+    if corner.is_typical:
+        return library
+    return DeviceLibrary(
+        vdd=library.vdd,
+        nfet_lvt=library.nfet_lvt.with_vt_shift(corner.delta_vt_n),
+        nfet_hvt=library.nfet_hvt.with_vt_shift(corner.delta_vt_n),
+        pfet_lvt=library.pfet_lvt.with_vt_shift(corner.delta_vt_p),
+        pfet_hvt=library.pfet_hvt.with_vt_shift(corner.delta_vt_p),
+    )
+
+
+@dataclass
+class CornerSummary:
+    """Cell figures of merit at one corner."""
+
+    corner: str
+    hsnm: float
+    rsnm: float
+    leakage: float
+    i_read: float
+    v_wl_flip: float
+
+
+def corner_cell_summary(library, flavor, corner, flip_resolution=0.005):
+    """HSNM/RSNM/leakage/read-current/flip-voltage at one corner."""
+    from ..cell.leakage import cell_leakage_power
+    from ..cell.read_current import read_current
+    from ..cell.snm import hold_snm, read_snm
+    from ..cell.sram6t import SRAM6TCell
+    from ..cell.write import flip_wordline_voltage
+
+    lib_c = corner_library(library, corner)
+    cell = SRAM6TCell.from_library(lib_c, flavor)
+    vdd = library.vdd
+    return CornerSummary(
+        corner=corner.name,
+        hsnm=hold_snm(cell, vdd),
+        rsnm=read_snm(cell, vdd=vdd),
+        leakage=cell_leakage_power(cell, vdd),
+        i_read=read_current(cell, vdd=vdd),
+        v_wl_flip=flip_wordline_voltage(cell, vdd=vdd,
+                                        resolution=flip_resolution),
+    )
+
+
+def corner_sweep(library, flavor, sigma=GLOBAL_VT_SHIFT):
+    """:class:`CornerSummary` for every standard corner (dict by name)."""
+    return {
+        name: corner_cell_summary(library, flavor, corner)
+        for name, corner in standard_corners(sigma).items()
+    }

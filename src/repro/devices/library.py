@@ -1,0 +1,137 @@
+"""The 7nm FinFET device library used throughout the reproduction.
+
+This is the stand-in for the multi-threshold 7nm FinFET library of
+Chen et al. [4] that the paper adopts (nominal supply 450 mV, LVT and
+HVT flavors).  The parameter values below are *derived from the paper's
+own calibration points* — see :mod:`repro.devices.calibration` for the
+closed-form derivations and the numeric refinement:
+
+* HVT vs LVT at nominal Vdd: 2x lower ON current, 20x lower OFF current,
+  10x higher ON/OFF ratio (paper Section 2);
+* 6T cell leakage 1.692 nW (LVT) and 0.082 nW (HVT) (paper Section 5);
+* HVT read-current fit ``I_read = b (V_DDC - V_SSC - Vt)^a`` with
+  a = 1.3, b = 9.5e-5 A/V^1.3, Vt = 335 mV (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .model import FinFET
+from .params import FinFETParams
+
+#: Nominal supply voltage of the adopted 7nm library [V].
+VDD_NOMINAL = 0.450
+
+#: HVT threshold magnitude [V] — anchored to the paper's read-current fit.
+VT_HVT = 0.335
+
+#: ON-current ratio LVT/HVT at nominal Vdd (paper Section 2).
+ION_RATIO = 2.0
+
+#: OFF-current ratio LVT/HVT (paper Section 2).
+IOFF_RATIO = 20.0
+
+#: Alpha-power exponent (paper's read-current fit).
+ALPHA = 1.3
+
+# --- derived quantities (see calibration.derive_* for the algebra) --------
+
+#: LVT threshold [V]: (Vdd - VT_LVT) = ION_RATIO**(1/ALPHA) * (Vdd - VT_HVT).
+VT_LVT = VDD_NOMINAL - ION_RATIO ** (1.0 / ALPHA) * (VDD_NOMINAL - VT_HVT)
+
+#: Softplus overdrive width [V] chosen so the channel-term OFF-current
+#: ratio across the Vt split equals IOFF_RATIO:
+#: gamma_s = ALPHA * (VT_HVT - VT_LVT) / ln(IOFF_RATIO).
+GAMMA_S = ALPHA * (VT_HVT - VT_LVT) / math.log(IOFF_RATIO)
+
+#: NFET strong-inversion prefactor [A/V^alpha] per fin, set so the
+#: *series read stack* of the 6T-HVT cell reproduces the paper's fit
+#: prefactor b = 9.5e-5 A/V^1.3 (numerically refined in calibration.py).
+B_NFET = 1.89e-4
+
+#: PFET drive relative to NFET (FinFET hole/electron drive ratio).
+PFET_DRIVE_RATIO = 0.85
+
+#: Leakage floors [A] per fin, calibrated so the simulated 6T cell
+#: leakage at nominal Vdd equals the paper's values
+#: (1.692 nW for 6T-LVT, 0.082 nW for 6T-HVT); see calibration.py.
+I_FLOOR_LVT = 1.056e-9
+I_FLOOR_HVT = 50.85e-12
+
+#: Per-fin gate / drain capacitances [F] (SPICE-extracted in the paper;
+#: here set to representative 7nm single-fin values).
+C_GATE_N = 0.07e-15
+C_GATE_P = 0.07e-15
+C_DRAIN_N = 0.05e-15
+C_DRAIN_P = 0.05e-15
+
+
+def _make_params(polarity, vt, i_floor, drive_ratio=1.0):
+    c_gate = C_GATE_N if polarity == "n" else C_GATE_P
+    c_drain = C_DRAIN_N if polarity == "n" else C_DRAIN_P
+    return FinFETParams(
+        polarity=polarity,
+        vt=vt,
+        b=B_NFET * drive_ratio,
+        alpha=ALPHA,
+        gamma_s=GAMMA_S,
+        i_floor=i_floor,
+        c_gate=c_gate,
+        c_drain=c_drain,
+    )
+
+
+@dataclass(frozen=True)
+class DeviceLibrary:
+    """A multi-threshold FinFET library (one NFET and PFET per flavor).
+
+    ``flavor`` is ``"lvt"`` or ``"hvt"`` everywhere in this package.
+    The paper's arrays always build peripheral circuits from LVT devices;
+    the SRAM cell transistors are either all-LVT or all-HVT.
+    """
+
+    vdd: float
+    nfet_lvt: FinFETParams
+    nfet_hvt: FinFETParams
+    pfet_lvt: FinFETParams
+    pfet_hvt: FinFETParams
+
+    FLAVORS = ("lvt", "hvt")
+
+    @classmethod
+    def default_7nm(cls):
+        """The calibrated 7nm library described in the module docstring."""
+        return cls(
+            vdd=VDD_NOMINAL,
+            nfet_lvt=_make_params("n", VT_LVT, I_FLOOR_LVT),
+            nfet_hvt=_make_params("n", VT_HVT, I_FLOOR_HVT),
+            pfet_lvt=_make_params("p", VT_LVT, I_FLOOR_LVT, PFET_DRIVE_RATIO),
+            pfet_hvt=_make_params("p", VT_HVT, I_FLOOR_HVT, PFET_DRIVE_RATIO),
+        )
+
+    def _check_flavor(self, flavor):
+        if flavor not in self.FLAVORS:
+            raise ValueError(
+                "unknown device flavor %r (expected one of %r)"
+                % (flavor, self.FLAVORS)
+            )
+
+    def nfet_params(self, flavor):
+        """NFET parameter set for ``flavor`` ('lvt' or 'hvt')."""
+        self._check_flavor(flavor)
+        return self.nfet_lvt if flavor == "lvt" else self.nfet_hvt
+
+    def pfet_params(self, flavor):
+        """PFET parameter set for ``flavor`` ('lvt' or 'hvt')."""
+        self._check_flavor(flavor)
+        return self.pfet_lvt if flavor == "lvt" else self.pfet_hvt
+
+    def nfet(self, flavor, nfin=1):
+        """An NFET instance of the given flavor and fin count."""
+        return FinFET(self.nfet_params(flavor), nfin)
+
+    def pfet(self, flavor, nfin=1):
+        """A PFET instance of the given flavor and fin count."""
+        return FinFET(self.pfet_params(flavor), nfin)

@@ -1,0 +1,103 @@
+"""Parameter sets for the compact FinFET model.
+
+A :class:`FinFETParams` instance fully describes one device flavor
+(e.g. the 7nm LVT NFET).  The numeric defaults for the paper's library
+live in :mod:`repro.devices.library`; the derivations that produced them
+live in :mod:`repro.devices.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..units import PHI_T
+
+
+@dataclass(frozen=True)
+class FinFETParams:
+    """Compact-model parameters for a single FinFET flavor.
+
+    The drain current per fin is ``I = I_channel + I_floor``:
+
+    * a single smooth channel expression spanning subthreshold and strong
+      inversion (alpha-power law with a softplus effective overdrive, so
+      the paper's read-current fit exponent a = 1.3 emerges in strong
+      inversion while subthreshold decays exponentially with swing
+      ``S = gamma_s * ln(10) / alpha``)::
+
+          Veff      = gamma_s * ln(1 + exp((Vgs - vt) / gamma_s))
+          Vdsat     = kappa_sat * Veff + vdsat0
+          I_channel = b * Veff**alpha * tanh(Vds / Vdsat)
+                        * (1 + lambda_ * Vds)
+
+    * a gate-independent junction/GIDL leakage floor that dominates the
+      OFF current and is calibrated against the paper's absolute cell
+      leakage powers (1.692 nW LVT / 0.082 nW HVT)::
+
+          I_floor = i_floor * (1 - exp(-Vds / phi_t))
+
+    All voltages in volts, currents in amperes, per single fin; drive
+    strength scales linearly with the integer fin count (the FinFET
+    width-quantization property).
+    """
+
+    #: "n" or "p".  For PFETs all voltages are mirrored before evaluation.
+    polarity: str
+    #: Threshold voltage magnitude [V].
+    vt: float
+    #: Strong-inversion transconductance coefficient [A / V**alpha] per fin.
+    b: float
+    #: Alpha-power-law exponent (paper fit: 1.3).
+    alpha: float = 1.3
+    #: Softplus width of the effective overdrive [V].  Sets the
+    #: subthreshold swing: S = gamma_s * ln(10) / alpha.
+    gamma_s: float = 0.03515
+    #: Junction/GIDL leakage floor [A] per fin (gate independent).
+    i_floor: float = 50e-12
+    #: Output-conductance coefficient [1/V] (FinFETs: negligible DIBL).
+    lambda_: float = 0.05
+    #: Saturation-voltage slope: Vdsat = kappa_sat * Veff + vdsat0.
+    kappa_sat: float = 0.8
+    #: Saturation-voltage floor [V] (~ 2 thermal voltages; avoids div/0).
+    vdsat0: float = 2.0 * PHI_T
+    #: Gate capacitance per fin [F].
+    c_gate: float = 0.07e-15
+    #: Drain (junction + contact) capacitance per fin [F].
+    c_drain: float = 0.05e-15
+
+    def __post_init__(self):
+        if self.polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p', got %r" % (self.polarity,))
+        if self.vt <= 0:
+            raise ValueError("vt must be a positive magnitude")
+        if self.b <= 0:
+            raise ValueError("current prefactor b must be positive")
+        if self.i_floor < 0:
+            raise ValueError("leakage floor must be non-negative")
+        if self.alpha <= 0 or self.gamma_s <= 0:
+            raise ValueError("alpha and gamma_s must be positive")
+
+    @property
+    def subthreshold_swing(self):
+        """Subthreshold swing S of the channel term, in volts per decade."""
+        return self.gamma_s * math.log(10.0) / self.alpha
+
+    def with_vt_shift(self, delta_vt):
+        """A copy of these parameters with the threshold shifted by
+        ``delta_vt`` volts (used by Monte Carlo variation sampling).
+
+        The shifted threshold is floored at 1 mV so that extreme variation
+        samples remain physically valid (vt must stay positive).
+        """
+        return replace(self, vt=max(self.vt + delta_vt, 1e-3))
+
+    def scaled_drive(self, factor):
+        """A copy with the channel drive scaled by ``factor``.
+
+        Used for what-if studies (e.g. mobility degradation ablations);
+        fin-count scaling is handled at the instance level, not here.
+        """
+        if factor <= 0:
+            raise ValueError("drive scale factor must be positive")
+        return replace(self, b=self.b * factor)

@@ -1,0 +1,80 @@
+"""Numerically robust smooth primitives for the compact device model.
+
+The Newton-Raphson DC solver needs device equations that are smooth
+(continuously differentiable) over the whole bias plane, including deep
+subthreshold and reverse bias.  These helpers implement overflow-safe
+softplus/sigmoid functions and their derivatives; all of them accept
+scalars or numpy arrays transparently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Argument beyond which exp() saturates in the softplus/sigmoid helpers.
+_EXP_CLIP = 40.0
+
+
+def softplus(x, width):
+    """Smooth max(x, 0): ``width * log(1 + exp(x / width))``.
+
+    ``width`` sets the transition region; as ``width -> 0`` this tends to
+    ``max(x, 0)``.  Overflow-safe for large ``|x| / width``.
+    """
+    z = np.asarray(x, dtype=float) / width
+    # For large z, softplus(z) ~ z; for very negative z it ~ exp(z).
+    out = np.where(
+        z > _EXP_CLIP,
+        z,
+        np.log1p(np.exp(np.clip(z, -_EXP_CLIP, _EXP_CLIP))),
+    )
+    result = width * out
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(result)
+    return result
+
+
+def sigmoid(x, width):
+    """Derivative of :func:`softplus` with respect to ``x``.
+
+    Equals ``1 / (1 + exp(-x / width))``; overflow-safe.
+    """
+    z = np.asarray(x, dtype=float) / width
+    z = np.clip(z, -_EXP_CLIP, _EXP_CLIP)
+    result = 1.0 / (1.0 + np.exp(-z))
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(result)
+    return result
+
+
+def safe_exp(x):
+    """exp() clipped to avoid overflow (saturates at exp(+-40))."""
+    z = np.clip(np.asarray(x, dtype=float), -_EXP_CLIP, _EXP_CLIP)
+    result = np.exp(z)
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(result)
+    return result
+
+
+def tanh_sat(vds, vdsat):
+    """Saturation shape function tanh(vds/vdsat) and its partials.
+
+    Returns ``(value, d/dvds, d/dvdsat)``.
+    """
+    x = np.asarray(vds, dtype=float) / vdsat
+    t = np.tanh(x)
+    sech2 = 1.0 - t * t
+    d_dvds = sech2 / vdsat
+    d_dvdsat = -sech2 * x / vdsat
+    if np.isscalar(vds) and np.isscalar(vdsat):
+        return float(t), float(d_dvds), float(d_dvdsat)
+    return t, d_dvds, d_dvdsat
+
+
+def power(base, exponent):
+    """``base ** exponent`` that tolerates base == 0 for exponent > 0."""
+    b = np.asarray(base, dtype=float)
+    result = np.where(b > 0.0, np.power(np.maximum(b, 1e-300), exponent), 0.0)
+    if np.isscalar(base) or np.ndim(base) == 0:
+        return float(result)
+    return result

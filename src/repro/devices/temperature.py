@@ -1,0 +1,73 @@
+"""Temperature scaling of the device library (extension).
+
+The paper evaluates at a single (room) temperature; leakage-dominated
+designs live or die at the hot corner, so this module provides a
+behavioral temperature model with the three first-order effects:
+
+* **subthreshold slope** scales with absolute temperature
+  (S ~ n*kT/q*ln10), so the softplus width ``gamma_s`` scales by
+  ``T / 300K`` — leakage rises exponentially and, importantly, the
+  LVT/HVT OFF-current *ratio* shrinks (the Vt split is worth fewer
+  decades at a shallower slope);
+* **threshold voltage** drops linearly with temperature
+  (~ -0.7 mV/K for FinFETs);
+* **junction/GIDL floor** follows an Arrhenius-like law, doubling
+  roughly every 12 K;
+* **drive** degrades with mobility as ``(T/300K)^-1.3`` (partly offset
+  by the falling Vt, which the model captures separately).
+
+The thermal-voltage constant inside the drain-saturation factor remains
+at its 300 K value — a documented approximation; the effects above
+dominate by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .library import DeviceLibrary
+
+T_REF = 300.0
+
+#: Threshold temperature coefficient [V/K].
+DVT_DT = -0.7e-3
+
+#: Junction-leakage doubling interval [K].
+FLOOR_DOUBLING_K = 12.0
+
+#: Mobility exponent.
+MOBILITY_EXPONENT = -1.3
+
+
+def params_at_temperature(params, t_kelvin, t_ref=T_REF):
+    """Parameter set re-targeted to ``t_kelvin``."""
+    if t_kelvin <= 0:
+        raise ValueError("temperature must be positive kelvin")
+    ratio = t_kelvin / t_ref
+    new_vt = max(params.vt + DVT_DT * (t_kelvin - t_ref), 1e-3)
+    return replace(
+        params,
+        vt=new_vt,
+        gamma_s=params.gamma_s * ratio,
+        i_floor=params.i_floor * 2.0 ** ((t_kelvin - t_ref)
+                                         / FLOOR_DOUBLING_K),
+        b=params.b * ratio ** MOBILITY_EXPONENT,
+    )
+
+
+def library_at_temperature(library, t_kelvin):
+    """The whole library re-targeted to ``t_kelvin``."""
+    if t_kelvin == T_REF:
+        return library
+    return DeviceLibrary(
+        vdd=library.vdd,
+        nfet_lvt=params_at_temperature(library.nfet_lvt, t_kelvin),
+        nfet_hvt=params_at_temperature(library.nfet_hvt, t_kelvin),
+        pfet_lvt=params_at_temperature(library.pfet_lvt, t_kelvin),
+        pfet_hvt=params_at_temperature(library.pfet_hvt, t_kelvin),
+    )
+
+
+def celsius(degrees):
+    """Degrees Celsius to kelvin."""
+    return degrees + 273.15

@@ -1,0 +1,78 @@
+"""Process-variation sampling for Monte Carlo yield analysis.
+
+The dominant random-variation mechanism in scaled FinFETs is
+work-function / random-dopant threshold-voltage variation, which the
+paper's Monte Carlo analysis captures to justify its yield constraint
+(noise margins must exceed 35% of Vdd).  We model per-transistor Vt as an
+independent Gaussian; a Pelgrom-style area law relates the per-fin sigma
+to an A_vt matching coefficient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Pelgrom matching coefficient [V * m] representative of a 7nm FinFET
+#: (about 1.2 mV * um).
+A_VT_DEFAULT = 1.2e-9
+
+#: Effective single-fin gate area [m^2]: Lg ~ 14 nm, Weff ~ 2*Hfin + Tfin
+#: with Hfin ~ 30 nm and Tfin ~ 7 nm.
+FIN_AREA_DEFAULT = 14e-9 * 67e-9
+
+
+def sigma_vt_single_fin(a_vt=A_VT_DEFAULT, fin_area=FIN_AREA_DEFAULT):
+    """Pelgrom sigma(Vt) [V] for a single-fin device: A_vt / sqrt(W*L)."""
+    return a_vt / math.sqrt(fin_area)
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian per-transistor threshold-voltage variation.
+
+    ``sigma_vt`` is the per-fin standard deviation; a multi-fin device
+    averages ``nfin`` independent fins, so its sigma shrinks by
+    ``1/sqrt(nfin)``.
+    """
+
+    sigma_vt: float = sigma_vt_single_fin()
+
+    def __post_init__(self):
+        if self.sigma_vt < 0:
+            raise ValueError("sigma_vt must be non-negative")
+
+    def sigma_for(self, nfin):
+        """Sigma(Vt) [V] for an ``nfin``-fin device."""
+        if nfin < 1:
+            raise ValueError("nfin must be >= 1")
+        return self.sigma_vt / math.sqrt(nfin)
+
+    def sample_shifts(self, n_transistors, n_samples, rng, nfin=1):
+        """Draw Vt shifts [V], shape ``(n_samples, n_transistors)``.
+
+        ``rng`` is a :class:`numpy.random.Generator`; passing it in keeps
+        every Monte Carlo run reproducible from a caller-owned seed.
+        """
+        return rng.normal(
+            0.0, self.sigma_for(nfin), size=(n_samples, n_transistors)
+        )
+
+
+def apply_shifts(params_list, shifts):
+    """Shift each parameter set in ``params_list`` by the matching entry
+    of ``shifts`` (one Monte Carlo instance of a circuit's transistors).
+
+    Returns a new list of :class:`FinFETParams`.
+    """
+    if len(params_list) != len(shifts):
+        raise ValueError(
+            "got %d parameter sets but %d shifts"
+            % (len(params_list), len(shifts))
+        )
+    return [
+        params.with_vt_shift(float(shift))
+        for params, shift in zip(params_list, shifts)
+    ]

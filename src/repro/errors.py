@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear or transient solve failed to converge.
+
+    Carries enough context (iteration count, worst residual, node name)
+    to diagnose the failure without re-running the solve.
+    """
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class NetlistError(ReproError):
+    """The circuit under construction is malformed.
+
+    Examples: an element references an undeclared node, a voltage source
+    loop, or a floating node with no DC path to ground.
+    """
+
+
+class CharacterizationError(ReproError):
+    """A device/circuit characterization produced an unusable result.
+
+    Raised e.g. when a butterfly curve has no embedded square (cell is
+    monostable) in a context where bistability is required.
+    """
+
+
+class DesignSpaceError(ReproError):
+    """An optimization design point or range is invalid.
+
+    Examples: a capacity that is not a power of two, a row count that
+    does not divide the capacity, or an empty feasible set.
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration target could not be met within tolerance."""
+
+
+class LookupError_(ReproError):
+    """A look-up table query fell outside the characterized grid.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``LookupError``.
+    """

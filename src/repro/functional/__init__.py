@@ -1,0 +1,40 @@
+"""Transaction-level SRAM on top of optimized designs (extension).
+
+Public API:
+
+* :class:`FunctionalSRAM` — a word-addressable memory whose reads and
+  writes account delay and energy from the analytical array model.
+* trace generators — :func:`sequential_trace`, :func:`uniform_trace`,
+  :func:`zipfian_trace`, :func:`strided_trace`.
+* :func:`replay` — run a trace at a chosen activity factor and get a
+  :class:`WorkloadReport` comparing measured energy to the paper's
+  Eq. (3)-(5) blend.
+"""
+
+from .memory import AccessStats, FunctionalSRAM
+from .replay import WorkloadReport, replay
+from .trace import (
+    READ,
+    WRITE,
+    Access,
+    sequential_trace,
+    strided_trace,
+    trace_statistics,
+    uniform_trace,
+    zipfian_trace,
+)
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "Access",
+    "AccessStats",
+    "FunctionalSRAM",
+    "WorkloadReport",
+    "replay",
+    "sequential_trace",
+    "strided_trace",
+    "trace_statistics",
+    "uniform_trace",
+    "zipfian_trace",
+]

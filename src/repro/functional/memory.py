@@ -1,0 +1,189 @@
+"""A transaction-level SRAM built on an optimized array design.
+
+This is the downstream-user view of the co-optimization framework: take
+the :class:`~repro.opt.results.OptimizationResult` (or any evaluated
+design), and get a word-addressable memory that actually stores data
+and accounts delay/energy per access using the analytical model's
+numbers — read energy per read, write energy per write, leakage power
+integrated over busy *and* idle time.
+
+The accounting deliberately mirrors Eqs. (3)-(5) of the paper so a
+replayed workload with read fraction ``beta`` and activity factor
+``alpha`` converges to the analytical blend (tested in
+``tests/test_functional_replay.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..array.organization import ArrayOrganization
+from ..errors import DesignSpaceError
+
+
+@dataclass
+class AccessStats:
+    """Accumulated counts, time, and energy."""
+
+    n_reads: int = 0
+    n_writes: int = 0
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    e_read: float = 0.0
+    e_write: float = 0.0
+
+    @property
+    def n_accesses(self):
+        return self.n_reads + self.n_writes
+
+    @property
+    def elapsed_time(self):
+        return self.busy_time + self.idle_time
+
+    @property
+    def e_dynamic(self):
+        return self.e_read + self.e_write
+
+    @property
+    def measured_beta(self):
+        """Observed read fraction."""
+        if self.n_accesses == 0:
+            return 0.0
+        return self.n_reads / self.n_accesses
+
+    @property
+    def measured_alpha(self):
+        """Observed activity factor (busy share of elapsed time)."""
+        if self.elapsed_time == 0:
+            return 0.0
+        return self.busy_time / self.elapsed_time
+
+
+class FunctionalSRAM:
+    """Word-addressable SRAM with per-access energy/time accounting.
+
+    Parameters
+    ----------
+    metrics:
+        Scalar :class:`~repro.array.model.ArrayMetrics` of the chosen
+        design (from the optimizer or a direct model evaluation).
+    p_leak_sram:
+        Per-cell leakage power [W] (``ArrayCharacterization.p_leak_sram``).
+    word_bits:
+        Access width; must match the organization used for ``metrics``.
+    """
+
+    def __init__(self, metrics, p_leak_sram, word_bits=64):
+        design = metrics.design
+        self.org = ArrayOrganization(n_r=design.n_r, n_c=design.n_c,
+                                     word_bits=word_bits)
+        if np.ndim(metrics.edp) != 0:
+            raise DesignSpaceError(
+                "FunctionalSRAM needs a scalar-evaluated design, not a "
+                "fin grid; re-evaluate the chosen point first"
+            )
+        self.metrics = metrics
+        self.word_bits = word_bits
+        self.n_words = self.org.capacity_bits // word_bits
+        self._mask = (1 << word_bits) - 1
+        self._data = np.zeros(self.n_words, dtype=np.uint64)
+        self._written = np.zeros(self.n_words, dtype=bool)
+        self.leakage_power = self.org.capacity_bits * p_leak_sram
+        self.stats = AccessStats()
+
+    # -- address helpers ------------------------------------------------------
+
+    def _check_address(self, address):
+        if not 0 <= address < self.n_words:
+            raise IndexError(
+                "address %d out of range (0..%d)"
+                % (address, self.n_words - 1)
+            )
+
+    def decode(self, address):
+        """(row, word-within-row) the address maps to."""
+        self._check_address(address)
+        return address // self.org.words_per_row, (
+            address % self.org.words_per_row
+        )
+
+    # -- transactions -------------------------------------------------------------
+
+    def read(self, address):
+        """Read one word; advances time by the read delay."""
+        self._check_address(address)
+        self.stats.n_reads += 1
+        self.stats.busy_time += float(self.metrics.d_rd)
+        self.stats.e_read += float(self.metrics.e_sw_rd)
+        return int(self._data[address])
+
+    def write(self, address, value):
+        """Write one word (masked to the word width)."""
+        self._check_address(address)
+        self.stats.n_writes += 1
+        self.stats.busy_time += float(self.metrics.d_wr)
+        self.stats.e_write += float(self.metrics.e_sw_wr)
+        self._data[address] = np.uint64(int(value) & self._mask)
+        self._written[address] = True
+
+    def idle(self, duration):
+        """Advance time without an access (leakage only)."""
+        if duration < 0:
+            raise ValueError("idle duration must be non-negative")
+        self.stats.idle_time += duration
+
+    def is_written(self, address):
+        """True when the word has been written since construction."""
+        self._check_address(address)
+        return bool(self._written[address])
+
+    # -- energy accounting ------------------------------------------------------
+
+    @property
+    def leakage_energy(self):
+        """Leakage energy over all elapsed (busy + idle) time [J]."""
+        return self.leakage_power * self.stats.elapsed_time
+
+    @property
+    def total_energy(self):
+        """Dynamic plus leakage energy so far [J]."""
+        return self.stats.e_dynamic + self.leakage_energy
+
+    def energy_per_access(self):
+        """Average total energy per access [J]."""
+        if self.stats.n_accesses == 0:
+            return 0.0
+        return self.total_energy / self.stats.n_accesses
+
+    def analytical_energy_per_access(self, beta=None, alpha=None):
+        """The paper's Eq. (3)-(5) prediction for this design.
+
+        Defaults to the *observed* beta/alpha so a replayed trace can be
+        compared against the closed form directly.
+        """
+        beta = self.stats.measured_beta if beta is None else beta
+        alpha = self.stats.measured_alpha if alpha is None else alpha
+        e_sw = (beta * float(self.metrics.e_sw_rd)
+                + (1.0 - beta) * float(self.metrics.e_sw_wr))
+        d_access = (beta * float(self.metrics.d_rd)
+                    + (1.0 - beta) * float(self.metrics.d_wr))
+        if alpha <= 0:
+            return float("inf")
+        # Per access the array is busy d_access and idle
+        # d_access * (1 - alpha) / alpha, so leakage integrates over
+        # d_access / alpha.
+        return e_sw + self.leakage_power * d_access / alpha
+
+    def reset_stats(self):
+        """Clear counters and energy accumulators (data is kept)."""
+        self.stats = AccessStats()
+
+    def __len__(self):
+        return self.n_words
+
+    def __repr__(self):
+        return "FunctionalSRAM(%s, %d words x %d bits)" % (
+            self.org, self.n_words, self.word_bits
+        )

@@ -1,0 +1,123 @@
+"""Synthetic address-trace generators.
+
+The paper evaluates arrays under a fixed read fraction (beta = 0.5) and
+activity factor (alpha = 0.5); real workloads are messier.  These
+generators produce the standard synthetic patterns (sequential sweeps,
+uniform random, Zipfian hot spots, strided walks) so the functional
+memory can replay something resembling cache/scratchpad traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+READ = "r"
+WRITE = "w"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory transaction."""
+
+    op: str
+    address: int
+    value: int = 0
+
+    def __post_init__(self):
+        if self.op not in (READ, WRITE):
+            raise ValueError("op must be 'r' or 'w', got %r" % (self.op,))
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+def _ops(n_accesses, read_fraction, rng):
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be within [0, 1]")
+    return np.where(rng.random(n_accesses) < read_fraction, READ, WRITE)
+
+
+def _values(n_accesses, word_bits, rng):
+    # Draw word-sized payloads; 64-bit words need two 32-bit halves to
+    # stay within the generator's integer range portably.
+    high = rng.integers(0, 1 << min(word_bits, 32), n_accesses,
+                        dtype=np.uint64)
+    if word_bits > 32:
+        low = rng.integers(0, 1 << 32, n_accesses, dtype=np.uint64)
+        return (high << np.uint64(word_bits - 32)) | low
+    return high
+
+
+def sequential_trace(n_accesses, n_words, read_fraction=0.5, seed=0,
+                     word_bits=64):
+    """A wrap-around sequential sweep (streaming access pattern)."""
+    rng = np.random.default_rng(seed)
+    ops = _ops(n_accesses, read_fraction, rng)
+    values = _values(n_accesses, word_bits, rng)
+    return [
+        Access(op=str(ops[k]), address=k % n_words, value=int(values[k]))
+        for k in range(n_accesses)
+    ]
+
+
+def uniform_trace(n_accesses, n_words, read_fraction=0.5, seed=0,
+                  word_bits=64):
+    """Uniformly random addresses (worst-case locality)."""
+    rng = np.random.default_rng(seed)
+    ops = _ops(n_accesses, read_fraction, rng)
+    addresses = rng.integers(0, n_words, n_accesses)
+    values = _values(n_accesses, word_bits, rng)
+    return [
+        Access(op=str(ops[k]), address=int(addresses[k]),
+               value=int(values[k]))
+        for k in range(n_accesses)
+    ]
+
+
+def zipfian_trace(n_accesses, n_words, skew=1.2, read_fraction=0.5,
+                  seed=0, word_bits=64):
+    """Zipf-distributed hot-spot addresses (cache-like locality).
+
+    ``skew`` > 1 is the Zipf exponent; larger means hotter hot set.
+    Ranks are mapped onto a seeded permutation of the address space so
+    the hot words are scattered physically.
+    """
+    if skew <= 1.0:
+        raise ValueError("zipf skew must exceed 1.0")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(skew, n_accesses)
+    permutation = rng.permutation(n_words)
+    addresses = permutation[(ranks - 1) % n_words]
+    ops = _ops(n_accesses, read_fraction, rng)
+    values = _values(n_accesses, word_bits, rng)
+    return [
+        Access(op=str(ops[k]), address=int(addresses[k]),
+               value=int(values[k]))
+        for k in range(n_accesses)
+    ]
+
+
+def strided_trace(n_accesses, n_words, stride, read_fraction=0.5, seed=0,
+                  word_bits=64):
+    """A strided walk (matrix-column / row-buffer-hostile pattern)."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    rng = np.random.default_rng(seed)
+    ops = _ops(n_accesses, read_fraction, rng)
+    values = _values(n_accesses, word_bits, rng)
+    return [
+        Access(op=str(ops[k]), address=(k * stride) % n_words,
+               value=int(values[k]))
+        for k in range(n_accesses)
+    ]
+
+
+def trace_statistics(trace):
+    """(read_fraction, unique_address_count, footprint_fraction_of_max)."""
+    if not trace:
+        return 0.0, 0, 0.0
+    reads = sum(1 for a in trace if a.op == READ)
+    unique = len({a.address for a in trace})
+    max_addr = max(a.address for a in trace)
+    return reads / len(trace), unique, unique / (max_addr + 1)

@@ -1,0 +1,12 @@
+"""Look-up-table infrastructure for characterization results."""
+
+from .cache import CharacterizationCache
+from .table import LUT1D, LUT2D, tabulate_1d, tabulate_2d
+
+__all__ = [
+    "LUT1D",
+    "LUT2D",
+    "CharacterizationCache",
+    "tabulate_1d",
+    "tabulate_2d",
+]

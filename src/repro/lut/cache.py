@@ -1,0 +1,69 @@
+"""Disk cache for characterization results.
+
+Full-array studies re-use the same cell/periphery characterizations over
+and over (every capacity and method shares the same LUTs), and some of
+them — transient write-delay sweeps in particular — take seconds each.
+This cache stores plain JSON next to a user-chosen path so repeated
+benchmark runs skip recharacterization.
+
+Keys must be strings; values are anything JSON-serializable (the
+characterization code stores grids and sampled arrays as lists).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+class CharacterizationCache:
+    """A tiny persistent key-value store (JSON file)."""
+
+    def __init__(self, path=None):
+        self.path = path
+        self._data = {}
+        if path is not None and os.path.exists(path):
+            with open(path) as handle:
+                self._data = json.load(handle)
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def put(self, key, value):
+        self._data[key] = value
+        self._flush()
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value for ``key`` or compute-and-store it."""
+        if key in self._data:
+            return self._data[key]
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def _flush(self):
+        if self.path is None:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # Atomic replace so a crash mid-write cannot corrupt the cache.
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._data, handle)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def clear(self):
+        self._data = {}
+        self._flush()
+
+    def __len__(self):
+        return len(self._data)

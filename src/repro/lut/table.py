@@ -1,0 +1,124 @@
+"""Interpolating look-up tables.
+
+The paper's flow stores every SPICE-characterized quantity that depends
+on an optimization variable in a look-up table ("...those with
+dependencies on a variable are stored in look-up tables", Section 5).
+These classes are those tables: linear interpolation on rectilinear
+grids, with strict-by-default bounds handling so a sweep that escapes
+the characterized region fails loudly instead of extrapolating silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LookupError_
+
+
+class LUT1D:
+    """Piecewise-linear y(x) over a strictly increasing grid."""
+
+    def __init__(self, xs, ys, name="lut1d", clamp=False):
+        self.xs = np.asarray(xs, dtype=float)
+        self.ys = np.asarray(ys, dtype=float)
+        self.name = name
+        self.clamp = clamp
+        if self.xs.ndim != 1 or self.xs.shape != self.ys.shape:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        if len(self.xs) < 2:
+            raise ValueError("need at least two samples")
+        if np.any(np.diff(self.xs) <= 0):
+            raise ValueError("xs must be strictly increasing")
+
+    def _check(self, x):
+        x = np.asarray(x, dtype=float)
+        if not self.clamp and (
+            np.any(x < self.xs[0] - 1e-12) or np.any(x > self.xs[-1] + 1e-12)
+        ):
+            raise LookupError_(
+                "%s: query %s outside characterized range [%g, %g]"
+                % (self.name, x, self.xs[0], self.xs[-1])
+            )
+        return x
+
+    def __call__(self, x):
+        x = self._check(x)
+        result = np.interp(x, self.xs, self.ys)
+        if np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    @property
+    def x_range(self):
+        return float(self.xs[0]), float(self.xs[-1])
+
+    def map(self, func, name=None):
+        """A new LUT with ``func`` applied to the sampled values."""
+        return LUT1D(self.xs, [func(y) for y in self.ys],
+                     name or self.name, self.clamp)
+
+
+class LUT2D:
+    """Bilinear z(x, y) over a rectilinear grid."""
+
+    def __init__(self, xs, ys, zs, name="lut2d", clamp=False):
+        self.xs = np.asarray(xs, dtype=float)
+        self.ys = np.asarray(ys, dtype=float)
+        self.zs = np.asarray(zs, dtype=float)
+        self.name = name
+        self.clamp = clamp
+        if self.zs.shape != (len(self.xs), len(self.ys)):
+            raise ValueError(
+                "zs must have shape (len(xs), len(ys)) = (%d, %d); got %r"
+                % (len(self.xs), len(self.ys), self.zs.shape)
+            )
+        if len(self.xs) < 2 or len(self.ys) < 2:
+            raise ValueError("need at least a 2x2 grid")
+        if np.any(np.diff(self.xs) <= 0) or np.any(np.diff(self.ys) <= 0):
+            raise ValueError("grid axes must be strictly increasing")
+
+    def _locate(self, grid, value, axis_name):
+        if value < grid[0] - 1e-12 or value > grid[-1] + 1e-12:
+            if not self.clamp:
+                raise LookupError_(
+                    "%s: %s query %g outside characterized range [%g, %g]"
+                    % (self.name, axis_name, value, grid[0], grid[-1])
+                )
+            value = min(max(value, grid[0]), grid[-1])
+        k = int(np.searchsorted(grid, value, side="right") - 1)
+        k = min(max(k, 0), len(grid) - 2)
+        frac = (value - grid[k]) / (grid[k + 1] - grid[k])
+        return k, min(max(frac, 0.0), 1.0)
+
+    def __call__(self, x, y):
+        i, fx = self._locate(self.xs, float(x), "x")
+        j, fy = self._locate(self.ys, float(y), "y")
+        z00 = self.zs[i, j]
+        z10 = self.zs[i + 1, j]
+        z01 = self.zs[i, j + 1]
+        z11 = self.zs[i + 1, j + 1]
+        return float(
+            z00 * (1 - fx) * (1 - fy)
+            + z10 * fx * (1 - fy)
+            + z01 * (1 - fx) * fy
+            + z11 * fx * fy
+        )
+
+    @property
+    def x_range(self):
+        return float(self.xs[0]), float(self.xs[-1])
+
+    @property
+    def y_range(self):
+        return float(self.ys[0]), float(self.ys[-1])
+
+
+def tabulate_1d(func, xs, name="lut1d", clamp=False):
+    """Build a :class:`LUT1D` by sampling ``func`` over ``xs``."""
+    return LUT1D(xs, [func(float(x)) for x in xs], name=name, clamp=clamp)
+
+
+def tabulate_2d(func, xs, ys, name="lut2d", clamp=False):
+    """Build a :class:`LUT2D` by sampling ``func(x, y)`` over the grid."""
+    zs = np.array([[func(float(x), float(y)) for y in ys] for x in xs])
+    return LUT2D(xs, ys, zs, name=name, clamp=clamp)

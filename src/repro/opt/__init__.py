@@ -1,0 +1,44 @@
+"""Device-circuit-architecture co-optimization (the paper's framework).
+
+Public API:
+
+* :class:`DesignSpace` — the paper's search ranges.
+* :class:`YieldLevels` / :func:`make_policy` — the M1/M2 rail policies.
+* :class:`YieldConstraint` — min(HSNM, RSNM, WM) >= delta.
+* :class:`ExhaustiveOptimizer` — the minimum-EDP search.
+* :func:`pareto_front` — energy-delay trade-off analysis (extension).
+"""
+
+from .constraints import MonteCarloYieldConstraint, YieldConstraint
+from .exhaustive import ExhaustiveOptimizer
+from .methods import (
+    CONSOLIDATION_THRESHOLD,
+    VoltagePolicy,
+    YieldLevels,
+    make_policy,
+    policy_m1,
+    policy_m2,
+    policy_m2_negative_bl,
+)
+from .pareto import ParetoPoint, best_weighted, pareto_front
+from .results import LandscapePoint, OptimizationResult
+from .space import DesignSpace
+
+__all__ = [
+    "CONSOLIDATION_THRESHOLD",
+    "DesignSpace",
+    "ExhaustiveOptimizer",
+    "LandscapePoint",
+    "MonteCarloYieldConstraint",
+    "OptimizationResult",
+    "ParetoPoint",
+    "VoltagePolicy",
+    "YieldConstraint",
+    "YieldLevels",
+    "best_weighted",
+    "make_policy",
+    "pareto_front",
+    "policy_m1",
+    "policy_m2",
+    "policy_m2_negative_bl",
+]

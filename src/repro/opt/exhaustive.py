@@ -1,0 +1,99 @@
+"""Exhaustive minimum-EDP search (paper Section 5).
+
+With V_DDC / V_WL pre-set by the voltage policy, the free variables are
+``(n_r, V_SSC, N_pre, N_wr)`` — small enough for exhaustive search (the
+paper reports under two minutes on a 2011-era server; the vectorized
+grid evaluation here takes well under a second per configuration).
+
+For each ``(n_r, V_SSC)`` slice, the whole ``N_pre x N_wr`` fin grid is
+evaluated in one broadcast call of the array model; the yield constraint
+is checked once per slice (fin counts do not affect cell margins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..array.model import DesignPoint
+from ..errors import DesignSpaceError
+from .results import LandscapePoint, OptimizationResult
+
+
+class ExhaustiveOptimizer:
+    """Minimum-EDP exhaustive search over a :class:`DesignSpace`."""
+
+    def __init__(self, model, space, constraint):
+        self.model = model
+        self.space = space
+        self.constraint = constraint
+
+    def optimize(self, capacity_bits, policy, keep_landscape=False):
+        """Search one capacity under one voltage policy.
+
+        Returns an :class:`OptimizationResult`; raises
+        :class:`DesignSpaceError` when no candidate satisfies the yield
+        constraint.
+        """
+        n_pre_grid, n_wr_grid = np.meshgrid(
+            self.space.n_pre_values, self.space.n_wr_values, indexing="ij"
+        )
+        best = None
+        landscape = []
+        n_evaluated = 0
+        for n_r in self.space.row_counts(capacity_bits):
+            n_c = capacity_bits // n_r
+            for v_ssc in policy.v_ssc_candidates(self.space):
+                if not self.constraint.satisfied(
+                    policy.v_ddc, v_ssc, policy.v_wl, policy.v_bl
+                ):
+                    continue
+                design = DesignPoint(
+                    n_r=n_r, n_c=n_c,
+                    n_pre=n_pre_grid, n_wr=n_wr_grid,
+                    v_ddc=policy.v_ddc, v_ssc=float(v_ssc),
+                    v_wl=policy.v_wl, v_bl=policy.v_bl,
+                )
+                metrics = self.model.evaluate(capacity_bits, design)
+                n_evaluated += n_pre_grid.size
+                flat = int(np.argmin(metrics.edp))
+                i, j = np.unravel_index(flat, n_pre_grid.shape)
+                slice_best = LandscapePoint(
+                    n_r=n_r, v_ssc=float(v_ssc),
+                    n_pre=int(n_pre_grid[i, j]),
+                    n_wr=int(n_wr_grid[i, j]),
+                    edp=float(metrics.edp[i, j]),
+                    d_array=float(metrics.d_array[i, j]),
+                    e_total=float(metrics.e_total[i, j]),
+                )
+                if keep_landscape:
+                    landscape.append(slice_best)
+                if best is None or slice_best.edp < best[0].edp:
+                    best = (slice_best, design)
+        if best is None:
+            raise DesignSpaceError(
+                "no feasible design for %d bits under policy %s "
+                "(yield constraint unsatisfiable)"
+                % (capacity_bits, policy.method)
+            )
+        slice_best, _grid_design = best
+        final_design = DesignPoint(
+            n_r=slice_best.n_r, n_c=capacity_bits // slice_best.n_r,
+            n_pre=slice_best.n_pre, n_wr=slice_best.n_wr,
+            v_ddc=policy.v_ddc, v_ssc=slice_best.v_ssc, v_wl=policy.v_wl,
+            v_bl=policy.v_bl,
+        )
+        final_metrics = self.model.evaluate(capacity_bits, final_design)
+        margins = self.constraint.margins(
+            final_design.v_ddc, final_design.v_ssc, final_design.v_wl,
+            final_design.v_bl,
+        )
+        return OptimizationResult(
+            capacity_bits=capacity_bits,
+            flavor=self.constraint.flavor,
+            method=policy.method,
+            design=final_design,
+            metrics=final_metrics,
+            margins=margins,
+            n_evaluated=n_evaluated,
+            landscape=landscape,
+        )

@@ -1,0 +1,112 @@
+"""Voltage-rail policies M1 and M2 (paper Section 5).
+
+The paper argues V_DDC and V_WL should simply sit at the minimum levels
+that satisfy the RSNM / WM yield requirements (raising V_DDC costs read
+energy without read-delay benefit; raising V_WL costs WL delay and
+energy while the cell write delay it improves is negligible).  The two
+methods then differ in how many extra voltage rails the design may use:
+
+* **M1** — a single extra rail besides Vdd, at
+  ``max(V_DDC_min, V_WL_min)``; both the cell supply boost and the WL
+  overdrive use it, and no negative rail exists (``V_SSC = 0``).
+* **M2** — no rail restriction: V_DDC and V_WL take their individual
+  minima (consolidated onto one rail when they are within 20 mV, as the
+  paper does for its HVT array where 550 vs 540 mV becomes one 550 mV
+  pin) and V_SSC becomes a free optimization variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..assist.study import minimum_vdd_boost, minimum_wl_overdrive
+from ..cell.sram6t import SRAM6TCell
+
+#: Rails closer than this are consolidated onto one pin under M2.
+CONSOLIDATION_THRESHOLD = 0.020
+
+
+@dataclass(frozen=True)
+class YieldLevels:
+    """Minimum assist levels meeting the yield requirement."""
+
+    v_ddc_min: float
+    v_wl_min: float
+
+    @classmethod
+    def measure(cls, library, flavor, delta):
+        """Measure both minima for one cell flavor."""
+        cell = SRAM6TCell.from_library(library, flavor)
+        return cls(
+            v_ddc_min=minimum_vdd_boost(library, cell, delta),
+            v_wl_min=minimum_wl_overdrive(library, cell, delta),
+        )
+
+
+@dataclass(frozen=True)
+class VoltagePolicy:
+    """Resolved rail voltages for one method/flavor combination."""
+
+    method: str
+    v_ddc: float
+    v_ssc_free: bool
+    v_wl: float
+    extra_rails: int
+    #: Write-low bitline level (extension: the negative-BL policy).
+    v_bl: float = 0.0
+
+    def v_ssc_candidates(self, space):
+        """The V_SSC values the optimizer may explore."""
+        if self.v_ssc_free:
+            return space.v_ssc_values
+        return (0.0,)
+
+
+def policy_m1(levels):
+    """Method M1: one extra (high) rail, no negative rail."""
+    v_high = max(levels.v_ddc_min, levels.v_wl_min)
+    return VoltagePolicy(
+        method="M1", v_ddc=v_high, v_ssc_free=False, v_wl=v_high,
+        extra_rails=1,
+    )
+
+
+def policy_m2(levels, consolidation=CONSOLIDATION_THRESHOLD):
+    """Method M2: unrestricted rails; V_SSC joins the search space."""
+    v_ddc, v_wl = levels.v_ddc_min, levels.v_wl_min
+    rails = 3
+    if abs(v_ddc - v_wl) <= consolidation:
+        shared = max(v_ddc, v_wl)
+        v_ddc = v_wl = shared
+        rails = 2
+    return VoltagePolicy(
+        method="M2", v_ddc=v_ddc, v_ssc_free=True, v_wl=v_wl,
+        extra_rails=rails,
+    )
+
+
+def policy_m2_negative_bl(levels, vdd, v_bl):
+    """Extension: M2-style rails with the negative-BL write assist
+    instead of WL overdrive.
+
+    The wordline stays at nominal Vdd (no WLOD rail) and the write
+    margin is provided by driving the write-low bitline to ``v_bl``;
+    V_DDC keeps its RSNM minimum and V_SSC stays a free variable.  The
+    design needs the same number of extra rails as a 3-pin M2 (V_DDC,
+    V_SSC, and the negative BL rail).
+    """
+    if v_bl >= 0:
+        raise ValueError("the negative-BL policy needs v_bl < 0")
+    return VoltagePolicy(
+        method="M2-NBL", v_ddc=levels.v_ddc_min, v_ssc_free=True,
+        v_wl=vdd, extra_rails=3, v_bl=v_bl,
+    )
+
+
+def make_policy(method, levels):
+    """Policy by method name ("M1" or "M2")."""
+    if method == "M1":
+        return policy_m1(levels)
+    if method == "M2":
+        return policy_m2(levels)
+    raise ValueError("unknown method %r (expected 'M1' or 'M2')" % (method,))

@@ -1,0 +1,65 @@
+"""Energy-delay Pareto analysis (extension beyond the paper).
+
+The paper optimizes the scalar EDP; designers often want the whole
+energy-delay trade-off curve instead.  These helpers extract the Pareto
+front from the optimizer's search landscape and locate generalized
+``E^a * D^b`` optima on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated (delay, energy) design."""
+
+    d_array: float
+    e_total: float
+    n_r: int
+    v_ssc: float
+    n_pre: int
+    n_wr: int
+
+    @property
+    def edp(self):
+        return self.d_array * self.e_total
+
+
+def pareto_front(landscape):
+    """Non-dominated subset of :class:`LandscapePoint` entries,
+    sorted by delay.
+
+    A point dominates another when it is no worse in both delay and
+    energy and strictly better in at least one.
+    """
+    points = sorted(landscape, key=lambda p: (p.d_array, p.e_total))
+    front = []
+    best_energy = float("inf")
+    for p in points:
+        if p.e_total < best_energy - 1e-30:
+            front.append(p)
+            best_energy = p.e_total
+    return [
+        ParetoPoint(
+            d_array=p.d_array, e_total=p.e_total, n_r=p.n_r,
+            v_ssc=p.v_ssc, n_pre=p.n_pre, n_wr=p.n_wr,
+        )
+        for p in front
+    ]
+
+
+def best_weighted(front, energy_exponent=1.0, delay_exponent=1.0):
+    """The front point minimizing ``E^a * D^b``.
+
+    ``(1, 1)`` recovers the paper's EDP objective; ``(1, 2)`` emphasizes
+    performance (ED^2), ``(2, 1)`` emphasizes energy.
+    """
+    if not front:
+        raise ValueError("empty Pareto front")
+    return min(
+        front,
+        key=lambda p: (p.e_total ** energy_exponent)
+        * (p.d_array ** delay_exponent),
+    )

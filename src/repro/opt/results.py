@@ -1,0 +1,66 @@
+"""Result containers for the co-optimization framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import capacity_label
+
+
+@dataclass
+class OptimizationResult:
+    """The minimum-EDP design found for one capacity/flavor/method."""
+
+    capacity_bits: int
+    flavor: str
+    method: str
+    design: object          # DesignPoint
+    metrics: object         # ArrayMetrics (scalar fields)
+    margins: tuple          # (HSNM, RSNM, WM) at the chosen point
+    n_evaluated: int
+    #: Per-(n_r, v_ssc) best EDP, for search-landscape analysis.
+    landscape: list = field(default_factory=list)
+
+    @property
+    def capacity_bytes(self):
+        return self.capacity_bits // 8
+
+    @property
+    def label(self):
+        return "6T-%s-%s" % (self.flavor.upper(), self.method)
+
+    def row(self):
+        """A Table-4-style row of the design parameters."""
+        d = self.design
+        return {
+            "capacity": capacity_label(self.capacity_bytes),
+            "config": self.label,
+            "n_r": d.n_r,
+            "n_c": d.n_c,
+            "N_pre": int(d.n_pre),
+            "N_wr": int(d.n_wr),
+            "V_DDC_mV": round(d.v_ddc * 1e3),
+            "V_SSC_mV": round(d.v_ssc * 1e3),
+            "V_WL_mV": round(d.v_wl * 1e3),
+        }
+
+    def summary(self):
+        m = self.metrics
+        return (
+            "%s %s: EDP=%.4g Js  D=%.4g s  E=%.4g J  (%s)"
+            % (capacity_label(self.capacity_bytes), self.label,
+               m.edp, m.d_array, m.e_total, self.design.describe())
+        )
+
+
+@dataclass
+class LandscapePoint:
+    """Best metrics at one (n_r, v_ssc) slice of the search."""
+
+    n_r: int
+    v_ssc: float
+    n_pre: int
+    n_wr: int
+    edp: float
+    d_array: float
+    e_total: float

@@ -1,0 +1,78 @@
+"""The optimization design space (paper Section 5).
+
+Ranges: ``V_SSC in {0, -10mV, ..., -240mV}`` (RSNM degrades below
+-240 mV), ``n_r in {2^1 .. 2^10}``, ``N_pre in 1..50``,
+``N_wr in 1..20``.  ``V_DDC`` and ``V_WL`` are not swept — the paper
+pre-sets them to the minimum levels meeting the RSNM / WM yield
+requirements (see :mod:`repro.opt.methods`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DesignSpaceError
+from ..units import is_power_of_two
+
+
+def _default_v_ssc():
+    return tuple(np.round(np.arange(0.0, -0.2401, -0.010), 3))
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Search ranges for the free optimization variables."""
+
+    v_ssc_values: tuple = field(default_factory=_default_v_ssc)
+    n_r_min: int = 2
+    n_r_max: int = 1024
+    #: The paper sizes fixed periphery for up to 1024 columns.
+    n_c_max: int = 1024
+    n_pre_max: int = 50
+    n_wr_max: int = 20
+
+    def __post_init__(self):
+        if not (is_power_of_two(self.n_r_min)
+                and is_power_of_two(self.n_r_max)):
+            raise DesignSpaceError("row-count bounds must be powers of two")
+        if self.n_r_min > self.n_r_max:
+            raise DesignSpaceError("n_r_min must not exceed n_r_max")
+        if self.n_pre_max < 1 or self.n_wr_max < 1:
+            raise DesignSpaceError("fin-count ranges must be >= 1")
+
+    def row_counts(self, capacity_bits):
+        """Valid n_r values for a capacity: powers of two within range
+        that divide the capacity and keep n_c <= n_c_max."""
+        values = []
+        n_r = self.n_r_min
+        while n_r <= min(self.n_r_max, capacity_bits):
+            if capacity_bits % n_r == 0:
+                n_c = capacity_bits // n_r
+                if 1 <= n_c <= self.n_c_max:
+                    values.append(n_r)
+            n_r *= 2
+        if not values:
+            raise DesignSpaceError(
+                "no valid organization for %d bits within the space"
+                % capacity_bits
+            )
+        return values
+
+    @property
+    def n_pre_values(self):
+        return np.arange(1, self.n_pre_max + 1)
+
+    @property
+    def n_wr_values(self):
+        return np.arange(1, self.n_wr_max + 1)
+
+    def size(self, capacity_bits):
+        """Number of raw design points for one capacity/method."""
+        return (
+            len(self.row_counts(capacity_bits))
+            * len(self.v_ssc_values)
+            * self.n_pre_max
+            * self.n_wr_max
+        )

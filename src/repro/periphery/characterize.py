@@ -1,0 +1,376 @@
+"""Characterization driver: runs the built-in simulator over every
+cell/periphery quantity the array model needs and packages the results
+as look-up tables (the paper's Section-5 flow).
+
+All results are JSON-cacheable through
+:class:`repro.lut.CharacterizationCache`, because full-array studies
+reuse the same characterization across every capacity and method.
+
+One deliberate calibration step: the paper states the no-assist
+cell-level write delay is 1.5 ps in its technology, while the relative
+universe of our compact model produces a different absolute value.  The
+write-delay LUT is therefore scaled by a single global factor anchoring
+the 6T-HVT no-assist point to the paper's 1.5 ps; the V_WL dependence
+(the shape that matters to the optimizer) comes entirely from our
+simulations.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..array.capacitance import DeviceCaps
+from ..array.geometry import ArrayGeometry
+from ..cell.bias import CellBias
+from ..cell.leakage import cell_leakage_power
+from ..cell.read_current import read_current
+from ..cell.sram6t import SRAM6TCell
+from ..cell.write import flip_wordline_voltage
+from ..cell.write_delay import cell_write_event
+from ..devices.model import FinFET
+from ..lut.table import LUT1D, LUT2D
+from .decoder import DecoderModel, build_decoder_model
+from .driver import SuperbufferModel
+from .gates import GateCharacterization, characterize_inverter, characterize_nand
+from .precharge import i_on_pfet
+from .senseamp import SenseAmpCharacterization, characterize_senseamp
+from .writebuffer import characterize_i_on_tg
+
+#: Bump to invalidate stale caches when the characterization flow changes.
+VERSION = "v6"
+
+#: The paper's stated no-assist cell write delay (Section 3.2).
+PAPER_WRITE_DELAY_NO_ASSIST = 1.5e-12
+
+#: Default sensing voltage (paper Section 5).
+DELTA_V_SENSE = 0.120
+
+
+@dataclass(frozen=True)
+class CharacterizationGrids:
+    """Grid definitions for every LUT."""
+
+    v_ddc: tuple = tuple(np.round(np.arange(0.45, 0.7201, 0.025), 4))
+    v_ssc: tuple = tuple(np.round(np.arange(-0.25, 0.0001, 0.025), 4))
+    v_wl_points: int = 11
+    v_wl_max: float = 0.72
+    #: Negative-BL write-assist levels (ascending, ending at 0).
+    v_bl: tuple = (-0.20, -0.15, -0.10, -0.05, 0.0)
+    nand_fan_ins: tuple = (2, 3, 4, 5)
+
+    def signature(self):
+        return "ddc%d_ssc%d_wl%d_%g_bl%d" % (
+            len(self.v_ddc), len(self.v_ssc), self.v_wl_points,
+            self.v_wl_max, len(self.v_bl),
+        )
+
+
+@dataclass
+class ArrayCharacterization:
+    """Everything the analytical array model consumes."""
+
+    flavor: str
+    vdd: float
+    delta_v_sense: float
+    geometry: ArrayGeometry
+    caps: DeviceCaps
+    #: Single-fin LVT PFET ON current (Table 2 ``I_ON,PFET``) [A].
+    i_on_pfet: float
+    #: Effective single-fin TG ON current (Table 2 ``I_ON,TG``) [A].
+    i_on_tg: float
+    #: WL-driver last-stage drive vs V_WL (Table 2 ``I_WL``) [A].
+    i_wl: LUT1D
+    #: CVDD rail-mux drive vs V_DDC (Table 2 ``I_CVDD``) [A].
+    i_cvdd: LUT1D
+    #: CVSS rail-mux drive vs V_SSC (Table 2 ``I_CVSS``) [A].
+    i_cvss: LUT1D
+    #: Cell read current vs (V_DDC, V_SSC) (Table 2 ``I_read``) [A].
+    i_read: LUT2D
+    #: Cell standby leakage power [W].
+    p_leak_sram: float
+    #: Structural decoder model (rows and columns share unit gates).
+    decoder: DecoderModel
+    #: WL superbuffer model.
+    driver: SuperbufferModel
+    #: Sense amplifier constants.
+    sense: SenseAmpCharacterization
+    #: Cell write delay vs V_WL (anchored; see module docstring) [s].
+    d_write_sram: LUT1D
+    #: Cell write energy vs V_WL [J].
+    e_write_sram: LUT1D
+    #: The global anchoring factor applied to d_write_sram.
+    write_delay_scale: float
+    #: Minimum WL voltage that flips the cell (no BL assist) [V].
+    v_wl_flip: float
+    #: Flip WL voltage vs the negative-BL level (for the negative-BL
+    #: write-assist policy): the WM at (v_wl, v_bl) is
+    #: ``v_wl - v_wl_flip_vs_vbl(v_bl)``.
+    v_wl_flip_vs_vbl: LUT1D
+    #: Cell write delay vs negative-BL level at V_WL = Vdd (anchored).
+    d_write_negbl: LUT1D
+    #: Cell write energy vs negative-BL level at V_WL = Vdd.
+    e_write_negbl: LUT1D
+
+
+def characterize_write_delay_scale(library, cache=None):
+    """Global write-delay anchoring factor (HVT no-assist -> 1.5 ps)."""
+    def compute():
+        cell = SRAM6TCell.from_library(library, "hvt")
+        event = cell_write_event(cell, v_wl=library.vdd, vdd=library.vdd)
+        if not event.completed:
+            raise RuntimeError(
+                "HVT no-assist write did not complete; cannot anchor"
+            )
+        return PAPER_WRITE_DELAY_NO_ASSIST / event.delay
+
+    if cache is None:
+        return compute()
+    key = "%s:write_delay_scale" % VERSION
+    return cache.get_or_compute(key, compute)
+
+
+def characterize_gates(library, grids=None, cache=None):
+    """Unit inverter + NAND characterizations (shared by both flavors)."""
+    grids = grids or CharacterizationGrids()
+
+    def compute():
+        inv = characterize_inverter(library)
+        nands = {
+            fan_in: characterize_nand(library, fan_in)
+            for fan_in in grids.nand_fan_ins
+        }
+        return {
+            "inv": _gate_to_dict(inv),
+            "nands": {str(k): _gate_to_dict(v) for k, v in nands.items()},
+        }
+
+    if cache is None:
+        data = compute()
+    else:
+        key = "%s:gates" % VERSION
+        data = cache.get_or_compute(key, compute)
+    inv = _gate_from_dict(data["inv"])
+    nands = {int(k): _gate_from_dict(v) for k, v in data["nands"].items()}
+    return inv, nands
+
+
+def characterize(library, flavor, cache=None, grids=None):
+    """Full characterization for one cell flavor.
+
+    Returns an :class:`ArrayCharacterization`.  With a cache, repeated
+    calls are instant.
+    """
+    grids = grids or CharacterizationGrids()
+    key = "%s:%s:%s:array" % (VERSION, flavor, grids.signature())
+    if cache is not None and key in cache:
+        return _from_dict(cache.get(key), library, grids)
+
+    vdd = library.vdd
+    cell = SRAM6TCell.from_library(library, flavor)
+    geometry = ArrayGeometry()
+    caps = DeviceCaps.from_library(library)
+
+    inv, nands = characterize_gates(library, grids, cache)
+    driver = SuperbufferModel(unit_inverter=inv)
+    decoder = build_decoder_model(inv, nands, driver.input_capacitance)
+    sense = characterize_senseamp(library, DELTA_V_SENSE)
+    i_tg = characterize_i_on_tg(library)
+    scale = characterize_write_delay_scale(library, cache)
+
+    # Table-2 drive currents as LUTs over their assist voltage.
+    pfet = FinFET(library.pfet_lvt, 1)
+    nfet = FinFET(library.nfet_lvt, 1)
+    v_ddc_axis = np.asarray(grids.v_ddc)
+    i_cvdd = LUT1D(
+        v_ddc_axis,
+        [pfet.ion(float(v)) for v in v_ddc_axis],
+        name="i_cvdd",
+    )
+    v_ssc_axis = np.asarray(grids.v_ssc)
+    # CVSS mux NFET: gate at Vdd, pulling the rail from 0 down to V_SSC;
+    # initial drive at Vgs = Vdd - V_SSC, Vds = |V_SSC|.
+    i_cvss = LUT1D(
+        v_ssc_axis,
+        [nfet.current(vdd - float(v), abs(float(v)), 0.0)
+         for v in v_ssc_axis],
+        name="i_cvss",
+    )
+    i_wl = LUT1D(
+        v_ddc_axis,
+        [pfet.ion(float(v)) for v in v_ddc_axis],
+        name="i_wl",
+    )
+
+    # Cell-level LUTs.
+    i_read_grid = np.array([
+        [read_current(cell, vdd=vdd, v_ddc=float(vd), v_ssc=float(vs))
+         for vs in v_ssc_axis]
+        for vd in v_ddc_axis
+    ])
+    i_read = LUT2D(v_ddc_axis, v_ssc_axis, i_read_grid, name="i_read")
+    p_leak = cell_leakage_power(cell, vdd)
+
+    v_flip = flip_wordline_voltage(cell, vdd=vdd, resolution=0.002)
+    v_wl_lo = min(v_flip + 0.03, vdd)
+    v_wl_axis = np.linspace(v_wl_lo, grids.v_wl_max, grids.v_wl_points)
+    d_write_raw, e_write = [], []
+    for v_wl in v_wl_axis:
+        event = cell_write_event(cell, v_wl=float(v_wl), vdd=vdd)
+        if not event.completed:
+            raise RuntimeError(
+                "write did not complete at V_WL=%.3f (flip at %.3f)"
+                % (v_wl, v_flip)
+            )
+        d_write_raw.append(event.delay)
+        e_write.append(event.energy)
+    d_write = LUT1D(v_wl_axis, [d * scale for d in d_write_raw],
+                    name="d_write_sram")
+    e_write_lut = LUT1D(v_wl_axis, e_write, name="e_write_sram")
+
+    # Negative-BL write assist: flip voltage and write delay/energy at
+    # nominal WL across the assist levels.
+    v_bl_axis = np.asarray(grids.v_bl)
+    flips, d_negbl, e_negbl = [], [], []
+    for v_bl in v_bl_axis:
+        flips.append(flip_wordline_voltage(
+            cell, vdd=vdd, v_bl_low=float(v_bl), resolution=0.002
+        ))
+        event = cell_write_event(cell, v_wl=vdd, vdd=vdd,
+                                 v_bl_low=float(v_bl))
+        if not event.completed:
+            raise RuntimeError(
+                "negative-BL write did not complete at V_BL=%.3f" % v_bl
+            )
+        d_negbl.append(event.delay * scale)
+        e_negbl.append(event.energy)
+    v_flip_vs_vbl = LUT1D(v_bl_axis, flips, name="v_wl_flip_vs_vbl")
+    d_write_negbl = LUT1D(v_bl_axis, d_negbl, name="d_write_negbl")
+    e_write_negbl = LUT1D(v_bl_axis, e_negbl, name="e_write_negbl")
+
+    result = ArrayCharacterization(
+        flavor=flavor,
+        vdd=vdd,
+        delta_v_sense=DELTA_V_SENSE,
+        geometry=geometry,
+        caps=caps,
+        i_on_pfet=i_on_pfet(library),
+        i_on_tg=i_tg,
+        i_wl=i_wl,
+        i_cvdd=i_cvdd,
+        i_cvss=i_cvss,
+        i_read=i_read,
+        p_leak_sram=p_leak,
+        decoder=decoder,
+        driver=driver,
+        sense=sense,
+        d_write_sram=d_write,
+        e_write_sram=e_write_lut,
+        write_delay_scale=scale,
+        v_wl_flip=v_flip,
+        v_wl_flip_vs_vbl=v_flip_vs_vbl,
+        d_write_negbl=d_write_negbl,
+        e_write_negbl=e_write_negbl,
+    )
+    if cache is not None:
+        cache.put(key, _to_dict(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# JSON (de)serialization
+# ---------------------------------------------------------------------------
+
+def _gate_to_dict(gate):
+    return {
+        "name": gate.name,
+        "d0": gate.d0,
+        "drive_resistance": gate.drive_resistance,
+        "e0": gate.e0,
+        "v_supply": gate.v_supply,
+        "c_input": gate.c_input,
+    }
+
+
+def _gate_from_dict(data):
+    return GateCharacterization(**data)
+
+
+def _lut1d_to_dict(lut):
+    return {"xs": list(lut.xs), "ys": list(lut.ys), "name": lut.name}
+
+
+def _lut1d_from_dict(data):
+    return LUT1D(data["xs"], data["ys"], name=data["name"])
+
+
+def _to_dict(char):
+    return {
+        "flavor": char.flavor,
+        "vdd": char.vdd,
+        "delta_v_sense": char.delta_v_sense,
+        "i_on_pfet": char.i_on_pfet,
+        "i_on_tg": char.i_on_tg,
+        "i_wl": _lut1d_to_dict(char.i_wl),
+        "i_cvdd": _lut1d_to_dict(char.i_cvdd),
+        "i_cvss": _lut1d_to_dict(char.i_cvss),
+        "i_read": {
+            "xs": list(char.i_read.xs),
+            "ys": list(char.i_read.ys),
+            "zs": [list(row) for row in char.i_read.zs],
+        },
+        "p_leak_sram": char.p_leak_sram,
+        "inv": _gate_to_dict(char.decoder.inverter),
+        "nands": {
+            str(k): _gate_to_dict(v) for k, v in char.decoder.nands.items()
+        },
+        "sense": {
+            "delay": char.sense.delay,
+            "energy": char.sense.energy,
+            "delta_v_sense": char.sense.delta_v_sense,
+            "v_supply": char.sense.v_supply,
+        },
+        "d_write_sram": _lut1d_to_dict(char.d_write_sram),
+        "e_write_sram": _lut1d_to_dict(char.e_write_sram),
+        "write_delay_scale": char.write_delay_scale,
+        "v_wl_flip": char.v_wl_flip,
+        "v_wl_flip_vs_vbl": _lut1d_to_dict(char.v_wl_flip_vs_vbl),
+        "d_write_negbl": _lut1d_to_dict(char.d_write_negbl),
+        "e_write_negbl": _lut1d_to_dict(char.e_write_negbl),
+    }
+
+
+def _from_dict(data, library, grids):
+    inv = _gate_from_dict(data["inv"])
+    nands = {int(k): _gate_from_dict(v) for k, v in data["nands"].items()}
+    driver = SuperbufferModel(unit_inverter=inv)
+    decoder = build_decoder_model(inv, nands, driver.input_capacitance)
+    return ArrayCharacterization(
+        flavor=data["flavor"],
+        vdd=data["vdd"],
+        delta_v_sense=data["delta_v_sense"],
+        geometry=ArrayGeometry(),
+        caps=DeviceCaps.from_library(library),
+        i_on_pfet=data["i_on_pfet"],
+        i_on_tg=data["i_on_tg"],
+        i_wl=_lut1d_from_dict(data["i_wl"]),
+        i_cvdd=_lut1d_from_dict(data["i_cvdd"]),
+        i_cvss=_lut1d_from_dict(data["i_cvss"]),
+        i_read=LUT2D(
+            data["i_read"]["xs"], data["i_read"]["ys"], data["i_read"]["zs"],
+            name="i_read",
+        ),
+        p_leak_sram=data["p_leak_sram"],
+        decoder=decoder,
+        driver=driver,
+        sense=SenseAmpCharacterization(**data["sense"]),
+        d_write_sram=_lut1d_from_dict(data["d_write_sram"]),
+        e_write_sram=_lut1d_from_dict(data["e_write_sram"]),
+        write_delay_scale=data["write_delay_scale"],
+        v_wl_flip=data["v_wl_flip"],
+        v_wl_flip_vs_vbl=_lut1d_from_dict(data["v_wl_flip_vs_vbl"]),
+        d_write_negbl=_lut1d_from_dict(data["d_write_negbl"]),
+        e_write_negbl=_lut1d_from_dict(data["e_write_negbl"]),
+    )

@@ -1,0 +1,128 @@
+"""Transistor-level read-column testbench (validation substrate).
+
+The analytical array model predicts the bitline delay as
+``C_BL * DeltaV_S / I_read`` with a DC-extracted read current; the
+paper claims its periphery models are "verified by SPICE simulations".
+This module provides the same verification for our stack: a full
+transient testbench of one column — the accessed 6T cell at transistor
+level, the inactive rows lumped into the Table-1 bitline capacitance,
+the N_pre-fin precharger, and the (possibly assisted) cell rails — so
+the analytic BL delay can be checked against simulation.
+
+Used by ``tests/test_periphery_column.py`` and
+``benchmarks/bench_column_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..array.capacitance import DeviceCaps, c_bl
+from ..array.geometry import ArrayGeometry
+from ..array.organization import ArrayOrganization
+from ..cell.bias import CellBias
+from ..cell.read_current import read_current
+from ..devices.model import FinFET
+from ..spice.netlist import Circuit
+from ..spice.stimuli import step
+from ..spice.transient import transient
+
+#: Wordline assertion time in the testbench.
+_T_WL = 2e-12
+_T_RISE = 0.1e-12
+
+
+def column_bitline_capacitance(library, n_rows, n_pre, n_wr=1):
+    """Lumped Table-1 BL capacitance for the inactive part of the
+    column [F]: the full C_BL minus the accessed cell's own access
+    drain (which is present at transistor level in the testbench)."""
+    geometry = ArrayGeometry()
+    caps = DeviceCaps.from_library(library)
+    org = ArrayOrganization(n_r=n_rows, n_c=64)
+    return c_bl(geometry, caps, org, n_pre, n_wr) - caps.c_dn
+
+
+def build_read_column_circuit(library, cell, n_rows, n_pre=4,
+                              v_ddc=None, v_ssc=0.0):
+    """One column reading a '0': precharger on until the WL fires."""
+    vdd = library.vdd
+    v_ddc = vdd if v_ddc is None else v_ddc
+    bias = CellBias.read(vdd=vdd, v_ddc=v_ddc, v_ssc=v_ssc)
+
+    circuit = Circuit("read_column")
+    circuit.add_vsource("vps", "vdd", "0", vdd)
+    circuit.add_vsource("vddc", "cvdd", "0", v_ddc)
+    circuit.add_vsource("vssc", "cvss", "0", v_ssc)
+    circuit.add_vsource("vwl", "wl", "0", step(_T_WL, 0.0, vdd, _T_RISE))
+    # The precharger releases as the WL fires (gate rises = PFET off).
+    circuit.add_vsource("vpreb", "preb", "0",
+                        step(_T_WL, 0.0, vdd, _T_RISE))
+    # BLB stays precharged; model it as a source (we only sense BL).
+    circuit.add_vsource("vblb", "blb", "0", vdd)
+
+    # The accessed cell, at transistor level, storing Q = 0.
+    circuit.add_fet("pu_l", cell.device("pu_l"), "qb", "q", "cvdd")
+    circuit.add_fet("pd_l", cell.device("pd_l"), "qb", "q", "cvss")
+    circuit.add_fet("ax_l", cell.device("ax_l"), "wl", "bl", "q")
+    circuit.add_fet("pu_r", cell.device("pu_r"), "q", "qb", "cvdd")
+    circuit.add_fet("pd_r", cell.device("pd_r"), "q", "qb", "cvss")
+    circuit.add_fet("ax_r", cell.device("ax_r"), "wl", "blb", "qb")
+    c_node = cell.internal_node_capacitance()
+    circuit.add_capacitor("c_q", "q", "0", c_node)
+    circuit.add_capacitor("c_qb", "qb", "0", c_node)
+
+    # Precharger bank and the lumped rest-of-column load.
+    circuit.add_fet("mpre", FinFET(library.pfet_lvt, n_pre),
+                    "preb", "bl", "vdd")
+    circuit.add_capacitor(
+        "c_bl", "bl", "0",
+        column_bitline_capacitance(library, n_rows, n_pre),
+    )
+    return circuit, bias
+
+
+@dataclass
+class ColumnReadMeasurement:
+    """Analytic vs simulated bitline development."""
+
+    n_rows: int
+    v_ddc: float
+    v_ssc: float
+    analytic_delay: float
+    simulated_delay: float
+
+    @property
+    def agreement(self):
+        """simulated / analytic (1.0 = exact)."""
+        return self.simulated_delay / self.analytic_delay
+
+
+def measure_read_column(library, cell, n_rows=64, n_pre=4, v_ddc=None,
+                        v_ssc=0.0, delta_v_sense=0.120, dt=0.5e-12):
+    """Run the testbench and compare against the analytic BL delay."""
+    vdd = library.vdd
+    v_ddc = vdd if v_ddc is None else v_ddc
+    circuit, bias = build_read_column_circuit(
+        library, cell, n_rows, n_pre, v_ddc, v_ssc
+    )
+    target = vdd - delta_v_sense
+    i_read = read_current(cell, bias=bias)
+    c_total = (column_bitline_capacitance(library, n_rows, n_pre)
+               + DeviceCaps.from_library(library).c_dn)
+    analytic = c_total * delta_v_sense / i_read
+
+    result = transient(
+        circuit, _T_WL + 6.0 * analytic + 20e-12, dt,
+        initial_guess={"q": v_ssc, "qb": v_ddc, "bl": vdd},
+        stop_condition=lambda _t, v: v["bl"] < target - 0.02,
+        stop_margin=3,
+    )
+    t_wl = result.node("wl").cross(0.5 * vdd, "rise")
+    t_sense = result.node("bl").cross(target, "fall")
+    return ColumnReadMeasurement(
+        n_rows=n_rows,
+        v_ddc=v_ddc,
+        v_ssc=v_ssc,
+        analytic_delay=analytic,
+        simulated_delay=t_sense - t_wl,
+    )

@@ -1,0 +1,135 @@
+"""Row / column decoder delay and energy model.
+
+The paper treats ``D_row_dec`` and ``E_row_dec`` as SPICE-characterized
+look-up tables indexed by the address width ``log(n_r)`` (and
+``log(n_c/W)`` for the column decoder).  We reproduce the flow with a
+structural model assembled from characterized unit gates
+(:mod:`repro.periphery.gates`):
+
+* each address bit is buffered (true/complement inverters);
+* bits are predecoded in 2-bit groups (NAND2 + INV), each predecode line
+  driving ``n_outputs / 4`` final-gate inputs *through a tapered buffer
+  chain* sized with a stage effort of 4 (large predecode lines cannot be
+  driven by a unit gate; real decoders insert buffers, and so does the
+  paper's analytically-derived periphery);
+* one fan-in-``ceil(k/2)`` NAND per output ANDs the predecode lines and
+  drives the superbuffer's first stage.
+
+Delays are the critical path through those stages; energies count the
+gates that actually toggle on an address change (on average half the
+address bits, two predecode lines per toggling group, and the old/new
+row gates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DesignSpaceError
+from .driver import scaled_gate
+
+
+@dataclass(frozen=True)
+class DecoderModel:
+    """Structural decoder model over characterized unit gates."""
+
+    #: 1-fin inverter characterization.
+    inverter: object
+    #: fan-in -> NAND characterization (must cover 2..max needed).
+    nands: dict
+    #: Input capacitance of the driver the decoder output feeds [F].
+    driver_input_cap: float
+
+    def _final_gate(self, address_bits):
+        """The per-output AND gate model (fan-in ceil(k/2))."""
+        fan_in = max(int(math.ceil(address_bits / 2.0)), 1)
+        if fan_in == 1:
+            return self.inverter
+        if fan_in not in self.nands:
+            raise DesignSpaceError(
+                "decoder model has no NAND%d characterization "
+                "(address_bits=%d)" % (fan_in, address_bits)
+            )
+        return self.nands[fan_in]
+
+    def _buffer_chain(self, load_cap):
+        """(delay, energy, n_stages) of a stage-effort-4 buffer chain
+        from a unit inverter input up to ``load_cap``."""
+        c_in = self.inverter.c_input
+        if load_cap <= c_in:
+            return 0.0, 0.0, 0
+        n_stages = max(int(math.ceil(math.log(load_cap / c_in, 4.0))), 1)
+        taper = (load_cap / c_in) ** (1.0 / n_stages)
+        delay = 0.0
+        energy = 0.0
+        size = 1.0
+        for _ in range(n_stages):
+            stage = scaled_gate(self.inverter, size)
+            stage_load = min(size * taper * c_in, load_cap)
+            delay += stage.delay(stage_load)
+            energy += stage.energy(stage_load)
+            size *= taper
+        return delay, energy, n_stages
+
+    def delay(self, address_bits):
+        """Propagation delay [s] for a ``2**address_bits``-output decoder.
+
+        Zero for a degenerate decoder (one output, no addressing).
+        """
+        if address_bits <= 0:
+            return 0.0
+        n_outputs = 2 ** address_bits
+        final_gate = self._final_gate(address_bits)
+        nand2 = self.nands[2]
+        # Address buffer: drives the two predecode NAND inputs using it.
+        total = self.inverter.delay(2.0 * nand2.c_input)
+        if address_bits >= 2:
+            # Predecode NAND2, then a tapered buffer chain driving the
+            # predecode line loaded by n_outputs/4 final-gate inputs.
+            line_load = (n_outputs / 4.0) * final_gate.c_input
+            total += nand2.delay(self.inverter.c_input)
+            chain_delay, _chain_energy, _n = self._buffer_chain(line_load)
+            total += chain_delay
+        # Final AND stage into the superbuffer.
+        total += final_gate.delay(self.driver_input_cap)
+        return total
+
+    def energy(self, address_bits):
+        """Switching energy [J] per random address change.
+
+        Counts, on average: half the address buffers, one predecode
+        group (NAND2 + buffered line) per toggling bit pair, and the
+        deactivating + activating final gates.
+        """
+        if address_bits <= 0:
+            return 0.0
+        n_outputs = 2 ** address_bits
+        final_gate = self._final_gate(address_bits)
+        nand2 = self.nands[2]
+        toggling_bits = address_bits / 2.0
+        total = toggling_bits * self.inverter.energy(2.0 * nand2.c_input)
+        if address_bits >= 2:
+            line_load = (n_outputs / 4.0) * final_gate.c_input
+            groups_toggling = max(toggling_bits / 2.0, 1.0)
+            _chain_delay, chain_energy, _n = self._buffer_chain(line_load)
+            total += groups_toggling * (
+                nand2.energy(self.inverter.c_input) + chain_energy
+            )
+        total += 2.0 * final_gate.energy(self.driver_input_cap)
+        return total
+
+    def max_address_bits(self):
+        """Largest k this model can evaluate (limited by NAND fan-ins)."""
+        limit = 2 * max(self.nands)
+        return limit
+
+
+def build_decoder_model(inverter, nands, driver_input_cap):
+    """Convenience constructor with validation."""
+    if 2 not in nands:
+        raise DesignSpaceError("decoder model requires at least a NAND2")
+    return DecoderModel(
+        inverter=inverter, nands=dict(nands),
+        driver_input_cap=driver_input_cap,
+    )

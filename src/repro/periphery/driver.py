@@ -1,0 +1,119 @@
+"""The wordline (and column-select) superbuffer driver.
+
+The paper drives every row-decoder output through a four-stage
+superbuffer, "derived analytically and verified by SPICE", with the
+last-stage inverter built from 27-fin devices (its drain loading appears
+in the Table-1 C_WL equation, and its drive current in Table 2).  To
+avoid large area overhead exactly four inverter stages are used; with a
+27x final stage the natural taper is 3x per stage: 1 - 3 - 9 - 27.
+
+``D_row_drv`` in Table 3 is the propagation delay of the *first three*
+stages only — the fourth stage's delay is the C_WL-dependent ``D_WL``
+term computed by the array model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..devices.model import FinFET
+from ..spice.netlist import Circuit
+
+#: Fin counts of the four superbuffer stages.
+STAGE_FINS = (1, 3, 9, 27)
+
+
+def scaled_gate(gate, nfin):
+    """Scale a 1-fin :class:`GateCharacterization` to ``nfin`` fins.
+
+    Drive resistance falls as 1/nfin; input capacitance and internal
+    energy grow as nfin; the intrinsic delay d0 (self-loading) is
+    size-invariant to first order.
+    """
+    return replace(
+        gate,
+        name="%s_scaled_x%d" % (gate.name, nfin),
+        drive_resistance=gate.drive_resistance / nfin,
+        e0=gate.e0 * nfin,
+        c_input=gate.c_input * nfin,
+    )
+
+
+@dataclass(frozen=True)
+class SuperbufferModel:
+    """Analytic delay/energy model of the 1-3-9-27 superbuffer."""
+
+    #: Characterized 1-fin inverter (from periphery.gates).
+    unit_inverter: object
+
+    @property
+    def input_capacitance(self):
+        """Load the superbuffer presents to the row-decoder output [F]."""
+        return self.unit_inverter.c_input * STAGE_FINS[0]
+
+    @property
+    def first_three_delay(self):
+        """``D_row_drv``: delay of stages 1-3 [s]."""
+        total = 0.0
+        for this_fins, next_fins in zip(STAGE_FINS[:-1], STAGE_FINS[1:]):
+            stage = scaled_gate(self.unit_inverter, this_fins)
+            total += stage.delay(self.unit_inverter.c_input * next_fins)
+        return total
+
+    @property
+    def first_three_energy(self):
+        """``E_row_drv``: switching energy of stages 1-3 [J].
+
+        Each stage dissipates its internal energy plus the charging of
+        the next stage's gate.
+        """
+        total = 0.0
+        for this_fins, next_fins in zip(STAGE_FINS[:-1], STAGE_FINS[1:]):
+            stage = scaled_gate(self.unit_inverter, this_fins)
+            total += stage.energy(self.unit_inverter.c_input * next_fins)
+        return total
+
+    def last_stage_device_fins(self):
+        """Fin count of the final inverter (defines C_WL / I_WL terms)."""
+        return STAGE_FINS[-1]
+
+
+def build_superbuffer_circuit(library, load_cap, input_value,
+                              v_supply=None, v_last=None):
+    """A full transistor-level 4-stage superbuffer testbench.
+
+    Used by the validation tests to check the analytic
+    :class:`SuperbufferModel` against simulation.  ``v_last`` powers the
+    final stage separately (the WL-overdrive mux rail); it defaults to
+    the common supply.
+    """
+    v_supply = library.vdd if v_supply is None else v_supply
+    v_last = v_supply if v_last is None else v_last
+    circuit = Circuit("superbuffer")
+    circuit.add_vsource("vps", "vdd", "0", v_supply)
+    circuit.add_vsource("vwl_rail", "vddwl", "0", v_last)
+    circuit.add_vsource("vin", "n0", "0", input_value)
+    c_gate_unit = library.pfet_lvt.c_gate + library.nfet_lvt.c_gate
+    c_drain_unit = library.pfet_lvt.c_drain + library.nfet_lvt.c_drain
+    for k, fins in enumerate(STAGE_FINS):
+        supply = "vddwl" if k == len(STAGE_FINS) - 1 else "vdd"
+        node_in = "n%d" % k
+        node_out = "n%d" % (k + 1)
+        circuit.add_fet(
+            "mp%d" % k, FinFET(library.pfet_lvt, fins),
+            node_in, node_out, supply,
+        )
+        circuit.add_fet(
+            "mn%d" % k, FinFET(library.nfet_lvt, fins),
+            node_in, node_out, "0",
+        )
+        # Output parasitics (own drains) plus the next stage's gate
+        # loading — gate capacitance is modeled explicitly, matching
+        # how the Transistor element handles only the I-V behaviour.
+        load = c_drain_unit * fins
+        if k + 1 < len(STAGE_FINS):
+            load += c_gate_unit * STAGE_FINS[k + 1]
+        circuit.add_capacitor("cpar%d" % k, node_out, "0", load)
+    if load_cap > 0:
+        circuit.add_capacitor("cl", "n%d" % len(STAGE_FINS), "0", load_cap)
+    return circuit

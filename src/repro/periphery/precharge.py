@@ -1,0 +1,29 @@
+"""Bitline precharger model.
+
+The precharger is a PFET bank of ``N_pre`` fins per bitline (plus an
+equalizer, whose drain loading is the ``+1`` in the Table-1 C_BL
+equation).  Its drive enters Table 2 as ``0.50 * N_pre * I_ON,PFET``:
+the 0.50 coefficient is the paper's fitted average-current factor for a
+PFET charging a rail through its full Vds excursion.
+"""
+
+from __future__ import annotations
+
+from ..devices.model import FinFET
+
+#: The paper's fitted average-current coefficient for prechargers.
+PRECHARGE_CURRENT_COEFF = 0.50
+
+
+def i_on_pfet(library, vdd=None):
+    """Single-fin LVT PFET ON current [A] (the Table-2 ``I_ON,PFET``)."""
+    vdd = library.vdd if vdd is None else vdd
+    return FinFET(library.pfet_lvt, 1).ion(vdd)
+
+
+def precharge_current(library, n_pre, vdd=None):
+    """Effective precharge drive [A]: ``0.50 * N_pre * I_ON,PFET``.
+
+    ``n_pre`` may be a numpy array (vectorized optimization sweeps).
+    """
+    return PRECHARGE_CURRENT_COEFF * n_pre * i_on_pfet(library, vdd)

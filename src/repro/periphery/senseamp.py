@@ -1,0 +1,113 @@
+"""Latch-type voltage sense amplifier characterization.
+
+The paper's ``D_sense_amp`` / ``E_sense_amp`` are SPICE-characterized
+constants (the SA sees a fixed input split ``ΔV_S`` regardless of the
+array organization, so its delay does not depend on the optimization
+variables).  We reproduce them with a transistor-level latch SA:
+
+* a cross-coupled inverter pair (out / outb) over a shared tail node,
+* a tail NFET enabled by SE,
+* two transmission gates that couple BL / BLB onto out / outb while SE
+  is low (sampling) and isolate them during regeneration.
+
+The testbench presets BL = Vdd and BLB = Vdd - ΔV_S, fires SE, and
+measures the time until the outputs split to 90% of Vdd, plus the energy
+all sources deliver during the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.model import FinFET
+from ..spice.netlist import Circuit
+from ..spice.stimuli import step
+
+#: SE timing for the testbench.
+_T_ENABLE = 1e-12
+_T_RISE = 0.1e-12
+_DT = 1e-14
+_T_STOP = 60e-12
+
+#: Fin sizing of the SA devices.
+_LATCH_FINS = 2
+_TAIL_FINS = 4
+_TG_FINS = 1
+
+
+@dataclass(frozen=True)
+class SenseAmpCharacterization:
+    """Constant delay/energy of the sense amplifier."""
+
+    delay: float
+    energy: float
+    delta_v_sense: float
+    v_supply: float
+
+
+def build_senseamp_circuit(library, delta_v_sense, v_supply=None,
+                           load_cap=0.2e-15):
+    """The latch SA testbench described in the module docstring."""
+    v_supply = library.vdd if v_supply is None else v_supply
+    se = step(_T_ENABLE, 0.0, v_supply, _T_RISE)
+    se_bar = step(_T_ENABLE, v_supply, 0.0, _T_RISE)
+    circuit = Circuit("senseamp")
+    circuit.add_vsource("vps", "vdd", "0", v_supply)
+    circuit.add_vsource("vse", "se", "0", se)
+    circuit.add_vsource("vseb", "seb", "0", se_bar)
+    circuit.add_vsource("vbl", "bl", "0", v_supply)
+    circuit.add_vsource("vblb", "blb", "0", v_supply - delta_v_sense)
+    # Cross-coupled latch.
+    circuit.add_fet("mp1", FinFET(library.pfet_lvt, _LATCH_FINS),
+                    "outb", "out", "vdd")
+    circuit.add_fet("mn1", FinFET(library.nfet_lvt, _LATCH_FINS),
+                    "outb", "out", "tail")
+    circuit.add_fet("mp2", FinFET(library.pfet_lvt, _LATCH_FINS),
+                    "out", "outb", "vdd")
+    circuit.add_fet("mn2", FinFET(library.nfet_lvt, _LATCH_FINS),
+                    "out", "outb", "tail")
+    circuit.add_fet("mtail", FinFET(library.nfet_lvt, _TAIL_FINS),
+                    "se", "tail", "0")
+    # Bitline coupling transmission gates (on while SE is low).
+    circuit.add_fet("mtgn1", FinFET(library.nfet_lvt, _TG_FINS),
+                    "seb", "bl", "out")
+    circuit.add_fet("mtgp1", FinFET(library.pfet_lvt, _TG_FINS),
+                    "se", "bl", "out")
+    circuit.add_fet("mtgn2", FinFET(library.nfet_lvt, _TG_FINS),
+                    "seb", "blb", "outb")
+    circuit.add_fet("mtgp2", FinFET(library.pfet_lvt, _TG_FINS),
+                    "se", "blb", "outb")
+    for node in ("out", "outb"):
+        circuit.add_capacitor("c_%s" % node, node, "0", load_cap)
+    # The tail node floats while SE is low; keep a small parasitic there.
+    circuit.add_capacitor("c_tail", "tail", "0",
+                          _TAIL_FINS * library.nfet_lvt.c_drain)
+    return circuit
+
+
+def characterize_senseamp(library, delta_v_sense, v_supply=None):
+    """Measure (delay, energy) of the SA at the given sensing split."""
+    from ..spice.transient import transient
+
+    v_supply = library.vdd if v_supply is None else v_supply
+    circuit = build_senseamp_circuit(library, delta_v_sense, v_supply)
+    threshold = 0.1 * v_supply
+    result = transient(
+        circuit, _T_STOP, _DT,
+        stop_condition=lambda t, v: (
+            t > _T_ENABLE and v["outb"] < 0.05 * v_supply
+        ),
+        stop_margin=5,
+    )
+    t_se = result.node("se").cross(0.5 * v_supply, "rise")
+    t_out = result.node("outb").cross(threshold, "fall")
+    energy = sum(
+        result.delivered_energy(name, t_start=t_se)
+        for name in ("vps", "vbl", "vblb", "vse")
+    )
+    return SenseAmpCharacterization(
+        delay=t_out - t_se,
+        energy=energy,
+        delta_v_sense=delta_v_sense,
+        v_supply=v_supply,
+    )

@@ -1,0 +1,65 @@
+"""Write buffer / transmission-gate drive characterization.
+
+The write buffer drives the bitlines through transmission gates of
+``N_wr`` fins; its Table-2 drive is ``0.50 * N_wr * I_ON,TG``.  The
+effective single-fin TG ON current ``I_ON,TG`` is characterized by
+simulation: a write driver pulls a Vdd-precharged test capacitor to
+ground *through* a one-fin TG and the effective current is read from
+the 50%-crossing time, ``I = C * (Vdd/2) / t_50``.
+"""
+
+from __future__ import annotations
+
+from ..devices.model import FinFET
+from ..spice.netlist import Circuit
+from ..spice.stimuli import step
+from ..spice.transient import transient
+
+#: The paper's fitted average-current coefficient for write buffers.
+WRITE_CURRENT_COEFF = 0.50
+
+#: Test capacitor for the TG discharge measurement [F].
+_C_TEST = 5e-15
+_DT = 5e-14
+_T_STOP = 600e-12
+_T_DRIVE = 1e-12
+
+
+def build_tg_discharge_circuit(library, v_supply=None, c_test=_C_TEST):
+    """A driver pulling a precharged cap low through a single-fin TG.
+
+    The driver node starts at Vdd (so the DC solution has the capacitor
+    charged) and steps to 0 at ``_T_DRIVE``.
+    """
+    v_supply = library.vdd if v_supply is None else v_supply
+    circuit = Circuit("tg_discharge")
+    circuit.add_vsource("vps", "vdd", "0", v_supply)
+    circuit.add_vsource("vdrv", "drv", "0",
+                        step(_T_DRIVE, v_supply, 0.0, 0.1e-12))
+    circuit.add_fet("mtgn", FinFET(library.nfet_lvt, 1), "vdd", "a", "drv")
+    circuit.add_fet("mtgp", FinFET(library.pfet_lvt, 1), "0", "a", "drv")
+    circuit.add_capacitor("ct", "a", "0", c_test)
+    return circuit
+
+
+def characterize_i_on_tg(library, v_supply=None, c_test=_C_TEST):
+    """Effective single-fin TG ON current [A]."""
+    v_supply = library.vdd if v_supply is None else v_supply
+    circuit = build_tg_discharge_circuit(library, v_supply, c_test)
+    half = 0.5 * v_supply
+    result = transient(
+        circuit, _T_STOP, _DT,
+        stop_condition=lambda _t, v: v["a"] < 0.4 * v_supply,
+        stop_margin=3,
+    )
+    t_start = result.node("drv").cross(half, "fall")
+    t_half = result.node("a").cross(half, "fall")
+    return c_test * half / (t_half - t_start)
+
+
+def write_drive_current(i_on_tg, n_wr):
+    """Effective write drive [A]: ``0.50 * N_wr * I_ON,TG``.
+
+    ``n_wr`` may be a numpy array (vectorized optimization sweeps).
+    """
+    return WRITE_CURRENT_COEFF * n_wr * i_on_tg

@@ -1,0 +1,34 @@
+"""A small nonlinear circuit simulator (the paper's SPICE substitute).
+
+Public API:
+
+* :class:`Circuit` — netlist construction.
+* :func:`operating_point`, :func:`dc_sweep` — Newton-Raphson DC analysis
+  with gmin/source stepping.
+* :func:`transient` — backward-Euler transient analysis.
+* :class:`Waveform` / :class:`TransientResult` — measurement helpers.
+* :mod:`repro.spice.stimuli` — step/pulse/PWL stimulus builders.
+"""
+
+from .dc import Solution, dc_sweep, operating_point
+from .io import parse_netlist, parse_value, write_netlist
+from .netlist import Circuit
+from .stimuli import piecewise_linear, pulse, step
+from .transient import transient
+from .waveform import TransientResult, Waveform
+
+__all__ = [
+    "Circuit",
+    "Solution",
+    "TransientResult",
+    "Waveform",
+    "dc_sweep",
+    "operating_point",
+    "parse_netlist",
+    "parse_value",
+    "piecewise_linear",
+    "pulse",
+    "step",
+    "transient",
+    "write_netlist",
+]

@@ -1,0 +1,279 @@
+"""SPICE-format netlist import/export for the built-in simulator.
+
+Lets decks be written the way circuit people expect (extension beyond
+the paper's needs, but the natural interface for an open-source release
+of this kind of tool)::
+
+    * 6T read half-circuit
+    VDD vdd 0 450m
+    VIN in  0 PWL(0 0 1p 0 1.1p 450m)
+    MN1 out in 0   nfet_hvt nfin=1
+    MP1 out in vdd pfet_hvt
+    CL  out 0 0.28f
+    .end
+
+Supported cards
+---------------
+
+* ``R<name> a b value`` — resistor.
+* ``C<name> a b value`` — capacitor.
+* ``V<name> p m value | PULSE(v1 v2 td tr tf pw) | PWL(t1 v1 ...)`` —
+  voltage source.
+* ``I<name> a b value`` — current source.
+* ``M<name> d g s model [nfin=N]`` — FinFET; ``model`` is one of
+  ``nfet_lvt``, ``nfet_hvt``, ``pfet_lvt``, ``pfet_hvt`` resolved
+  against the :class:`~repro.devices.DeviceLibrary` passed to the
+  parser.  (Three terminals — our compact model has no body node.)
+* ``*`` / ``;`` comments, ``+`` continuation lines, ``.end``.
+
+Values accept the usual engineering suffixes (``f p n u m k meg g``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..devices.model import FinFET
+from ..errors import NetlistError
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Transistor,
+    VoltageSource,
+)
+from .netlist import Circuit
+from .stimuli import piecewise_linear, pulse
+
+_SUFFIXES = {
+    "meg": 1e6,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "g": 1e9,
+    "t": 1e12,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[fpnumkgt])?[a-z]*$"
+)
+
+
+def parse_value(token):
+    """A SPICE number with optional engineering suffix -> float."""
+    match = _NUMBER_RE.match(token.strip().lower())
+    if not match:
+        raise NetlistError("cannot parse value %r" % (token,))
+    base = float(match.group(1))
+    suffix = match.group(2)
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _join_continuations(text):
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split(";")[0].rstrip()
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+") and lines:
+            lines[-1] += " " + line.lstrip()[1:].strip()
+        else:
+            lines.append(line.strip())
+    return lines
+
+
+def _parse_source_value(spec):
+    """A source spec: plain value, PULSE(...), or PWL(...)."""
+    lowered = spec.strip().lower()
+    if lowered.startswith("pulse"):
+        args = [parse_value(t) for t in _paren_args(spec)]
+        if len(args) < 6:
+            raise NetlistError(
+                "PULSE needs (v1 v2 td tr tf pw); got %r" % (spec,)
+            )
+        v1, v2, td, tr, tf, pw = args[:6]
+        return pulse(v1, v2, t_delay=td, t_width=pw, t_rise=tr, t_fall=tf)
+    if lowered.startswith("pwl"):
+        args = [parse_value(t) for t in _paren_args(spec)]
+        if len(args) < 2 or len(args) % 2:
+            raise NetlistError("PWL needs (t1 v1 t2 v2 ...); got %r" % spec)
+        points = list(zip(args[0::2], args[1::2]))
+        return piecewise_linear(points)
+    return parse_value(spec)
+
+
+def _paren_args(spec):
+    inner = spec[spec.index("(") + 1:spec.rindex(")")]
+    return inner.replace(",", " ").split()
+
+
+def parse_netlist(text, library=None, title=None):
+    """Parse SPICE-format ``text`` into a :class:`Circuit`.
+
+    ``library`` resolves FinFET model names; it is required only when
+    the deck contains M cards.
+    """
+    lines = _join_continuations(text)
+    circuit = Circuit(title or "netlist")
+    for line in lines:
+        lowered = line.lower()
+        if lowered.startswith(".end"):
+            break
+        if lowered.startswith("."):
+            raise NetlistError("unsupported directive %r" % line.split()[0])
+        kind = lowered[0]
+        tokens = line.split()
+        name = tokens[0]
+        if kind == "r":
+            _expect(tokens, 4, line)
+            circuit.add_resistor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3]))
+        elif kind == "c":
+            _expect(tokens, 4, line)
+            circuit.add_capacitor(name, tokens[1], tokens[2],
+                                  parse_value(tokens[3]))
+        elif kind == "v":
+            spec = " ".join(tokens[3:])
+            if not spec:
+                raise NetlistError("voltage source %r has no value" % name)
+            circuit.add_vsource(name, tokens[1], tokens[2],
+                                _parse_source_value(spec))
+        elif kind == "i":
+            spec = " ".join(tokens[3:])
+            if not spec:
+                raise NetlistError("current source %r has no value" % name)
+            circuit.add_isource(name, tokens[1], tokens[2],
+                                _parse_source_value(spec))
+        elif kind == "m":
+            if library is None:
+                raise NetlistError(
+                    "deck contains FinFETs; pass a DeviceLibrary"
+                )
+            if len(tokens) < 5:
+                raise NetlistError("malformed M card: %r" % line)
+            drain, gate, source, model = tokens[1:5]
+            nfin = 1
+            for extra in tokens[5:]:
+                key, _eq, value = extra.partition("=")
+                if key.lower() == "nfin":
+                    nfin = int(value)
+                else:
+                    raise NetlistError(
+                        "unknown M-card parameter %r" % extra
+                    )
+            params = _resolve_model(library, model)
+            circuit.add_fet(name, FinFET(params, nfin), gate, drain,
+                            source)
+        else:
+            raise NetlistError("unsupported card %r" % line)
+    return circuit
+
+
+def _expect(tokens, count, line):
+    if len(tokens) != count:
+        raise NetlistError("malformed card %r" % line)
+
+
+def _resolve_model(library, model):
+    lowered = model.lower()
+    table = {
+        "nfet_lvt": library.nfet_lvt,
+        "nfet_hvt": library.nfet_hvt,
+        "pfet_lvt": library.pfet_lvt,
+        "pfet_hvt": library.pfet_hvt,
+    }
+    if lowered not in table:
+        raise NetlistError(
+            "unknown device model %r (expected one of %s)"
+            % (model, sorted(table))
+        )
+    return table[lowered]
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+def _node_name(circuit, index):
+    if index == -1:
+        return "0"
+    return circuit.node_names[index]
+
+
+def _flavor_of(params, library):
+    for name, candidate in (
+        ("nfet_lvt", library.nfet_lvt),
+        ("nfet_hvt", library.nfet_hvt),
+        ("pfet_lvt", library.pfet_lvt),
+        ("pfet_hvt", library.pfet_hvt),
+    ):
+        if params == candidate:
+            return name
+    return "nfet_custom" if params.polarity == "n" else "pfet_custom"
+
+
+def write_netlist(circuit, library=None):
+    """Render a :class:`Circuit` as SPICE-format text.
+
+    Constant sources round-trip exactly; time-varying sources (Python
+    callables) are emitted as their t=0 value with a warning comment,
+    since the original stimulus specification is not retained.
+    """
+    lines = ["* %s" % circuit.title]
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            lines.append("%s %s %s %.10g" % (
+                element.name,
+                _node_name(circuit, element.a),
+                _node_name(circuit, element.b),
+                element.resistance,
+            ))
+        elif isinstance(element, Capacitor):
+            lines.append("%s %s %s %.10g" % (
+                element.name,
+                _node_name(circuit, element.a),
+                _node_name(circuit, element.b),
+                element.capacitance,
+            ))
+        elif isinstance(element, VoltageSource):
+            lines.append(_source_card(circuit, element, element.plus,
+                                      element.minus,
+                                      element.voltage_at(0.0)))
+        elif isinstance(element, CurrentSource):
+            lines.append(_source_card(circuit, element, element.a,
+                                      element.b,
+                                      element.current_at(0.0)))
+        elif isinstance(element, Transistor):
+            model = (_flavor_of(element.device.params, library)
+                     if library is not None else "unknown_model")
+            lines.append("%s %s %s %s %s nfin=%d" % (
+                element.name,
+                _node_name(circuit, element.drain),
+                _node_name(circuit, element.gate),
+                _node_name(circuit, element.source),
+                model,
+                element.device.nfin,
+            ))
+        else:  # pragma: no cover - all element kinds handled
+            raise NetlistError(
+                "cannot export element %r" % (element.name,)
+            )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _source_card(circuit, element, plus, minus, value):
+    card = "%s %s %s %.10g" % (
+        element.name,
+        _node_name(circuit, plus),
+        _node_name(circuit, minus),
+        value,
+    )
+    if callable(element.value):
+        card += "  ; time-varying stimulus exported as its t=0 value"
+    return card

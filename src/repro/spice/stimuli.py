@@ -1,0 +1,58 @@
+"""Time-domain stimulus builders (callables ``f(t)`` for sources)."""
+
+from __future__ import annotations
+
+
+def step(t_step, v_before, v_after, t_rise=1e-15):
+    """A voltage step at ``t_step`` with linear rise time ``t_rise``."""
+    if t_rise <= 0:
+        raise ValueError("t_rise must be positive")
+
+    def value(t):
+        if t <= t_step:
+            return v_before
+        if t >= t_step + t_rise:
+            return v_after
+        frac = (t - t_step) / t_rise
+        return v_before + frac * (v_after - v_before)
+
+    return value
+
+
+def pulse(v_low, v_high, t_delay, t_width, t_rise=1e-15, t_fall=None):
+    """A single pulse: low until ``t_delay``, high for ``t_width``."""
+    if t_fall is None:
+        t_fall = t_rise
+    t1 = t_delay
+    t2 = t_delay + t_rise
+    t3 = t2 + t_width
+    t4 = t3 + t_fall
+    return piecewise_linear(
+        [(0.0, v_low), (t1, v_low), (t2, v_high), (t3, v_high), (t4, v_low)]
+    )
+
+
+def piecewise_linear(points):
+    """PWL source from ``[(t0, v0), (t1, v1), ...]`` (sorted by time)."""
+    if len(points) < 1:
+        raise ValueError("need at least one (t, v) point")
+    times = [float(t) for t, _v in points]
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("PWL points must be sorted by time")
+    values = [float(v) for _t, v in points]
+
+    def value(t):
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        for k in range(len(times) - 1):
+            if times[k] <= t <= times[k + 1]:
+                span = times[k + 1] - times[k]
+                if span == 0:
+                    return values[k + 1]
+                frac = (t - times[k]) / span
+                return values[k] + frac * (values[k + 1] - values[k])
+        return values[-1]
+
+    return value

@@ -1,0 +1,145 @@
+"""Waveform containers and measurements for transient results.
+
+Measurement semantics follow the usual SPICE ``.measure`` conventions:
+crossings are located by linear interpolation between stored time points,
+and delays are differences between crossing times of two signals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CharacterizationError
+
+
+class Waveform:
+    """A sampled signal ``value(t)`` with measurement helpers."""
+
+    def __init__(self, times, values, name="signal"):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        self.name = name
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have identical shape")
+        if self.times.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+
+    def value_at(self, time):
+        """Linearly interpolated value at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    @property
+    def final(self):
+        return float(self.values[-1])
+
+    @property
+    def initial(self):
+        return float(self.values[0])
+
+    def cross(self, level, edge="any", occurrence=1):
+        """Time of the ``occurrence``-th crossing of ``level``.
+
+        ``edge`` is ``"rise"``, ``"fall"``, or ``"any"``.  Raises
+        :class:`CharacterizationError` when the crossing never happens —
+        a deliberate loud failure, since a missing crossing in a delay
+        measurement almost always means the stimulus or circuit is wrong.
+        """
+        v = self.values - level
+        t = self.times
+        count = 0
+        for k in range(len(v) - 1):
+            a, b = v[k], v[k + 1]
+            if a == b:
+                continue
+            rising = b > a
+            crossed = (a < 0 <= b) if rising else (a >= 0 > b)
+            if not crossed:
+                continue
+            if edge == "rise" and not rising:
+                continue
+            if edge == "fall" and rising:
+                continue
+            count += 1
+            if count == occurrence:
+                frac = -a / (b - a)
+                return float(t[k] + frac * (t[k + 1] - t[k]))
+        raise CharacterizationError(
+            "signal %r never crosses %.4g V (%s edge, occurrence %d); "
+            "final value %.4g V"
+            % (self.name, level, edge, occurrence, self.final)
+        )
+
+    def crosses(self, level, edge="any"):
+        """True when the crossing exists."""
+        try:
+            self.cross(level, edge)
+            return True
+        except CharacterizationError:
+            return False
+
+    def integral(self):
+        """Trapezoidal integral of the waveform over time."""
+        return float(np.trapezoid(self.values, self.times))
+
+    def __repr__(self):
+        return "Waveform(%r, %d points, [%g, %g])" % (
+            self.name,
+            len(self.times),
+            self.initial,
+            self.final,
+        )
+
+
+class TransientResult:
+    """All node voltages and source branch currents from a transient run."""
+
+    def __init__(self, times, node_values, branch_values, source_voltages):
+        self.times = np.asarray(times, dtype=float)
+        self._nodes = {k: np.asarray(v) for k, v in node_values.items()}
+        self._branches = {k: np.asarray(v) for k, v in branch_values.items()}
+        self._source_voltages = {
+            k: np.asarray(v) for k, v in source_voltages.items()
+        }
+
+    def node(self, name):
+        """Voltage waveform of node ``name`` (ground is all zeros)."""
+        if name in self._nodes:
+            return Waveform(self.times, self._nodes[name], name)
+        if name in ("0", "gnd", "GND"):
+            return Waveform(self.times, np.zeros_like(self.times), name)
+        raise KeyError("no recorded node %r" % name)
+
+    def branch_current(self, source_name):
+        """Branch current of a voltage source (into its + node) [A]."""
+        return Waveform(
+            self.times, self._branches[source_name], source_name + ".i"
+        )
+
+    def delivered_power(self, source_name):
+        """Instantaneous power delivered by a source [W]."""
+        v = self._source_voltages[source_name]
+        i = self._branches[source_name]
+        return Waveform(self.times, -v * i, source_name + ".p")
+
+    def delivered_energy(self, source_name, t_start=None, t_stop=None):
+        """Energy delivered by a source over [t_start, t_stop] [J]."""
+        power = self.delivered_power(source_name)
+        t = power.times
+        mask = np.ones_like(t, dtype=bool)
+        if t_start is not None:
+            mask &= t >= t_start
+        if t_stop is not None:
+            mask &= t <= t_stop
+        if mask.sum() < 2:
+            return 0.0
+        return float(np.trapezoid(power.values[mask], t[mask]))
+
+    def delay(self, from_node, to_node, level, from_edge="any", to_edge="any"):
+        """Crossing-to-crossing delay between two nodes at ``level``."""
+        t0 = self.node(from_node).cross(level, from_edge)
+        t1 = self.node(to_node).cross(level, to_edge)
+        return t1 - t0
+
+    @property
+    def node_names(self):
+        return tuple(self._nodes)

@@ -1,0 +1,197 @@
+"""Physical constants and engineering-unit helpers.
+
+Everything in the library works in base SI units (volts, amperes, farads,
+seconds, joules, watts).  The paper quotes most quantities in engineering
+units (mV, fF, ps, nW); these helpers keep the conversion explicit and the
+call sites readable, e.g. ``mV(450)`` instead of ``0.45``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Boltzmann constant times unit charge ratio: thermal voltage at 300 K.
+BOLTZMANN_J_PER_K = 1.380649e-23
+ELECTRON_CHARGE_C = 1.602176634e-19
+ROOM_TEMPERATURE_K = 300.0
+
+#: Thermal voltage kT/q at 300 K, in volts (~25.85 mV).
+PHI_T = BOLTZMANN_J_PER_K * ROOM_TEMPERATURE_K / ELECTRON_CHARGE_C
+
+LN10 = math.log(10.0)
+
+
+# ---------------------------------------------------------------------------
+# to-SI constructors
+# ---------------------------------------------------------------------------
+
+def mV(value):
+    """Millivolts to volts."""
+    return value * 1e-3
+
+
+def uA(value):
+    """Microamperes to amperes."""
+    return value * 1e-6
+
+
+def nA(value):
+    """Nanoamperes to amperes."""
+    return value * 1e-9
+
+
+def pA(value):
+    """Picoamperes to amperes."""
+    return value * 1e-12
+
+
+def fF(value):
+    """Femtofarads to farads."""
+    return value * 1e-15
+
+
+def aF(value):
+    """Attofarads to farads."""
+    return value * 1e-18
+
+
+def ps(value):
+    """Picoseconds to seconds."""
+    return value * 1e-12
+
+
+def ns(value):
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def fJ(value):
+    """Femtojoules to joules."""
+    return value * 1e-15
+
+
+def aJ(value):
+    """Attojoules to joules."""
+    return value * 1e-18
+
+
+def nW(value):
+    """Nanowatts to watts."""
+    return value * 1e-9
+
+
+def nm(value):
+    """Nanometers to meters."""
+    return value * 1e-9
+
+
+def um(value):
+    """Micrometers to meters."""
+    return value * 1e-6
+
+
+# ---------------------------------------------------------------------------
+# from-SI accessors (for reporting)
+# ---------------------------------------------------------------------------
+
+def as_mV(volts):
+    """Volts to millivolts."""
+    return volts * 1e3
+
+
+def as_uA(amps):
+    """Amperes to microamperes."""
+    return amps * 1e6
+
+
+def as_nA(amps):
+    """Amperes to nanoamperes."""
+    return amps * 1e9
+
+
+def as_fF(farads):
+    """Farads to femtofarads."""
+    return farads * 1e15
+
+
+def as_ps(seconds):
+    """Seconds to picoseconds."""
+    return seconds * 1e12
+
+
+def as_fJ(joules):
+    """Joules to femtojoules."""
+    return joules * 1e15
+
+
+def as_aJ(joules):
+    """Joules to attojoules."""
+    return joules * 1e18
+
+
+def as_nW(watts):
+    """Watts to nanowatts."""
+    return watts * 1e9
+
+
+_SI_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+]
+
+
+def eng(value, unit="", digits=4):
+    """Format ``value`` with an engineering SI prefix.
+
+    >>> eng(1.692e-9, 'W')
+    '1.692nW'
+    >>> eng(0.0, 'V')
+    '0V'
+    """
+    if value == 0:
+        return "0%s" % unit
+    magnitude = abs(value)
+    scale, prefix = _SI_PREFIXES[0]
+    for cand_scale, cand_prefix in _SI_PREFIXES:
+        if magnitude >= cand_scale:
+            scale, prefix = cand_scale, cand_prefix
+    scaled = value / scale
+    text = ("%%.%dg" % digits) % scaled
+    return "%s%s%s" % (text, prefix, unit)
+
+
+def bytes_to_bits(capacity_bytes):
+    """Memory capacity in bytes to bits."""
+    return capacity_bytes * 8
+
+
+def capacity_label(capacity_bytes):
+    """Human label for a capacity in bytes, e.g. 1024 -> '1KB'."""
+    if capacity_bytes >= 1024 and capacity_bytes % 1024 == 0:
+        return "%dKB" % (capacity_bytes // 1024)
+    return "%dB" % capacity_bytes
+
+
+def is_power_of_two(value):
+    """True when ``value`` is a positive integral power of two."""
+    if value < 1:
+        return False
+    intval = int(value)
+    if intval != value:
+        return False
+    return intval & (intval - 1) == 0
+
+
+def log2_int(value):
+    """Exact integer log2; raises ``ValueError`` for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError("%r is not a power of two" % (value,))
+    return int(value).bit_length() - 1

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Heavy characterization state is session-scoped and backed by the repo's
+characterization cache, so the suite runs fast after the first cold run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import Session
+from repro.cell import SRAM6TCell
+from repro.devices import DeviceLibrary
+from repro.lut import CharacterizationCache
+from repro.periphery import characterize
+
+CACHE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", ".repro_cache.json"
+)
+
+
+@pytest.fixture(scope="session")
+def library():
+    return DeviceLibrary.default_7nm()
+
+
+@pytest.fixture(scope="session")
+def lvt_cell(library):
+    return SRAM6TCell.from_library(library, "lvt")
+
+
+@pytest.fixture(scope="session")
+def hvt_cell(library):
+    return SRAM6TCell.from_library(library, "hvt")
+
+
+@pytest.fixture(scope="session")
+def char_cache():
+    return CharacterizationCache(CACHE_PATH)
+
+
+@pytest.fixture(scope="session")
+def hvt_char(library, char_cache):
+    return characterize(library, "hvt", cache=char_cache)
+
+
+@pytest.fixture(scope="session")
+def lvt_char(library, char_cache):
+    return characterize(library, "lvt", cache=char_cache)
+
+
+@pytest.fixture(scope="session")
+def paper_session():
+    return Session.create(cache_path=CACHE_PATH, voltage_mode="paper")

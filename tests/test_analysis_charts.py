@@ -1,0 +1,64 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart, sparkline
+
+
+def test_sparkline_levels():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_constant_and_empty():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    assert sparkline([]) == ""
+
+
+def test_bar_chart_scaling():
+    text = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+    lines = text.splitlines()
+    bars = [line.split("|")[1].count("#") for line in lines]
+    assert bars[1] == 10
+    assert bars[0] == 5
+
+
+def test_bar_chart_title_and_unit():
+    text = bar_chart([("x", 3.0)], title="My Chart", unit=" ns")
+    assert text.splitlines()[0] == "My Chart"
+    assert "3 ns" in text
+
+
+def test_bar_chart_log_scale_compresses_range():
+    linear = bar_chart([("a", 1.0), ("b", 1000.0)], width=20)
+    log = bar_chart([("a", 1.0), ("b", 1000.0)], width=20, log=True)
+    bar_of = lambda text, k: text.splitlines()[k].count("#")  # noqa: E731
+    assert bar_of(linear, 0) == 0   # 1/1000 rounds to no bar
+    assert bar_of(log, 0) >= 1      # log scale keeps it visible
+
+
+def test_bar_chart_rejects_negative():
+    with pytest.raises(ValueError):
+        bar_chart([("a", -1.0)])
+
+
+def test_bar_chart_all_zero():
+    text = bar_chart([("a", 0.0), ("b", 0.0)])
+    assert "#" not in text
+
+
+def test_grouped_bar_chart_structure():
+    text = grouped_bar_chart(
+        ["1KB", "4KB"],
+        {"lvt": [1.0, 2.0], "hvt": [0.5, 1.0]},
+        title="grouped",
+    )
+    assert "1KB:" in text and "4KB:" in text
+    assert text.splitlines()[0] == "grouped"
+
+
+def test_grouped_bar_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        grouped_bar_chart(["a"], {"s": [1.0, 2.0]})

@@ -1,0 +1,54 @@
+"""Extension-study drivers and the extended CLI."""
+
+import pytest
+
+from repro.analysis import (
+    breakdown_study,
+    corners_study,
+    temperature_study,
+    word_width_study,
+)
+from repro.cli import main as cli_main
+from tests.conftest import CACHE_PATH
+
+
+def test_corners_study(paper_session):
+    result = corners_study(paper_session)
+    assert len(result.rows) == 5
+    assert result.rows[0]["corner"] == "TT"
+    assert "corners" in result.report().lower()
+
+
+def test_temperature_study(paper_session):
+    result = temperature_study(paper_session, temperatures_c=(25, 125))
+    assert len(result.rows) == 2
+    assert result.rows[1]["leak_hvt_nW"] > result.rows[0]["leak_hvt_nW"]
+
+
+def test_breakdown_study(paper_session):
+    result = breakdown_study(paper_session, capacity_bytes=4096)
+    names = {row["component"] for row in result.rows}
+    assert {"BL_rd", "WL_rd", "PRE_wr", "CVSS"} <= names
+    assert result.d_array > 0
+    assert "breakdown" in result.report().lower()
+
+
+def test_word_width_study(paper_session):
+    result = word_width_study(paper_session, capacity_bytes=1024,
+                              widths=(32, 64))
+    assert [row["W_bits"] for row in result.rows] == [32, 64]
+    for row in result.rows:
+        assert row["n_r"] * row["n_c"] == 1024 * 8
+        assert row["EDP_1e-24"] > 0
+
+
+def test_cli_temperature(capsys):
+    rc = cli_main(["temperature", "--cache", CACHE_PATH])
+    assert rc == 0
+    assert "temperature" in capsys.readouterr().out.lower()
+
+
+def test_cli_breakdown(capsys):
+    rc = cli_main(["breakdown", "--cache", CACHE_PATH])
+    assert rc == 0
+    assert "WL_rd" in capsys.readouterr().out

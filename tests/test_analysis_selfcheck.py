@@ -1,0 +1,27 @@
+"""The reproduction self-check."""
+
+from repro.analysis import run_selfcheck
+from repro.analysis.selfcheck import Check, SelfCheckResult
+
+
+def test_check_window_logic():
+    assert Check("x", 1.0, 0.5, 1.5).passed
+    assert not Check("x", 2.0, 0.5, 1.5).passed
+
+
+def test_selfcheck_result_aggregation():
+    result = SelfCheckResult(checks=[
+        Check("a", 1.0, 0.0, 2.0),
+        Check("b", 5.0, 0.0, 2.0),
+    ])
+    assert not result.all_passed
+    assert result.n_failed == 1
+    assert "FAILED" in result.report()
+
+
+def test_full_selfcheck_passes(paper_session):
+    """The shipped calibration must clear every gate."""
+    result = run_selfcheck(paper_session)
+    assert result.all_passed, result.report()
+    assert "ALL CHECKS PASSED" in result.report()
+    assert len(result.checks) >= 10

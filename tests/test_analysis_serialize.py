@@ -1,0 +1,70 @@
+"""JSON serialization of experiment results."""
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.analysis import load_json, save_json, to_json
+
+
+@dataclasses.dataclass
+class Inner:
+    values: np.ndarray
+
+
+@dataclasses.dataclass
+class Outer:
+    name: str
+    count: int
+    ratio: float
+    inner: Inner
+    table: dict
+    items: list
+
+
+def sample():
+    return Outer(
+        name="x",
+        count=np.int64(3),
+        ratio=np.float64(1.5),
+        inner=Inner(values=np.array([1.0, 2.0])),
+        table={"k": np.float32(2.5), 7: "v"},
+        items=[(1, 2), None, True],
+    )
+
+
+def test_numpy_scalars_coerced():
+    data = json.loads(to_json(sample()))
+    assert data["count"] == 3
+    assert data["ratio"] == 1.5
+
+
+def test_nested_dataclasses_and_arrays():
+    data = json.loads(to_json(sample()))
+    assert data["inner"]["values"] == [1.0, 2.0]
+
+
+def test_dict_keys_stringified():
+    data = json.loads(to_json(sample()))
+    assert data["table"]["7"] == "v"
+
+
+def test_lists_and_none():
+    data = json.loads(to_json(sample()))
+    assert data["items"][0] == [1, 2]
+    assert data["items"][1] is None
+    assert data["items"][2] is True
+
+
+def test_non_data_objects_fall_back_to_repr():
+    data = json.loads(to_json({"f": len}))
+    assert "len" in data["f"]
+
+
+def test_save_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "result.json")
+    save_json(sample(), path)
+    loaded = load_json(path)
+    assert loaded["name"] == "x"
+    assert loaded["inner"]["values"] == [1.0, 2.0]

@@ -1,0 +1,49 @@
+"""Text-table rendering."""
+
+from repro.analysis import paper_vs_measured, render_dict_table, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [[1, 22.5], ["x", None]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "22.5" in text
+    assert "-" in lines[1]
+
+
+def test_render_table_title():
+    text = render_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_render_table_bool_and_int_formatting():
+    text = render_table(["flag", "count"], [[True, 12], [False, 3]])
+    assert "yes" in text and "no" in text
+    assert "12" in text
+
+
+def test_render_dict_table():
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+    text = render_dict_table(rows)
+    assert "a" in text.splitlines()[0]
+    assert "4" in text
+
+
+def test_render_dict_table_empty():
+    assert render_dict_table([], title="empty") == "empty"
+
+
+def test_render_dict_table_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    text = render_dict_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_paper_vs_measured_deviation():
+    text = paper_vs_measured([("metric", 10.0, 11.0)])
+    assert "+10.0%" in text
+
+
+def test_paper_vs_measured_handles_missing_reference():
+    text = paper_vs_measured([("metric", None, 11.0)])
+    assert "-" in text

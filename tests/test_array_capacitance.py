@@ -1,0 +1,118 @@
+"""Table-1 interconnect capacitances: hand-checked values and
+monotonicity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import (
+    ArrayGeometry,
+    ArrayOrganization,
+    DeviceCaps,
+    all_capacitances,
+    c_bl,
+    c_col,
+    c_cvdd,
+    c_cvss,
+    c_wl,
+)
+
+GEO = ArrayGeometry()
+CAPS = DeviceCaps(c_gn=0.07e-15, c_gp=0.07e-15,
+                  c_dn=0.05e-15, c_dp=0.05e-15)
+
+
+def org(n_r=64, n_c=64):
+    return ArrayOrganization(n_r=n_r, n_c=n_c)
+
+
+def test_c_cvdd_hand_formula():
+    o = org(n_c=32)
+    expected = 32 * (GEO.c_width + 2 * CAPS.c_dp) + 2 * 20 * CAPS.c_dp
+    assert c_cvdd(GEO, CAPS, o) == pytest.approx(expected)
+
+
+def test_c_cvss_hand_formula():
+    o = org(n_c=32)
+    expected = 32 * (GEO.c_width + 2 * CAPS.c_dn) + 2 * 20 * CAPS.c_dn
+    assert c_cvss(GEO, CAPS, o) == pytest.approx(expected)
+
+
+def test_c_wl_hand_formula():
+    o = org(n_c=128)
+    expected = 128 * (GEO.c_width + 2 * CAPS.c_gn) + 27 * (
+        CAPS.c_dn + CAPS.c_dp
+    )
+    assert c_wl(GEO, CAPS, o) == pytest.approx(expected)
+
+
+def test_c_col_zero_without_mux():
+    assert c_col(GEO, CAPS, org(n_c=64), n_wr=5) == 0.0
+    assert c_col(GEO, CAPS, org(n_c=16), n_wr=5) == 0.0
+
+
+def test_c_col_hand_formula_with_mux():
+    o = org(n_c=256)
+    expected = (
+        256 * GEO.c_width
+        + 27 * (CAPS.c_dn + CAPS.c_dp)
+        + 2 * 64 * 3 * (CAPS.c_gn + CAPS.c_gp)
+    )
+    assert c_col(GEO, CAPS, o, n_wr=3) == pytest.approx(expected)
+
+
+def test_c_bl_case_split():
+    """Without a mux the SA input cap replaces one TG pair."""
+    narrow = org(n_c=64)
+    wide = org(n_c=128)
+    common = 64 * (GEO.c_height + CAPS.c_dn) + (4 + 1) * CAPS.c_dp
+    assert c_bl(GEO, CAPS, narrow, n_pre=4, n_wr=2) == pytest.approx(
+        common + 2 * (CAPS.c_dn + CAPS.c_dp) + CAPS.c_dp
+    )
+    assert c_bl(GEO, CAPS, wide, n_pre=4, n_wr=2) == pytest.approx(
+        common + 2 * 2 * (CAPS.c_dn + CAPS.c_dp)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    log_r=st.integers(min_value=1, max_value=10),
+    n_pre=st.integers(min_value=1, max_value=50),
+    n_wr=st.integers(min_value=1, max_value=20),
+)
+def test_c_bl_monotone_in_rows_and_fins(log_r, n_pre, n_wr):
+    o_small = org(n_r=2 ** log_r)
+    o_big = org(n_r=2 ** min(log_r + 1, 10))
+    base = c_bl(GEO, CAPS, o_small, n_pre, n_wr)
+    assert c_bl(GEO, CAPS, o_big, n_pre, n_wr) >= base
+    assert c_bl(GEO, CAPS, o_small, n_pre + 1, n_wr) > base
+    assert c_bl(GEO, CAPS, o_small, n_pre, n_wr + 1) > base
+
+
+@settings(max_examples=30, deadline=None)
+@given(log_c=st.integers(min_value=1, max_value=9))
+def test_row_rails_monotone_in_columns(log_c):
+    o_small = org(n_c=2 ** log_c)
+    o_big = org(n_c=2 ** (log_c + 1))
+    assert c_cvdd(GEO, CAPS, o_big) > c_cvdd(GEO, CAPS, o_small)
+    assert c_wl(GEO, CAPS, o_big) > c_wl(GEO, CAPS, o_small)
+
+
+def test_vectorized_fin_grids():
+    n_pre = np.arange(1, 6)
+    values = c_bl(GEO, CAPS, org(), n_pre=n_pre, n_wr=1)
+    assert values.shape == n_pre.shape
+    assert np.all(np.diff(values) > 0)
+
+
+def test_all_capacitances_keys():
+    caps = all_capacitances(GEO, CAPS, org(n_c=256), 4, 2)
+    assert set(caps) == {"CVDD", "CVSS", "WL", "COL", "BL"}
+    assert all(v >= 0 for v in caps.values())
+
+
+def test_device_caps_from_library(library):
+    caps = DeviceCaps.from_library(library)
+    assert caps.c_gn == library.nfet_lvt.c_gate
+    assert caps.c_dp == library.pfet_lvt.c_drain

@@ -1,0 +1,111 @@
+"""Table-2 component delays/energies."""
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayConfig, ArrayOrganization, compute_components
+from repro.array.capacitance import RAIL_DRIVER_FINS, WL_DRIVER_FINS
+from repro.array.components import COEFF_PRE, COEFF_WL_RD
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ArrayConfig()
+
+
+def components_at(char, config, n_c=64, n_r=64, n_pre=4, n_wr=2,
+                  v_ddc=0.55, v_ssc=-0.1, v_wl=0.55):
+    org = ArrayOrganization(n_r=n_r, n_c=n_c)
+    return compute_components(char, org, config, n_pre, n_wr,
+                              v_ddc, v_ssc, v_wl), org
+
+
+def test_no_assist_rails_cost_nothing(hvt_char, config):
+    comp, _org = components_at(hvt_char, config, v_ddc=hvt_char.vdd,
+                               v_ssc=0.0)
+    assert comp.delay("CVDD") == 0.0
+    assert comp.energy("CVDD") == 0.0
+    assert comp.delay("CVSS") == 0.0
+    assert comp.energy("CVSS") == 0.0
+
+
+def test_assist_rails_cost_energy(hvt_char, config):
+    comp, _org = components_at(hvt_char, config, v_ddc=0.55, v_ssc=-0.2)
+    assert comp.delay("CVDD") > 0
+    assert comp.energy("CVDD") == pytest.approx(
+        comp.capacitances["CVDD"] * hvt_char.vdd * (0.55 - hvt_char.vdd)
+    )
+    assert comp.energy("CVSS") == pytest.approx(
+        comp.capacitances["CVSS"] * hvt_char.vdd * 0.2
+    )
+
+
+def test_wl_read_delay_hand_formula(hvt_char, config):
+    comp, _org = components_at(hvt_char, config)
+    c_wl = comp.capacitances["WL"]
+    i = COEFF_WL_RD * WL_DRIVER_FINS * hvt_char.i_on_pfet
+    assert comp.delay("WL_rd") == pytest.approx(c_wl * hvt_char.vdd / i)
+
+
+def test_col_terms_zero_without_mux(hvt_char, config):
+    comp, org = components_at(hvt_char, config, n_c=64)
+    assert not org.has_column_mux
+    assert comp.delay("COL") == 0.0
+    assert comp.energy("COL") == 0.0
+
+
+def test_col_terms_present_with_mux(hvt_char, config):
+    comp, org = components_at(hvt_char, config, n_c=256)
+    assert org.has_column_mux
+    assert comp.delay("COL") > 0
+    assert comp.energy("COL") > 0
+
+
+def test_bl_read_uses_cell_current(hvt_char, config):
+    comp, _org = components_at(hvt_char, config, v_ddc=0.55, v_ssc=-0.2)
+    expected = (
+        comp.capacitances["BL"] * config.delta_v_sense
+        / hvt_char.i_read(0.55, -0.2)
+    )
+    assert comp.delay("BL_rd") == pytest.approx(expected)
+    # Table 2 books read BL energy against the boosted rails.
+    assert comp.energy("BL_rd") == pytest.approx(
+        comp.capacitances["BL"] * (0.55 + 0.2) * config.delta_v_sense
+    )
+
+
+def test_negative_gnd_cuts_bl_delay(hvt_char, config):
+    slow, _ = components_at(hvt_char, config, v_ssc=0.0)
+    fast, _ = components_at(hvt_char, config, v_ssc=-0.24)
+    assert fast.delay("BL_rd") < 0.5 * slow.delay("BL_rd")
+
+
+def test_precharge_scales_inversely_with_fins(hvt_char, config):
+    few, _ = components_at(hvt_char, config, n_pre=2)
+    many, _ = components_at(hvt_char, config, n_pre=20)
+    # More fins -> faster precharge, but also more BL cap: the speedup
+    # is slightly less than 10x.
+    ratio = few.delay("PRE_rd") / many.delay("PRE_rd")
+    assert 7.0 < ratio < 10.0
+
+
+def test_precharge_write_longer_than_read(hvt_char, config):
+    comp, _ = components_at(hvt_char, config)
+    # Full-swing restore after a write vs a DeltaV_S top-up after a read.
+    assert comp.delay("PRE_wr") > comp.delay("PRE_rd")
+    assert comp.delay("PRE_wr") / comp.delay("PRE_rd") == pytest.approx(
+        hvt_char.vdd / config.delta_v_sense, rel=1e-6
+    )
+
+
+def test_vectorized_fin_broadcast(hvt_char, config):
+    n_pre = np.array([1, 2, 4, 8])
+    comp, _ = components_at(hvt_char, config, n_pre=n_pre)
+    assert comp.delay("PRE_rd").shape == n_pre.shape
+    assert np.all(np.diff(comp.delay("PRE_rd")) < 0)
+
+
+def test_rail_driver_fin_constants():
+    assert RAIL_DRIVER_FINS == 20
+    assert WL_DRIVER_FINS == 27
+    assert COEFF_PRE == 0.50

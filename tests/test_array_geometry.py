@@ -1,0 +1,50 @@
+"""Array geometry: the paper's wire-capacitance rules."""
+
+import pytest
+
+from repro.array import ArrayGeometry
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return ArrayGeometry()
+
+
+def test_metal_pitch_and_wire_cap(geometry):
+    assert geometry.p_metal == pytest.approx(43e-9)
+    assert geometry.c_w_per_m == pytest.approx(0.17e-15 / 1e-6)
+
+
+def test_c_width_value(geometry):
+    # 5 * 43 nm * 0.17 fF/um = 0.03655 fF.
+    assert geometry.c_width == pytest.approx(0.03655e-15, rel=1e-6)
+
+
+def test_c_height_is_40_percent(geometry):
+    assert geometry.c_height == pytest.approx(0.4 * geometry.c_width)
+
+
+def test_cell_aspect_ratio(geometry):
+    # The paper: cell width is 2.5x its height.
+    assert geometry.cell_width / geometry.cell_height == pytest.approx(2.5)
+
+
+def test_wire_capacitance_accumulates(geometry):
+    assert geometry.row_wire_capacitance(64) == pytest.approx(
+        64 * geometry.c_width
+    )
+    assert geometry.column_wire_capacitance(128) == pytest.approx(
+        128 * geometry.c_height
+    )
+
+
+def test_footprint(geometry):
+    width, height = geometry.footprint(64, 128)
+    assert width == pytest.approx(128 * geometry.cell_width)
+    assert height == pytest.approx(64 * geometry.cell_height)
+
+
+def test_square_aspect_needs_fewer_columns(geometry):
+    """Because cells are 2.5x wider than tall, a physically square
+    macro has 2.5x more rows than columns."""
+    assert geometry.aspect_ratio(160, 64) == pytest.approx(1.0)

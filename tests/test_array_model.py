@@ -1,0 +1,133 @@
+"""The full array model: Table-3 paths, Eqs. (2)-(5), vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayConfig, DesignPoint, SRAMArrayModel
+from repro.array.energy import total_energy
+
+
+@pytest.fixture(scope="module")
+def model(hvt_char):
+    return SRAMArrayModel(hvt_char, ArrayConfig())
+
+
+def design(n_r=128, n_c=64, n_pre=8, n_wr=2, v_ddc=0.55, v_ssc=-0.2,
+           v_wl=0.55):
+    return DesignPoint(n_r=n_r, n_c=n_c, n_pre=n_pre, n_wr=n_wr,
+                       v_ddc=v_ddc, v_ssc=v_ssc, v_wl=v_wl)
+
+
+def test_metrics_fields_positive(model):
+    m = model.evaluate(8192, design())
+    for value in (m.d_rd, m.d_wr, m.d_array, m.e_sw_rd, m.e_sw_wr,
+                  m.e_sw, m.e_leak, m.e_total, m.edp):
+        assert value > 0
+
+
+def test_array_delay_is_max_of_paths(model):
+    m = model.evaluate(8192, design())
+    assert m.d_array == pytest.approx(max(m.d_rd, m.d_wr))
+
+
+def test_edp_identity(model):
+    m = model.evaluate(8192, design())
+    assert m.edp == pytest.approx(m.e_total * m.d_array)
+
+
+def test_energy_blend_equations():
+    config = ArrayConfig(beta=0.7, alpha=0.4)
+    e_sw, e_leak, e_total = total_energy(
+        config, e_sw_rd=10.0, e_sw_wr=20.0, capacity_bits=100,
+        p_leak_sram=0.5, d_array=2.0,
+    )
+    assert e_sw == pytest.approx(0.7 * 10 + 0.3 * 20)
+    assert e_leak == pytest.approx(100 * 0.5 * 2.0)
+    assert e_total == pytest.approx(0.4 * e_sw + e_leak)
+
+
+def test_capacity_mismatch_rejected(model):
+    with pytest.raises(ValueError):
+        model.evaluate(4096, design(n_r=128, n_c=64))
+
+
+def test_leakage_grows_with_capacity(model):
+    small = model.evaluate(8192, design(n_r=128, n_c=64))
+    large = model.evaluate(131072, design(n_r=512, n_c=256))
+    assert large.e_leak > 10 * small.e_leak
+
+
+def test_bl_share_reported(model):
+    m = model.evaluate(8192, design())
+    assert 0 < m.bl_read_delay < m.d_rd
+    assert 0 < m.leakage_fraction < 1
+
+
+def test_vectorized_matches_scalar(model):
+    """The optimizer's broadcast evaluation must agree with per-point
+    scalar evaluation everywhere."""
+    n_pre = np.array([[1, 10], [25, 50]])
+    n_wr = np.array([[1, 2], [5, 20]])
+    grid = model.evaluate(
+        8192, design(n_pre=n_pre, n_wr=n_wr)
+    )
+    for i in range(2):
+        for j in range(2):
+            scalar = model.evaluate(
+                8192,
+                design(n_pre=int(n_pre[i, j]), n_wr=int(n_wr[i, j])),
+            )
+            assert grid.edp[i, j] == pytest.approx(scalar.edp)
+            assert grid.d_array[i, j] == pytest.approx(scalar.d_array)
+            assert grid.e_total[i, j] == pytest.approx(scalar.e_total)
+
+
+def test_negative_gnd_lowers_read_delay(model):
+    base = model.evaluate(8192, design(v_ssc=0.0))
+    assisted = model.evaluate(8192, design(v_ssc=-0.24))
+    assert assisted.d_rd < base.d_rd
+
+
+def test_wl_overdrive_affects_write_path(model):
+    mild = model.evaluate(8192, design(v_wl=0.50))
+    strong = model.evaluate(8192, design(v_wl=0.65))
+    # Higher V_WL: faster cell flip but more WL swing; and write energy up.
+    assert strong.e_sw_wr > mild.e_sw_wr
+
+
+def test_dcdc_inefficiency_raises_assist_energy(hvt_char):
+    ideal = SRAMArrayModel(hvt_char, ArrayConfig(dcdc_efficiency=1.0))
+    lossy = SRAMArrayModel(hvt_char, ArrayConfig(dcdc_efficiency=0.8))
+    d = design(v_ssc=-0.2)
+    assert lossy.evaluate(8192, d).e_sw_rd > ideal.evaluate(8192, d).e_sw_rd
+
+
+def test_count_all_columns_extension(hvt_char):
+    paper = SRAMArrayModel(hvt_char, ArrayConfig())
+    full = SRAMArrayModel(hvt_char, ArrayConfig(count_all_columns=True))
+    d = design(n_r=128, n_c=64)
+    assert full.evaluate(8192, d).e_total > paper.evaluate(8192, d).e_total
+    # Delay accounting is unchanged by the energy extension.
+    assert full.evaluate(8192, d).d_array == pytest.approx(
+        paper.evaluate(8192, d).d_array
+    )
+
+
+def test_design_point_describe():
+    text = design().describe()
+    assert "128x64" in text
+    assert "V_SSC=-200mV" in text
+
+
+def test_rail_arrival_requirement(model):
+    """Section 4: the 20-fin rail drivers keep CVDD/CVSS settled before
+    the WL reaches 50% of Vdd, sized for the worst case n_c = 1024."""
+    worst = model.evaluate(
+        64 * 1024,
+        design(n_r=64, n_c=1024, n_pre=25, n_wr=3,
+               v_ddc=0.55, v_ssc=-0.24),
+    )
+    assert worst.rails_timely
+    assert worst.rail_arrival_slack > 0
+    typical = model.evaluate(8192, design())
+    assert typical.rail_arrival_slack > worst.rail_arrival_slack

@@ -1,0 +1,62 @@
+"""Array organization validation and address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.array import ArrayOrganization
+from repro.errors import DesignSpaceError
+
+
+def test_basic_properties():
+    org = ArrayOrganization(n_r=128, n_c=64)
+    assert org.capacity_bits == 8192
+    assert org.capacity_bytes == 1024
+    assert org.row_address_bits == 7
+    assert str(org) == "128x64 (W=64)"
+
+
+def test_power_of_two_validation():
+    with pytest.raises(DesignSpaceError):
+        ArrayOrganization(n_r=100, n_c=64)
+    with pytest.raises(DesignSpaceError):
+        ArrayOrganization(n_r=128, n_c=48)
+    with pytest.raises(DesignSpaceError):
+        ArrayOrganization(n_r=128, n_c=64, word_bits=60)
+
+
+def test_column_mux_cases():
+    no_mux = ArrayOrganization(n_r=64, n_c=64)
+    assert not no_mux.has_column_mux
+    assert no_mux.column_address_bits == 0
+    narrow = ArrayOrganization(n_r=64, n_c=16)
+    assert not narrow.has_column_mux
+    mux = ArrayOrganization(n_r=64, n_c=256)
+    assert mux.has_column_mux
+    assert mux.column_address_bits == 2
+    assert mux.words_per_row == 4
+
+
+def test_from_capacity():
+    org = ArrayOrganization.from_capacity(4096 * 8, 512)
+    assert org.n_c == 64
+    with pytest.raises(DesignSpaceError):
+        ArrayOrganization.from_capacity(4096 * 8, 3)
+    with pytest.raises(DesignSpaceError):
+        ArrayOrganization.from_capacity(1000, 8)
+
+
+@given(st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10))
+def test_capacity_identity(log_r, log_c):
+    org = ArrayOrganization(n_r=2 ** log_r, n_c=2 ** log_c)
+    assert org.capacity_bits == 2 ** (log_r + log_c)
+    assert org.row_address_bits == log_r
+
+
+@given(st.integers(min_value=6, max_value=12))
+def test_column_address_bits_consistency(log_c):
+    org = ArrayOrganization(n_r=64, n_c=2 ** log_c, word_bits=64)
+    assert org.n_c == org.words_per_row * 64 or not org.has_column_mux
+    if org.has_column_mux:
+        assert 2 ** org.column_address_bits == org.n_c // 64

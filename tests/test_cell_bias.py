@@ -1,0 +1,67 @@
+"""CellBias constructors and assist-level plumbing."""
+
+import pytest
+
+from repro.cell import CellBias
+
+
+def test_defaults_are_nominal():
+    bias = CellBias()
+    assert bias.vdd == pytest.approx(0.45)
+    assert bias.v_ddc == bias.vdd
+    assert bias.v_ssc == 0.0
+
+
+def test_hold_bias():
+    bias = CellBias.hold(0.3)
+    assert bias.v_wl == 0.0
+    assert bias.v_bl == 0.3
+    assert bias.v_blb == 0.3
+    assert bias.v_ddc == 0.3
+
+
+def test_read_bias_defaults():
+    bias = CellBias.read(0.45)
+    assert bias.v_wl == 0.45
+    assert bias.v_bl == 0.45
+    assert bias.v_ddc == 0.45
+
+
+def test_read_bias_with_assists():
+    bias = CellBias.read(0.45, v_ddc=0.55, v_ssc=-0.1)
+    assert bias.v_ddc == 0.55
+    assert bias.v_ssc == -0.1
+    assert bias.cell_swing == pytest.approx(0.65)
+
+
+def test_write_bias():
+    bias = CellBias.write(0.45, v_wl=0.54, v_bl_low=-0.1)
+    assert bias.v_wl == 0.54
+    assert bias.v_bl == -0.1
+    assert bias.v_blb == 0.45
+
+
+def test_with_wordline_copy():
+    bias = CellBias.read(0.45)
+    other = bias.with_wordline(0.3)
+    assert other.v_wl == 0.3
+    assert bias.v_wl == 0.45
+
+
+def test_with_rails_copy():
+    bias = CellBias.read(0.45).with_rails(v_ddc=0.6)
+    assert bias.v_ddc == 0.6
+    assert bias.v_ssc == 0.0
+    bias = bias.with_rails(v_ssc=-0.2)
+    assert bias.v_ddc == 0.6
+    assert bias.v_ssc == -0.2
+
+
+def test_invalid_rail_ordering_rejected():
+    with pytest.raises(ValueError):
+        CellBias(v_ddc=0.1, v_ssc=0.2)
+
+
+def test_nonpositive_vdd_rejected():
+    with pytest.raises(ValueError):
+        CellBias(vdd=0.0)

@@ -1,0 +1,48 @@
+"""Standby leakage: the paper's absolute calibration points."""
+
+import pytest
+
+from repro.cell import CellBias, cell_leakage_power, leakage_vs_vdd
+
+VDD = 0.45
+
+
+def test_lvt_leakage_matches_paper(lvt_cell):
+    leak = cell_leakage_power(lvt_cell, VDD)
+    assert leak == pytest.approx(1.692e-9, rel=0.03)
+
+
+def test_hvt_leakage_matches_paper(hvt_cell):
+    leak = cell_leakage_power(hvt_cell, VDD)
+    assert leak == pytest.approx(0.082e-9, rel=0.03)
+
+
+def test_leakage_ratio_twenty_x(lvt_cell, hvt_cell):
+    ratio = cell_leakage_power(lvt_cell, VDD) / cell_leakage_power(
+        hvt_cell, VDD
+    )
+    assert ratio == pytest.approx(20.6, rel=0.05)
+
+
+def test_leakage_monotone_in_vdd(hvt_cell):
+    leaks = leakage_vs_vdd(hvt_cell, [0.1, 0.2, 0.3, 0.45])
+    assert all(a < b for a, b in zip(leaks, leaks[1:]))
+
+
+def test_leakage_positive_at_low_vdd(lvt_cell):
+    assert cell_leakage_power(lvt_cell, 0.1) > 0
+
+
+def test_lvt_at_100mv_still_leakier_than_hvt_at_nominal(lvt_cell, hvt_cell):
+    """The paper's Section-2 punchline (~5x)."""
+    ratio = cell_leakage_power(lvt_cell, 0.1) / cell_leakage_power(
+        hvt_cell, VDD
+    )
+    assert ratio > 3.0
+
+
+def test_leakage_custom_bias(hvt_cell):
+    bias = CellBias.hold(VDD)
+    assert cell_leakage_power(hvt_cell, bias=bias) == pytest.approx(
+        cell_leakage_power(hvt_cell, VDD), rel=1e-9
+    )

@@ -1,0 +1,97 @@
+"""Monte Carlo yield analysis (small sample counts for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.cell import (
+    MonteCarloResult,
+    required_margin_fraction,
+    run_cell_montecarlo,
+    sample_cells,
+)
+from repro.cell.montecarlo import MetricSamples
+from repro.devices import VariationModel
+
+VDD = 0.45
+
+
+@pytest.fixture(scope="module")
+def mc_result(hvt_cell):
+    return run_cell_montecarlo(
+        hvt_cell, n_samples=40, seed=11, vdd=VDD,
+        metrics=("hsnm", "rsnm"), snm_points=41,
+    )
+
+
+def test_sample_cells_are_perturbed(hvt_cell):
+    cells = list(sample_cells(hvt_cell, 3, VariationModel(0.03), seed=0))
+    assert len(cells) == 3
+    for cell in cells:
+        assert not cell.is_symmetric
+        assert cell.params("pd_l").vt != hvt_cell.params("pd_l").vt
+
+
+def test_sampling_reproducible(hvt_cell):
+    a = [c.params("pd_l").vt
+         for c in sample_cells(hvt_cell, 5, seed=9)]
+    b = [c.params("pd_l").vt
+         for c in sample_cells(hvt_cell, 5, seed=9)]
+    assert a == b
+
+
+def test_mc_metrics_present(mc_result):
+    assert set(mc_result.metrics) == {"hsnm", "rsnm"}
+    assert mc_result.n_samples == 40
+    assert len(mc_result.metric("rsnm").values) == 40
+
+
+def test_mc_spread_and_mean(mc_result, hvt_cell):
+    from repro.cell import hold_snm
+
+    samples = mc_result.metric("hsnm")
+    assert samples.sigma > 0.002
+    nominal = hold_snm(hvt_cell, VDD)
+    assert samples.mean == pytest.approx(nominal, abs=5 * samples.sigma)
+
+
+def test_mu_minus_k_sigma_ordering(mc_result):
+    samples = mc_result.metric("rsnm")
+    assert samples.mu_minus_k_sigma(0) == pytest.approx(samples.mean)
+    assert samples.mu_minus_k_sigma(3) < samples.mu_minus_k_sigma(1)
+
+
+def test_yield_at_extremes(mc_result):
+    samples = mc_result.metric("hsnm")
+    assert samples.yield_at(-1.0) == 1.0
+    assert samples.yield_at(1.0) == 0.0
+
+
+def test_worst_case_yield_bounds(mc_result):
+    joint = mc_result.worst_case_yield(0.0)
+    individual = min(
+        mc_result.metric(name).yield_at(0.0)
+        for name in ("hsnm", "rsnm")
+    )
+    assert 0.0 <= joint <= individual <= 1.0
+
+
+def test_required_margin_fraction(mc_result):
+    fractions = required_margin_fraction(mc_result, k=3.0, vdd=VDD)
+    for value in fractions.values():
+        assert 0.0 < value < 1.0
+
+
+def test_metric_samples_single_value():
+    samples = MetricSamples("x", np.array([0.1]))
+    assert samples.sigma == 0.0
+    assert samples.mean == pytest.approx(0.1)
+
+
+def test_zero_variation_gives_nominal(hvt_cell):
+    result = run_cell_montecarlo(
+        hvt_cell, n_samples=3, vdd=VDD,
+        variation=VariationModel(sigma_vt=0.0),
+        metrics=("hsnm",), snm_points=41,
+    )
+    values = result.metric("hsnm").values
+    assert float(np.std(values)) < 1e-9

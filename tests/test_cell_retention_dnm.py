@@ -1,0 +1,69 @@
+"""Retention voltage and dynamic noise margin extensions."""
+
+import pytest
+
+from repro.cell import (
+    cell_flips_under_pulse,
+    data_retention_voltage,
+    dnm_analysis,
+    dynamic_noise_margin,
+    retention_analysis,
+)
+from repro.errors import CharacterizationError
+
+VDD = 0.45
+
+
+@pytest.fixture(scope="module")
+def hvt_retention(hvt_cell):
+    return retention_analysis(hvt_cell, VDD)
+
+
+def test_drv_matches_fig2_cliff(hvt_retention):
+    """Figure 2: the hold-margin floor fails below ~250 mV."""
+    assert 0.20 < hvt_retention.drv < 0.26
+
+
+def test_drv_margin_is_at_the_floor(hvt_cell, hvt_retention):
+    frac = hvt_retention.hsnm_at_drv / hvt_retention.drv
+    assert frac == pytest.approx(0.35, abs=0.01)
+
+
+def test_retention_saves_leakage(hvt_retention):
+    assert hvt_retention.retention_saving > 1.5
+    assert hvt_retention.leakage_at_drv < hvt_retention.leakage_nominal
+
+
+def test_drv_guard_band(hvt_cell, hvt_retention):
+    guarded = retention_analysis(hvt_cell, VDD, guard_band=0.05)
+    assert guarded.drv == pytest.approx(hvt_retention.drv + 0.05,
+                                        abs=0.005)
+    assert guarded.retention_saving < hvt_retention.retention_saving
+
+
+def test_impossible_margin_raises(hvt_cell):
+    with pytest.raises(CharacterizationError):
+        data_retention_voltage(hvt_cell, margin_fraction=0.49,
+                               v_max=0.50)
+
+
+def test_small_pulse_does_not_flip(hvt_cell):
+    assert not cell_flips_under_pulse(hvt_cell, 0.10, 5e-12, vdd=VDD)
+
+
+def test_large_long_pulse_flips(hvt_cell):
+    assert cell_flips_under_pulse(hvt_cell, 1.0, 20e-12, vdd=VDD)
+
+
+def test_dnm_exceeds_static_snm(hvt_cell):
+    result = dnm_analysis(hvt_cell, duration=5e-12, vdd=VDD)
+    assert result.critical_amplitude > result.static_snm
+    assert result.dynamic_gain > 1.2
+
+
+def test_dnm_falls_with_pulse_duration(hvt_cell):
+    short = dynamic_noise_margin(hvt_cell, 2e-12, vdd=VDD,
+                                 resolution=0.02)
+    long = dynamic_noise_margin(hvt_cell, 15e-12, vdd=VDD,
+                                resolution=0.02)
+    assert short > long

@@ -1,0 +1,122 @@
+"""Noise-margin extraction: VTC solver, butterfly geometry, paper shapes."""
+
+import numpy as np
+import pytest
+
+from repro.cell import CellBias, butterfly, hold_snm, read_snm, vtc
+from repro.cell.snm import (
+    _largest_squares,
+    half_circuit_output,
+    solve_half_circuit,
+)
+from repro.spice import Circuit, operating_point
+
+VDD = 0.45
+
+
+def test_vtc_endpoints(hvt_cell):
+    bias = CellBias.hold()
+    v_in, v_out = vtc(hvt_cell, "l", bias, access_on=False, points=31)
+    assert v_out[0] == pytest.approx(bias.v_ddc, abs=0.01)
+    assert v_out[-1] == pytest.approx(bias.v_ssc, abs=0.01)
+
+
+def test_vtc_monotone_decreasing(hvt_cell):
+    bias = CellBias.read()
+    _v_in, v_out = vtc(hvt_cell, "l", bias, access_on=True, points=41)
+    assert all(a >= b - 1e-9 for a, b in zip(v_out, v_out[1:]))
+
+
+def test_read_vtc_low_level_disturbed(hvt_cell):
+    """With the access on and BL high, the output cannot reach CVSS."""
+    bias = CellBias.read()
+    _v_in, v_out = vtc(hvt_cell, "l", bias, access_on=True, points=21)
+    assert v_out[-1] > 0.02  # read-disturb voltage on the '0' node
+
+
+def test_fast_solver_matches_full_newton(hvt_cell):
+    """The bisection half-circuit VTC equals the full MNA solution."""
+    bias = CellBias.read()
+    for v_in in (0.0, 0.15, 0.3, 0.45):
+        fast = half_circuit_output(hvt_cell, "l", v_in, bias,
+                                   access_on=True)
+        circuit = hvt_cell.build_circuit(bias, drive_qb=v_in)
+        sol = operating_point(circuit, initial_guess={"q": VDD - v_in})
+        assert fast == pytest.approx(sol["q"], abs=2e-4)
+
+
+def test_solve_half_circuit_vectorized(hvt_cell):
+    bias = CellBias.hold()
+    v_in = np.array([0.0, 0.2, 0.45])
+    vec = solve_half_circuit(hvt_cell, "l", v_in, bias, access_on=False)
+    for k, v in enumerate(v_in):
+        scalar = half_circuit_output(hvt_cell, "l", float(v), bias,
+                                     access_on=False)
+        assert vec[k] == pytest.approx(scalar, abs=1e-6)
+
+
+def test_largest_squares_on_known_geometry():
+    """Two offset lines y = -x + c: the inscribed square side is
+    exactly the offset / 2 (u-separation / sqrt(2) with u-distance
+    offset/sqrt(2) ... verified analytically: for curves y=-x+c1 and
+    y=-x+c2 the diagonal gap is |c1-c2|/sqrt(2)*sqrt(2)? -> side
+    |c1-c2|/2)."""
+    x = np.linspace(0.0, 1.0, 101)
+    y1 = -x + 1.0
+    y2 = -x + 0.5
+    s_a, s_b = _largest_squares(x, y1, x, y2)
+    assert max(s_a, s_b) == pytest.approx(0.25, abs=1e-3)
+    assert min(s_a, s_b) == pytest.approx(-0.25, abs=1e-3)
+
+
+def test_butterfly_symmetric_cell_equal_lobes(hvt_cell):
+    result = butterfly(hvt_cell, CellBias.hold(), access_on=False)
+    assert result.lobe_low == pytest.approx(result.lobe_high, rel=1e-6)
+    assert result.bistable
+
+
+def test_butterfly_asymmetric_cell_unequal_lobes(hvt_cell):
+    skewed = hvt_cell.with_overrides(
+        {"pd_l": hvt_cell.params("pd_l").with_vt_shift(0.05)}
+    )
+    result = butterfly(skewed, CellBias.hold(), access_on=False)
+    assert result.lobe_low < result.lobe_high
+    assert result.snm == result.lobe_low
+
+
+def test_hold_snm_exceeds_read_snm(hvt_cell, lvt_cell):
+    for cell in (hvt_cell, lvt_cell):
+        assert hold_snm(cell, VDD) > read_snm(cell, vdd=VDD)
+
+
+def test_hvt_margins_beat_lvt(hvt_cell, lvt_cell):
+    assert hold_snm(hvt_cell, VDD) >= hold_snm(lvt_cell, VDD)
+    assert read_snm(hvt_cell, vdd=VDD) > read_snm(lvt_cell, vdd=VDD)
+
+
+def test_vdd_boost_raises_rsnm(hvt_cell):
+    levels = [0.45, 0.55, 0.65]
+    snms = [read_snm(hvt_cell, vdd=VDD, v_ddc=v) for v in levels]
+    assert snms[0] < snms[1] < snms[2]
+
+
+def test_hvt_meets_delta_at_550(hvt_cell):
+    """The paper's V_DDC = 550 mV cross point."""
+    delta = 0.35 * VDD
+    assert read_snm(hvt_cell, vdd=VDD, v_ddc=0.55) >= delta
+    assert read_snm(hvt_cell, vdd=VDD, v_ddc=0.53) < delta
+
+
+def test_wl_underdrive_raises_rsnm(hvt_cell):
+    low = read_snm(hvt_cell, vdd=VDD, v_wl=0.30)
+    nominal = read_snm(hvt_cell, vdd=VDD)
+    assert low > nominal
+
+
+def test_paper_rsnm_ratio_direction(hvt_cell, lvt_cell):
+    ratio = read_snm(hvt_cell, vdd=VDD) / read_snm(lvt_cell, vdd=VDD)
+    assert ratio > 1.05  # paper: 1.9x (our compact model: weaker, same sign)
+
+
+def test_hsnm_scales_with_vdd(hvt_cell):
+    assert hold_snm(hvt_cell, 0.30) < hold_snm(hvt_cell, 0.45)

@@ -1,0 +1,87 @@
+"""SRAM6TCell structure, overrides, and netlist construction."""
+
+import pytest
+
+from repro.cell import TRANSISTOR_ROLES, CellBias, SRAM6TCell
+from repro.devices import DeviceLibrary
+
+LIB = DeviceLibrary.default_7nm()
+
+
+def test_from_library_roles():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    assert cell.params("pu_l").polarity == "p"
+    assert cell.params("pd_r").polarity == "n"
+    assert cell.params("ax_l") == LIB.nfet_hvt
+
+
+def test_symmetric_by_default():
+    assert SRAM6TCell.from_library(LIB, "lvt").is_symmetric
+
+
+def test_overrides_break_symmetry():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    shifted = cell.with_overrides(
+        {"pd_l": cell.params("pd_l").with_vt_shift(0.02)}
+    )
+    assert not shifted.is_symmetric
+    assert shifted.params("pd_l").vt == pytest.approx(
+        cell.params("pd_l").vt + 0.02
+    )
+    # Other transistors untouched.
+    assert shifted.params("pd_r") == cell.params("pd_r")
+
+
+def test_unknown_override_role_rejected():
+    with pytest.raises(ValueError):
+        SRAM6TCell(LIB.nfet_hvt, LIB.pfet_hvt,
+                   overrides={"bogus": LIB.nfet_hvt})
+
+
+def test_wrong_polarity_rejected():
+    with pytest.raises(ValueError):
+        SRAM6TCell(LIB.pfet_hvt, LIB.nfet_hvt)  # swapped
+
+
+def test_all_params_order():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    params = cell.all_params()
+    assert len(params) == 6
+    assert params[0] == cell.params(TRANSISTOR_ROLES[0])
+
+
+def test_build_circuit_nodes_and_elements():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    circuit = cell.build_circuit(CellBias.hold())
+    circuit.compile()
+    names = set(circuit.node_names)
+    assert {"q", "qb", "bl", "blb", "wl", "cvdd", "cvss"} <= names
+    assert len([e for e in circuit.elements]) == 11  # 5 sources + 6 FETs
+
+
+def test_build_circuit_with_drive_sources():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    circuit = cell.build_circuit(CellBias.read(), drive_qb=0.2)
+    assert circuit.element("vqb").value == 0.2
+    with pytest.raises(Exception):
+        circuit.element("vq")
+
+
+def test_build_circuit_node_caps():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    circuit = cell.build_circuit(CellBias.hold(),
+                                 node_caps={"q": 1e-16, "qb": 1e-16})
+    assert circuit.element("c_q").capacitance == pytest.approx(1e-16)
+
+
+def test_internal_node_capacitance_scale():
+    cell = SRAM6TCell.from_library(LIB, "hvt")
+    c_node = cell.internal_node_capacitance()
+    # Three drains + two gates of single-fin devices: tenths of a fF.
+    assert 0.1e-15 < c_node < 1.0e-15
+
+
+def test_device_instances_single_fin():
+    cell = SRAM6TCell.from_library(LIB, "lvt")
+    for role in TRANSISTOR_ROLES:
+        assert cell.device(role).nfin == 1

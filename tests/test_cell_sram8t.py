@@ -1,0 +1,94 @@
+"""The 8T cell extension: decoupled-read properties."""
+
+import pytest
+
+from repro.cell import (
+    AREA_RATIO_VS_6T,
+    SRAM6TCell,
+    SRAM8TCell,
+    cell_leakage_power,
+    hold_snm,
+    read_current,
+    read_snm,
+)
+
+VDD = 0.45
+
+
+@pytest.fixture(scope="module")
+def cell_8t(library):
+    return SRAM8TCell.from_library(library, "hvt", "lvt")
+
+
+def test_construction_validation(library, hvt_cell):
+    with pytest.raises(TypeError):
+        SRAM8TCell("not a core", library.nfet_lvt)
+    with pytest.raises(ValueError):
+        SRAM8TCell(hvt_cell, library.pfet_lvt)  # PFET read buffer
+    with pytest.raises(ValueError):
+        SRAM8TCell(hvt_cell, library.nfet_lvt, read_nfin=0)
+
+
+def test_read_snm_equals_hold_snm(cell_8t):
+    """The defining 8T property: reads do not disturb the cell."""
+    assert cell_8t.read_snm(VDD) == pytest.approx(cell_8t.hold_snm(VDD))
+
+
+def test_8t_read_margin_beats_assisted_6t(cell_8t, hvt_cell):
+    """The 8T read margin (= HSNM) exceeds even the boosted 6T RSNM."""
+    boosted_6t = read_snm(hvt_cell, vdd=VDD, v_ddc=0.55)
+    assert cell_8t.read_snm(VDD) > boosted_6t
+
+
+def test_hold_snm_matches_core(cell_8t, hvt_cell):
+    assert cell_8t.hold_snm(VDD) == pytest.approx(hold_snm(hvt_cell, VDD))
+
+
+def test_lvt_read_port_beats_6t_read_current(cell_8t, hvt_cell):
+    """An LVT read port on an HVT core out-drives the 6T-HVT read stack
+    without any assist rail."""
+    i_8t = cell_8t.read_current(VDD)
+    i_6t = read_current(hvt_cell, vdd=VDD)
+    assert i_8t > 1.5 * i_6t
+
+
+def test_read_port_upsizing_scales_current(library):
+    x1 = SRAM8TCell.from_library(library, "hvt", "lvt", read_nfin=1)
+    x2 = SRAM8TCell.from_library(library, "hvt", "lvt", read_nfin=2)
+    assert x2.read_current(VDD) == pytest.approx(
+        2.0 * x1.read_current(VDD), rel=0.01
+    )
+
+
+def test_hvt_read_port_roughly_matches_6t(library, hvt_cell):
+    """With an HVT read port the stack current is comparable to the 6T
+    read current (same devices, similar 2-high stack)."""
+    all_hvt = SRAM8TCell.from_library(library, "hvt", "hvt")
+    ratio = all_hvt.read_current(VDD) / read_current(hvt_cell, vdd=VDD)
+    assert 0.5 < ratio < 2.0
+
+
+def test_leakage_overhead(cell_8t, hvt_cell):
+    """The read buffer adds leakage (the price of the LVT port), but
+    the total stays far below the 6T-LVT cell."""
+    leak_8t = cell_8t.leakage_power(VDD)
+    leak_6t_hvt = cell_leakage_power(hvt_cell, VDD)
+    assert leak_8t > leak_6t_hvt
+    assert leak_8t < 1.692e-9  # still below the 6T-LVT cell
+
+
+def test_all_hvt_8t_leakage_close_to_core(library, hvt_cell):
+    all_hvt = SRAM8TCell.from_library(library, "hvt", "hvt")
+    leak = all_hvt.leakage_power(VDD)
+    core = cell_leakage_power(hvt_cell, VDD)
+    assert core < leak < 1.6 * core
+
+
+def test_area_ratio_documented():
+    assert AREA_RATIO_VS_6T == pytest.approx(1.3)
+
+
+def test_repr(cell_8t):
+    text = repr(cell_8t)
+    assert "core vt=335" in text
+    assert "read vt=254" in text

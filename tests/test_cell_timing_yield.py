@@ -1,0 +1,85 @@
+"""Read-timing yield under variation."""
+
+import numpy as np
+import pytest
+
+from repro.cell import read_timing_analysis
+from repro.cell.timing_yield import ReadTimingResult
+from repro.devices import VariationModel
+
+
+@pytest.fixture(scope="module")
+def timing(library, hvt_cell):
+    return read_timing_analysis(
+        library, hvt_cell, n_rows=64, n_samples=80,
+        v_ddc=0.55, v_ssc=-0.1, seed=3,
+    )
+
+
+def test_distribution_basics(timing):
+    assert timing.n_samples == 80
+    assert timing.n_flipped < 8          # boosted cell: few disturb fails
+    assert timing.sigma_delay > 0
+    assert timing.mean_delay > 0
+
+
+def test_timing_yield_monotone_in_sense_time(timing):
+    times = np.linspace(0.5 * timing.mean_delay, 3.0 * timing.mean_delay, 6)
+    yields = [timing.timing_yield(t) for t in times]
+    assert all(a <= b + 1e-12 for a, b in zip(yields, yields[1:]))
+    assert yields[-1] >= 0.9
+
+
+def test_required_sense_time_covers_tail(timing):
+    t_median = timing.required_sense_time(0.5)
+    t_strict = timing.required_sense_time(0.99)
+    assert t_strict > t_median
+    achieved = timing.timing_yield(t_strict)
+    assert achieved >= 0.98
+
+
+def test_required_sense_time_validation(timing):
+    with pytest.raises(ValueError):
+        timing.required_sense_time(0.0)
+
+
+def test_disturb_failures_cap_yield():
+    result = ReadTimingResult(
+        i_read_samples=np.array([1e-6] * 9), n_flipped=1,
+        c_bitline=5e-15, delta_v_sense=0.12,
+    )
+    assert result.timing_yield(1.0) == pytest.approx(0.9)
+    assert result.required_sense_time(0.95) == float("inf")
+
+
+def test_sensing_voltage_yield_grows_with_time(timing):
+    early = timing.sensing_voltage_yield(0.3 * timing.mean_delay)
+    late = timing.sensing_voltage_yield(3.0 * timing.mean_delay)
+    assert late > early
+
+
+def test_shrinking_sense_window_eats_offset_margin(timing):
+    """The paper's 'reducing DeltaV_S is difficult' argument: at the
+    nominal sensing time the SA sees comfortable margin; at a third of
+    it (equivalent to cutting DeltaV_S 3x) the yield drops."""
+    nominal = timing.sensing_voltage_yield(timing.mean_delay)
+    reduced = timing.sensing_voltage_yield(timing.mean_delay / 3.0)
+    assert nominal > 0.95
+    assert reduced < nominal
+
+
+def test_negative_gnd_tightens_timing(library, hvt_cell):
+    slow = read_timing_analysis(library, hvt_cell, n_samples=40,
+                                v_ddc=0.55, v_ssc=0.0, seed=1)
+    fast = read_timing_analysis(library, hvt_cell, n_samples=40,
+                                v_ddc=0.55, v_ssc=-0.24, seed=1)
+    assert fast.mean_delay < 0.5 * slow.mean_delay
+    assert fast.required_sense_time(0.95) < slow.required_sense_time(0.95)
+
+
+def test_zero_variation_collapses_spread(library, hvt_cell):
+    result = read_timing_analysis(
+        library, hvt_cell, n_samples=10,
+        variation=VariationModel(sigma_vt=0.0), seed=0,
+    )
+    assert result.sigma_delay == pytest.approx(0.0, abs=1e-18)

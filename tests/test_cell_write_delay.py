@@ -1,0 +1,41 @@
+"""Transient cell write delay (a few real transient runs; kept lean)."""
+
+import pytest
+
+from repro.cell import cell_write_event
+
+VDD = 0.45
+
+
+@pytest.fixture(scope="module")
+def events(hvt_cell):
+    """Three write events reused by all assertions below."""
+    return {
+        "nominal": cell_write_event(hvt_cell, v_wl=VDD, vdd=VDD),
+        "wlod": cell_write_event(hvt_cell, v_wl=0.54, vdd=VDD),
+        "negbl": cell_write_event(hvt_cell, v_wl=VDD, vdd=VDD,
+                                  v_bl_low=-0.1),
+    }
+
+
+def test_writes_complete(events):
+    for event in events.values():
+        assert event.completed
+        assert event.delay > 0
+        assert event.energy > 0
+
+
+def test_wlod_speeds_up_write(events):
+    assert events["wlod"].delay < 0.7 * events["nominal"].delay
+
+
+def test_negative_bl_speeds_up_write(events):
+    assert events["negbl"].delay < 0.7 * events["nominal"].delay
+
+
+def test_write_delay_scale_is_picoseconds(events):
+    assert 1e-13 < events["nominal"].delay < 1e-10
+
+
+def test_energy_scale_is_femtojoules(events):
+    assert 1e-18 < events["nominal"].energy < 1e-12

@@ -1,0 +1,84 @@
+"""Calibration derivations and the power-law fitting utility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceLibrary
+from repro.devices.calibration import (
+    CalibrationReport,
+    derive_gamma_s,
+    derive_vt_lvt,
+    device_ratios,
+    fit_power_law,
+    require_within,
+)
+from repro.errors import CalibrationError
+
+
+def test_derive_vt_lvt_closed_form():
+    vt_lvt = derive_vt_lvt(0.45, 0.335, ion_ratio=2.0, alpha=1.3)
+    # 0.45 - 2**(1/1.3) * 0.115
+    assert vt_lvt == pytest.approx(0.45 - 2 ** (1 / 1.3) * 0.115)
+    assert 0.24 < vt_lvt < 0.27
+
+
+def test_derive_gamma_s_closed_form():
+    gamma = derive_gamma_s(0.335, 0.254, ioff_ratio=20.0, alpha=1.3)
+    assert gamma == pytest.approx(1.3 * 0.081 / math.log(20.0))
+
+
+def test_fit_power_law_recovers_synthetic():
+    a_true, b_true, vt_true = 1.3, 9.5e-5, 0.335
+    v = np.linspace(0.45, 0.80, 12)
+    i = b_true * (v - vt_true) ** a_true
+    a, b, vt = fit_power_law(v, i)
+    assert a == pytest.approx(a_true, rel=0.02)
+    assert b == pytest.approx(b_true, rel=0.05)
+    assert vt == pytest.approx(vt_true, abs=0.005)
+
+
+def test_fit_power_law_with_noise():
+    rng = np.random.default_rng(3)
+    v = np.linspace(0.5, 0.9, 20)
+    i = 2e-4 * (v - 0.30) ** 1.5 * np.exp(rng.normal(0, 0.01, v.shape))
+    a, _b, vt = fit_power_law(v, i)
+    assert a == pytest.approx(1.5, rel=0.1)
+    assert vt == pytest.approx(0.30, abs=0.03)
+
+
+def test_fit_power_law_input_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([0.5, 0.6], [1e-6, 2e-6])  # too few points
+    with pytest.raises(ValueError):
+        fit_power_law([0.5, 0.6, 0.7], [1e-6, -2e-6, 3e-6])
+
+
+def test_device_ratios_default_library():
+    ion_ratio, ioff_ratio, gain = device_ratios()
+    assert ion_ratio == pytest.approx(2.0, rel=0.08)
+    assert ioff_ratio == pytest.approx(20.0, rel=0.10)
+    assert gain == pytest.approx(10.0, rel=0.15)
+
+
+def test_calibration_report_rows():
+    report = CalibrationReport(ion_ratio=2.0, ioff_ratio=20.0)
+    rows = report.rows()
+    names = [r[0] for r in rows]
+    assert "Ion ratio LVT/HVT" in names
+    assert all(len(r) == 3 for r in rows)
+
+
+def test_require_within_passes():
+    require_within("x", 1.02, 1.0, rel_tol=0.05)
+
+
+def test_require_within_raises():
+    with pytest.raises(CalibrationError):
+        require_within("x", 1.2, 1.0, rel_tol=0.05)
+
+
+def test_require_within_rejects_zero_target():
+    with pytest.raises(ValueError):
+        require_within("x", 1.0, 0.0, rel_tol=0.05)

@@ -1,0 +1,81 @@
+"""Process corners: construction and cell-level physics orderings."""
+
+import pytest
+
+from repro.devices import (
+    FinFET,
+    ProcessCorner,
+    corner_library,
+    corner_sweep,
+    standard_corners,
+)
+
+
+def test_standard_corner_set():
+    corners = standard_corners()
+    assert set(corners) == {"tt", "ff", "ss", "fs", "sf"}
+    assert corners["tt"].is_typical
+    assert corners["ff"].delta_vt_n < 0 < corners["ss"].delta_vt_n
+    assert corners["fs"].delta_vt_n < 0 < corners["fs"].delta_vt_p
+
+
+def test_corner_library_shifts_thresholds(library):
+    ss = standard_corners()["ss"]
+    shifted = corner_library(library, ss)
+    assert shifted.nfet_lvt.vt == pytest.approx(
+        library.nfet_lvt.vt + 0.015
+    )
+    assert shifted.pfet_hvt.vt == pytest.approx(
+        library.pfet_hvt.vt + 0.015
+    )
+
+
+def test_typical_corner_returns_same_library(library):
+    tt = standard_corners()["tt"]
+    assert corner_library(library, tt) is library
+
+
+def test_ff_is_faster_and_leakier(library):
+    corners = standard_corners()
+    vdd = library.vdd
+    tt = FinFET(library.nfet_hvt)
+    ff = FinFET(corner_library(library, corners["ff"]).nfet_hvt)
+    ss = FinFET(corner_library(library, corners["ss"]).nfet_hvt)
+    assert ff.ion(vdd) > tt.ion(vdd) > ss.ion(vdd)
+    assert ff.ioff(vdd) > tt.ioff(vdd) > ss.ioff(vdd)
+
+
+@pytest.fixture(scope="module")
+def hvt_corners(library):
+    return corner_sweep(library, "hvt")
+
+
+def test_corner_leakage_ordering(hvt_corners):
+    assert (hvt_corners["ff"].leakage
+            > hvt_corners["tt"].leakage
+            > hvt_corners["ss"].leakage)
+
+
+def test_corner_read_current_ordering(hvt_corners):
+    assert (hvt_corners["ff"].i_read
+            > hvt_corners["tt"].i_read
+            > hvt_corners["ss"].i_read)
+
+
+def test_skewed_corners_hurt_margins(hvt_corners):
+    """FS (strong NFET, weak PFET) erodes one butterfly lobe, SF the
+    other; both skewed corners lose hold margin vs TT."""
+    assert hvt_corners["fs"].hsnm < hvt_corners["tt"].hsnm
+    assert hvt_corners["sf"].hsnm < hvt_corners["tt"].hsnm
+
+
+def test_fs_corner_writes_easiest(hvt_corners):
+    """Strong access NFET + weak pull-up PFET = lowest flip voltage."""
+    flips = {name: s.v_wl_flip for name, s in hvt_corners.items()}
+    assert flips["fs"] == min(flips.values())
+    assert flips["sf"] == max(flips.values())
+
+
+def test_corner_validation():
+    corner = ProcessCorner("custom", -0.01, 0.02)
+    assert not corner.is_typical

@@ -1,0 +1,88 @@
+"""The calibrated 7nm library: paper device ratios and API behavior."""
+
+import pytest
+
+from repro.devices import (
+    VDD_NOMINAL,
+    VT_HVT,
+    VT_LVT,
+    DeviceLibrary,
+    FinFET,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return DeviceLibrary.default_7nm()
+
+
+def test_nominal_supply_is_450mv(library):
+    assert library.vdd == pytest.approx(0.450)
+
+
+def test_vt_split_ordering():
+    assert 0 < VT_LVT < VT_HVT < VDD_NOMINAL
+
+
+def test_hvt_vt_matches_paper_fit():
+    assert VT_HVT == pytest.approx(0.335)
+
+
+def test_ion_ratio_close_to_two(library):
+    lvt = FinFET(library.nfet_lvt)
+    hvt = FinFET(library.nfet_hvt)
+    ratio = lvt.ion(library.vdd) / hvt.ion(library.vdd)
+    assert ratio == pytest.approx(2.0, rel=0.08)
+
+
+def test_ioff_ratio_close_to_twenty(library):
+    lvt = FinFET(library.nfet_lvt)
+    hvt = FinFET(library.nfet_hvt)
+    ratio = lvt.ioff(library.vdd) / hvt.ioff(library.vdd)
+    assert ratio == pytest.approx(20.0, rel=0.10)
+
+
+def test_onoff_gain_close_to_ten(library):
+    lvt = FinFET(library.nfet_lvt)
+    hvt = FinFET(library.nfet_hvt)
+    gain = hvt.on_off_ratio(library.vdd) / lvt.on_off_ratio(library.vdd)
+    assert gain == pytest.approx(10.0, rel=0.15)
+
+
+def test_pfet_weaker_than_nfet(library):
+    nfet = FinFET(library.nfet_lvt)
+    pfet = FinFET(library.pfet_lvt)
+    assert pfet.ion(library.vdd) < nfet.ion(library.vdd)
+    assert pfet.ion(library.vdd) > 0.5 * nfet.ion(library.vdd)
+
+
+def test_flavor_accessors(library):
+    assert library.nfet_params("lvt") is library.nfet_lvt
+    assert library.nfet_params("hvt") is library.nfet_hvt
+    assert library.pfet_params("lvt") is library.pfet_lvt
+    assert library.pfet_params("hvt") is library.pfet_hvt
+
+
+def test_unknown_flavor_rejected(library):
+    with pytest.raises(ValueError):
+        library.nfet_params("svt")
+    with pytest.raises(ValueError):
+        library.pfet("ultra")
+
+
+def test_device_factories(library):
+    dev = library.nfet("hvt", nfin=3)
+    assert dev.nfin == 3
+    assert dev.params is library.nfet_hvt
+    pdev = library.pfet("lvt")
+    assert pdev.params.polarity == "p"
+
+
+def test_polarity_assignment(library):
+    assert library.nfet_lvt.polarity == "n"
+    assert library.pfet_hvt.polarity == "p"
+
+
+def test_library_is_frozen(library):
+    with pytest.raises(Exception):
+        library.vdd = 0.5

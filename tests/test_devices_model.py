@@ -1,0 +1,167 @@
+"""The compact FinFET I-V model: physics sanity, derivatives, symmetry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import DeviceLibrary, FinFET, FinFETParams
+from repro.devices.model import ids_core, ids_core_with_derivatives
+
+LIB = DeviceLibrary.default_7nm()
+VDD = LIB.vdd
+
+voltages = st.floats(min_value=-0.3, max_value=0.8,
+                     allow_nan=False, allow_infinity=False)
+
+
+@pytest.fixture(scope="module")
+def nfet():
+    return FinFET(LIB.nfet_lvt)
+
+
+@pytest.fixture(scope="module")
+def pfet():
+    return FinFET(LIB.pfet_lvt)
+
+
+def test_zero_vds_zero_current(nfet):
+    assert nfet.current(VDD, 0.2, 0.2) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_on_current_positive_and_microamp_scale(nfet):
+    ion = nfet.ion(VDD)
+    assert 5e-6 < ion < 1e-4
+
+
+def test_off_current_small(nfet):
+    ioff = nfet.ioff(VDD)
+    assert 0 < ioff < 1e-8
+    assert nfet.on_off_ratio(VDD) > 1e3
+
+
+def test_nfet_requires_finfet_params():
+    with pytest.raises(TypeError):
+        FinFET("not params")
+
+
+def test_width_quantization_rejects_fractional_fins():
+    with pytest.raises(ValueError):
+        FinFET(LIB.nfet_lvt, nfin=1.5)
+    with pytest.raises(ValueError):
+        FinFET(LIB.nfet_lvt, nfin=0)
+
+
+def test_current_scales_linearly_with_fins():
+    one = FinFET(LIB.nfet_lvt, 1)
+    five = FinFET(LIB.nfet_lvt, 5)
+    assert five.ion(VDD) == pytest.approx(5.0 * one.ion(VDD))
+    assert five.ioff(VDD) == pytest.approx(5.0 * one.ioff(VDD))
+
+
+def test_capacitances_scale_with_fins():
+    three = FinFET(LIB.nfet_lvt, 3)
+    assert three.c_gate == pytest.approx(3 * LIB.nfet_lvt.c_gate)
+    assert three.c_drain == pytest.approx(3 * LIB.nfet_lvt.c_drain)
+
+
+def test_source_drain_exchange_antisymmetry(nfet):
+    """Swapping drain and source negates the terminal current."""
+    for vg, va, vb in [(0.45, 0.4, 0.1), (0.3, 0.0, 0.45), (0.2, 0.3, 0.3)]:
+        forward = nfet.current(vg, va, vb)
+        reverse = nfet.current(vg, vb, va)
+        assert forward == pytest.approx(-reverse, rel=1e-9, abs=1e-18)
+
+
+def test_pfet_mirror_of_nfet():
+    """A PFET with NFET-matched parameters conducts the mirrored
+    current: I_p(vg, vd, vs) = -I_n(vdd-vg, vdd-vd, vdd-vs)."""
+    n_params = LIB.nfet_lvt
+    p_params = FinFETParams(
+        polarity="p", vt=n_params.vt, b=n_params.b,
+        alpha=n_params.alpha, gamma_s=n_params.gamma_s,
+        i_floor=n_params.i_floor,
+    )
+    nfet = FinFET(n_params)
+    pfet = FinFET(p_params)
+    for vg, vd, vs in [(0.0, 0.2, 0.45), (0.1, 0.0, 0.45), (0.45, 0.3, 0.4)]:
+        mirrored = -nfet.current(VDD - vg, VDD - vd, VDD - vs)
+        assert pfet.current(vg, vd, vs) == pytest.approx(
+            mirrored, rel=1e-9, abs=1e-18
+        )
+
+
+def test_pfet_conducts_when_gate_low(pfet):
+    current = pfet.current(0.0, 0.0, VDD)
+    assert current < 0  # into-drain current is negative while charging
+    assert abs(current) > 1e-6
+
+
+@settings(max_examples=120, deadline=None)
+@given(vg=voltages, vd=voltages, vs=voltages)
+def test_derivatives_match_finite_differences(vg, vd, vs):
+    nfet = FinFET(LIB.nfet_lvt)
+    h = 1e-7
+    _i, d_vg, d_vd, d_vs = nfet.current_and_derivatives(vg, vd, vs)
+    num_vg = (nfet.current(vg + h, vd, vs)
+              - nfet.current(vg - h, vd, vs)) / (2 * h)
+    num_vd = (nfet.current(vg, vd + h, vs)
+              - nfet.current(vg, vd - h, vs)) / (2 * h)
+    num_vs = (nfet.current(vg, vd, vs + h)
+              - nfet.current(vg, vd, vs - h)) / (2 * h)
+    scale = max(abs(num_vg), abs(num_vd), abs(num_vs), 1e-9)
+    assert d_vg == pytest.approx(num_vg, abs=5e-3 * scale)
+    assert d_vd == pytest.approx(num_vd, abs=5e-3 * scale)
+    assert d_vs == pytest.approx(num_vs, abs=5e-3 * scale)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vgs_lo=voltages, vgs_hi=voltages,
+       vds=st.floats(min_value=0.01, max_value=0.8))
+def test_current_monotone_in_gate_voltage(vgs_lo, vgs_hi, vds):
+    if vgs_lo > vgs_hi:
+        vgs_lo, vgs_hi = vgs_hi, vgs_lo
+    i_lo = ids_core(vgs_lo, vds, LIB.nfet_lvt)
+    i_hi = ids_core(vgs_hi, vds, LIB.nfet_lvt)
+    assert i_hi >= i_lo - 1e-18
+
+
+@settings(max_examples=60, deadline=None)
+@given(vgs=voltages,
+       vds_lo=st.floats(min_value=0.0, max_value=0.8),
+       vds_hi=st.floats(min_value=0.0, max_value=0.8))
+def test_current_monotone_in_drain_voltage(vgs, vds_lo, vds_hi):
+    if vds_lo > vds_hi:
+        vds_lo, vds_hi = vds_hi, vds_lo
+    i_lo = ids_core(vgs, vds_lo, LIB.nfet_lvt)
+    i_hi = ids_core(vgs, vds_hi, LIB.nfet_lvt)
+    assert i_hi >= i_lo - 1e-18
+
+
+def test_vectorized_evaluation_matches_scalar(nfet):
+    vg = np.array([0.0, 0.2, 0.45, 0.3])
+    vd = np.array([0.45, 0.1, 0.45, 0.0])
+    vs = np.array([0.0, 0.0, 0.1, 0.3])
+    vec_i, vec_dg, vec_dd, vec_ds = nfet.current_and_derivatives(vg, vd, vs)
+    for k in range(len(vg)):
+        i, dg, dd, ds = nfet.current_and_derivatives(
+            float(vg[k]), float(vd[k]), float(vs[k])
+        )
+        assert vec_i[k] == pytest.approx(i)
+        assert vec_dg[k] == pytest.approx(dg)
+        assert vec_dd[k] == pytest.approx(dd)
+        assert vec_ds[k] == pytest.approx(ds)
+
+
+def test_core_derivatives_continuous_across_threshold():
+    params = LIB.nfet_hvt
+    eps = 1e-6
+    below = ids_core_with_derivatives(params.vt - eps, 0.2, params)
+    above = ids_core_with_derivatives(params.vt + eps, 0.2, params)
+    assert below[1] == pytest.approx(above[1], rel=1e-3)
+
+
+def test_repr_mentions_polarity_and_fins(nfet):
+    text = repr(nfet)
+    assert "nFET" in text
+    assert "nfin=1" in text

@@ -1,0 +1,88 @@
+"""FinFETParams validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.devices import FinFETParams
+
+
+def make_params(**overrides):
+    base = dict(polarity="n", vt=0.335, b=1.89e-4)
+    base.update(overrides)
+    return FinFETParams(**base)
+
+
+def test_valid_construction():
+    params = make_params()
+    assert params.polarity == "n"
+    assert params.vt == pytest.approx(0.335)
+
+
+def test_rejects_bad_polarity():
+    with pytest.raises(ValueError):
+        make_params(polarity="x")
+
+
+def test_rejects_nonpositive_vt():
+    with pytest.raises(ValueError):
+        make_params(vt=0.0)
+    with pytest.raises(ValueError):
+        make_params(vt=-0.1)
+
+
+def test_rejects_nonpositive_b():
+    with pytest.raises(ValueError):
+        make_params(b=0.0)
+
+
+def test_rejects_negative_floor():
+    with pytest.raises(ValueError):
+        make_params(i_floor=-1e-12)
+
+
+def test_rejects_nonpositive_alpha_or_gamma():
+    with pytest.raises(ValueError):
+        make_params(alpha=0.0)
+    with pytest.raises(ValueError):
+        make_params(gamma_s=0.0)
+
+
+def test_subthreshold_swing_formula():
+    params = make_params(gamma_s=0.03515, alpha=1.3)
+    expected = 0.03515 * math.log(10.0) / 1.3
+    assert params.subthreshold_swing == pytest.approx(expected)
+
+
+def test_with_vt_shift():
+    params = make_params()
+    shifted = params.with_vt_shift(0.020)
+    assert shifted.vt == pytest.approx(0.355)
+    # The original is unchanged (frozen dataclass semantics).
+    assert params.vt == pytest.approx(0.335)
+
+
+def test_with_vt_shift_floors_at_1mv():
+    params = make_params()
+    shifted = params.with_vt_shift(-1.0)
+    assert shifted.vt == pytest.approx(0.001)
+
+
+def test_scaled_drive():
+    params = make_params()
+    scaled = params.scaled_drive(2.0)
+    assert scaled.b == pytest.approx(2.0 * params.b)
+    assert scaled.vt == params.vt
+
+
+def test_scaled_drive_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        make_params().scaled_drive(0.0)
+
+
+def test_params_are_hashable_and_comparable():
+    a = make_params()
+    b = make_params()
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != make_params(vt=0.3)

@@ -1,0 +1,72 @@
+"""Temperature scaling of devices and cells."""
+
+import pytest
+
+from repro.cell import SRAM6TCell, cell_leakage_power, hold_snm
+from repro.devices import (
+    FinFET,
+    celsius,
+    library_at_temperature,
+    params_at_temperature,
+)
+
+VDD = 0.45
+
+
+def test_celsius_conversion():
+    assert celsius(25) == pytest.approx(298.15)
+    assert celsius(-40) == pytest.approx(233.15)
+
+
+def test_reference_temperature_is_identity(library):
+    assert library_at_temperature(library, 300.0) is library
+
+
+def test_param_scaling_directions(library):
+    hot = params_at_temperature(library.nfet_hvt, 398.0)
+    assert hot.vt < library.nfet_hvt.vt            # Vt drops
+    assert hot.gamma_s > library.nfet_hvt.gamma_s  # slope shallows
+    assert hot.i_floor > library.nfet_hvt.i_floor  # junction leakage up
+    assert hot.b < library.nfet_hvt.b              # mobility down
+
+
+def test_invalid_temperature(library):
+    with pytest.raises(ValueError):
+        params_at_temperature(library.nfet_hvt, -10.0)
+
+
+def test_off_current_rises_steeply_with_temperature(library):
+    cold = FinFET(library_at_temperature(library, 233.0).nfet_hvt)
+    room = FinFET(library.nfet_hvt)
+    hot = FinFET(library_at_temperature(library, 398.0).nfet_hvt)
+    assert cold.ioff(VDD) < room.ioff(VDD) < hot.ioff(VDD)
+    assert hot.ioff(VDD) > 20.0 * room.ioff(VDD)
+
+
+def test_lvt_hvt_leakage_gap_shrinks_when_hot(library):
+    """The HVT advantage is worth fewer decades at a shallower slope —
+    the classic reason leakage signoff happens at the hot corner."""
+    def ratio(lib):
+        lvt = cell_leakage_power(SRAM6TCell.from_library(lib, "lvt"), VDD)
+        hvt = cell_leakage_power(SRAM6TCell.from_library(lib, "hvt"), VDD)
+        return lvt / hvt
+
+    room = ratio(library)
+    hot = ratio(library_at_temperature(library, 398.0))
+    assert room == pytest.approx(20.6, rel=0.05)
+    assert hot < room
+
+
+def test_hold_margin_degrades_when_hot(library):
+    room_cell = SRAM6TCell.from_library(library, "hvt")
+    hot_cell = SRAM6TCell.from_library(
+        library_at_temperature(library, 398.0), "hvt"
+    )
+    assert hold_snm(hot_cell, VDD) < hold_snm(room_cell, VDD)
+
+
+def test_on_current_mildly_temperature_dependent(library):
+    """Falling Vt partly cancels falling mobility near threshold."""
+    room = FinFET(library.nfet_lvt).ion(VDD)
+    hot = FinFET(library_at_temperature(library, 398.0).nfet_lvt).ion(VDD)
+    assert 0.6 * room < hot < 1.5 * room

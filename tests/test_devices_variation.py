@@ -1,0 +1,72 @@
+"""Pelgrom variation model and Monte Carlo shift sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DeviceLibrary,
+    VariationModel,
+    apply_shifts,
+    sigma_vt_single_fin,
+)
+from repro.devices.variation import A_VT_DEFAULT, FIN_AREA_DEFAULT
+
+
+def test_sigma_vt_pelgrom_law():
+    expected = A_VT_DEFAULT / math.sqrt(FIN_AREA_DEFAULT)
+    assert sigma_vt_single_fin() == pytest.approx(expected)
+    # A 7nm single fin should land in the tens-of-mV range.
+    assert 0.01 < expected < 0.1
+
+
+def test_sigma_shrinks_with_fin_count():
+    model = VariationModel(sigma_vt=0.030)
+    assert model.sigma_for(4) == pytest.approx(0.015)
+    assert model.sigma_for(1) == pytest.approx(0.030)
+
+
+def test_sigma_for_rejects_bad_fins():
+    with pytest.raises(ValueError):
+        VariationModel().sigma_for(0)
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ValueError):
+        VariationModel(sigma_vt=-0.01)
+
+
+def test_sample_shapes():
+    model = VariationModel(sigma_vt=0.025)
+    rng = np.random.default_rng(0)
+    shifts = model.sample_shifts(6, 100, rng)
+    assert shifts.shape == (100, 6)
+
+
+def test_sampling_is_reproducible_from_seed():
+    model = VariationModel(sigma_vt=0.025)
+    a = model.sample_shifts(6, 10, np.random.default_rng(42))
+    b = model.sample_shifts(6, 10, np.random.default_rng(42))
+    assert np.array_equal(a, b)
+
+
+def test_sample_statistics():
+    model = VariationModel(sigma_vt=0.025)
+    shifts = model.sample_shifts(2, 20000, np.random.default_rng(1))
+    assert abs(float(np.mean(shifts))) < 0.001
+    assert float(np.std(shifts)) == pytest.approx(0.025, rel=0.05)
+
+
+def test_apply_shifts():
+    library = DeviceLibrary.default_7nm()
+    params = [library.nfet_lvt, library.pfet_lvt]
+    shifted = apply_shifts(params, [0.010, -0.020])
+    assert shifted[0].vt == pytest.approx(library.nfet_lvt.vt + 0.010)
+    assert shifted[1].vt == pytest.approx(library.pfet_lvt.vt - 0.020)
+
+
+def test_apply_shifts_length_mismatch():
+    library = DeviceLibrary.default_7nm()
+    with pytest.raises(ValueError):
+        apply_shifts([library.nfet_lvt], [0.01, 0.02])

@@ -1,0 +1,129 @@
+"""FunctionalSRAM: storage correctness and energy/time accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import ArrayConfig, DesignPoint, SRAMArrayModel
+from repro.errors import DesignSpaceError
+from repro.functional import FunctionalSRAM
+
+
+@pytest.fixture(scope="module")
+def metrics(hvt_char):
+    model = SRAMArrayModel(hvt_char, ArrayConfig())
+    design = DesignPoint(n_r=128, n_c=64, n_pre=8, n_wr=2,
+                         v_ddc=0.55, v_ssc=-0.2, v_wl=0.55)
+    return model.evaluate(8192, design)
+
+
+@pytest.fixture()
+def memory(metrics, hvt_char):
+    return FunctionalSRAM(metrics, hvt_char.p_leak_sram, word_bits=64)
+
+
+def test_geometry(memory):
+    assert len(memory) == 8192 // 64
+    assert memory.n_words == 128
+
+
+def test_read_unwritten_returns_zero(memory):
+    assert memory.read(5) == 0
+    assert not memory.is_written(5)
+
+
+def test_write_then_read(memory):
+    memory.write(42, 0x1234_5678_9ABC_DEF0)
+    assert memory.read(42) == 0x1234_5678_9ABC_DEF0
+    assert memory.is_written(42)
+
+
+def test_value_masked_to_word(metrics, hvt_char):
+    memory = FunctionalSRAM(metrics, hvt_char.p_leak_sram, word_bits=64)
+    memory.write(0, (1 << 70) | 0xFF)
+    assert memory.read(0) == 0xFF
+
+
+def test_address_bounds(memory):
+    with pytest.raises(IndexError):
+        memory.read(128)
+    with pytest.raises(IndexError):
+        memory.write(-1, 0)
+
+
+def test_decode_row_mapping(memory):
+    row, word = memory.decode(0)
+    assert (row, word) == (0, 0)
+    row, word = memory.decode(memory.org.words_per_row)
+    assert (row, word) == (1, 0)
+
+
+def test_accounting_per_access(memory, metrics):
+    memory.read(0)
+    memory.write(1, 7)
+    stats = memory.stats
+    assert stats.n_reads == 1 and stats.n_writes == 1
+    assert stats.e_read == pytest.approx(float(metrics.e_sw_rd))
+    assert stats.e_write == pytest.approx(float(metrics.e_sw_wr))
+    assert stats.busy_time == pytest.approx(
+        float(metrics.d_rd) + float(metrics.d_wr)
+    )
+
+
+def test_idle_accumulates_leakage_only(memory):
+    e_before = memory.total_energy
+    memory.idle(1e-6)
+    assert memory.stats.e_dynamic == 0.0
+    assert memory.total_energy - e_before == pytest.approx(
+        memory.leakage_power * 1e-6
+    )
+    with pytest.raises(ValueError):
+        memory.idle(-1.0)
+
+
+def test_analytical_energy_matches_paper_blend(memory, metrics):
+    """At alpha = beta = 0.5 the analytic per-access energy times the
+    access count reproduces Eq. (3)-(5) (with D_array replaced by the
+    beta-weighted access time)."""
+    per_access = memory.analytical_energy_per_access(beta=0.5, alpha=0.5)
+    e_sw = 0.5 * float(metrics.e_sw_rd) + 0.5 * float(metrics.e_sw_wr)
+    d_acc = 0.5 * float(metrics.d_rd) + 0.5 * float(metrics.d_wr)
+    expected = e_sw + memory.leakage_power * d_acc / 0.5
+    assert per_access == pytest.approx(expected)
+
+
+def test_reset_stats_keeps_data(memory):
+    memory.write(3, 99)
+    memory.reset_stats()
+    assert memory.stats.n_accesses == 0
+    assert memory.read(3) == 99
+
+
+def test_rejects_grid_metrics(hvt_char):
+    model = SRAMArrayModel(hvt_char, ArrayConfig())
+    design = DesignPoint(n_r=128, n_c=64, n_pre=np.array([1, 2]),
+                         n_wr=np.array([1, 1]), v_ddc=0.55, v_ssc=-0.2,
+                         v_wl=0.55)
+    grid_metrics = model.evaluate(8192, design)
+    with pytest.raises(DesignSpaceError):
+        FunctionalSRAM(grid_metrics, 1e-10)
+
+
+def test_last_write_wins_property(metrics, hvt_char):
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=127),
+                  st.integers(min_value=0, max_value=2**64 - 1)),
+        min_size=1, max_size=40,
+    ))
+    def run(writes):
+        memory = FunctionalSRAM(metrics, hvt_char.p_leak_sram)
+        expected = {}
+        for address, value in writes:
+            memory.write(address, value)
+            expected[address] = value
+        for address, value in expected.items():
+            assert memory.read(address) == value
+
+    run()

@@ -1,0 +1,96 @@
+"""Trace generators: distributions, bounds, reproducibility."""
+
+import pytest
+
+from repro.functional import (
+    Access,
+    sequential_trace,
+    strided_trace,
+    trace_statistics,
+    uniform_trace,
+    zipfian_trace,
+)
+
+N_WORDS = 256
+
+
+def test_access_validation():
+    with pytest.raises(ValueError):
+        Access(op="x", address=0)
+    with pytest.raises(ValueError):
+        Access(op="r", address=-1)
+
+
+def test_sequential_addresses_wrap():
+    trace = sequential_trace(2 * N_WORDS, N_WORDS, seed=0)
+    addresses = [a.address for a in trace]
+    assert addresses[:3] == [0, 1, 2]
+    assert addresses[N_WORDS] == 0
+    assert max(addresses) == N_WORDS - 1
+
+
+def test_uniform_addresses_in_bounds():
+    trace = uniform_trace(500, N_WORDS, seed=1)
+    assert all(0 <= a.address < N_WORDS for a in trace)
+
+
+def test_read_fraction_respected():
+    trace = uniform_trace(4000, N_WORDS, read_fraction=0.8, seed=2)
+    beta, _unique, _frac = trace_statistics(trace)
+    assert beta == pytest.approx(0.8, abs=0.03)
+
+
+def test_read_fraction_extremes():
+    all_reads = uniform_trace(100, N_WORDS, read_fraction=1.0, seed=0)
+    assert all(a.op == "r" for a in all_reads)
+    all_writes = uniform_trace(100, N_WORDS, read_fraction=0.0, seed=0)
+    assert all(a.op == "w" for a in all_writes)
+
+
+def test_read_fraction_validation():
+    with pytest.raises(ValueError):
+        uniform_trace(10, N_WORDS, read_fraction=1.5)
+
+
+def test_zipf_concentrates_accesses():
+    trace = zipfian_trace(4000, N_WORDS, skew=1.5, seed=3)
+    counts = {}
+    for access in trace:
+        counts[access.address] = counts.get(access.address, 0) + 1
+    hottest = max(counts.values())
+    # The hottest word sees far more than its uniform share.
+    assert hottest > 5 * (4000 / N_WORDS)
+    assert all(0 <= a.address < N_WORDS for a in trace)
+
+
+def test_zipf_skew_validation():
+    with pytest.raises(ValueError):
+        zipfian_trace(10, N_WORDS, skew=1.0)
+
+
+def test_strided_pattern():
+    trace = strided_trace(10, N_WORDS, stride=16, read_fraction=1.0)
+    assert [a.address for a in trace[:4]] == [0, 16, 32, 48]
+    with pytest.raises(ValueError):
+        strided_trace(10, N_WORDS, stride=0)
+
+
+def test_traces_reproducible_by_seed():
+    a = uniform_trace(50, N_WORDS, seed=42)
+    b = uniform_trace(50, N_WORDS, seed=42)
+    assert a == b
+    c = uniform_trace(50, N_WORDS, seed=43)
+    assert a != c
+
+
+def test_write_values_within_word(monkeypatch):
+    trace = uniform_trace(200, N_WORDS, read_fraction=0.0, seed=5,
+                          word_bits=16)
+    assert all(0 <= a.value < (1 << 16) for a in trace)
+    wide = uniform_trace(200, N_WORDS, read_fraction=0.0, seed=5,
+                         word_bits=64)
+    assert any(a.value > (1 << 32) for a in wide)
+
+
+def test_trace_statistics_empty():
+    assert trace_statistics([]) == (0.0, 0, 0.0)

@@ -1,0 +1,76 @@
+"""Persistent characterization cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.lut import CharacterizationCache
+
+
+def test_memory_only_cache():
+    cache = CharacterizationCache()
+    cache.put("k", [1, 2, 3])
+    assert cache.get("k") == [1, 2, 3]
+    assert "k" in cache
+    assert len(cache) == 1
+
+
+def test_get_missing_returns_none():
+    assert CharacterizationCache().get("nope") is None
+
+
+def test_persistence_round_trip(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("alpha", {"x": 1.5})
+    reloaded = CharacterizationCache(path)
+    assert reloaded.get("alpha") == {"x": 1.5}
+
+
+def test_get_or_compute_runs_once(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert cache.get_or_compute("answer", compute) == 42
+    assert cache.get_or_compute("answer", compute) == 42
+    assert len(calls) == 1
+
+
+def test_file_is_valid_json(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("k", "v")
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data == {"k": "v"}
+
+
+def test_no_leftover_tmp_files(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    for k in range(5):
+        cache.put("k%d" % k, k)
+    leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_clear(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("k", 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert CharacterizationCache(path).get("k") is None
+
+
+def test_creates_parent_directory(tmp_path):
+    path = str(tmp_path / "sub" / "dir" / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("k", 1)
+    assert os.path.exists(path)

@@ -1,0 +1,141 @@
+"""Interpolating look-up tables: exactness, bounds, bilinearity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LookupError_
+from repro.lut import LUT1D, LUT2D, tabulate_1d, tabulate_2d
+
+
+def test_lut1d_exact_at_knots():
+    lut = LUT1D([0.0, 1.0, 2.0], [5.0, 7.0, 3.0])
+    assert lut(0.0) == 5.0
+    assert lut(1.0) == 7.0
+    assert lut(2.0) == 3.0
+
+
+def test_lut1d_linear_between_knots():
+    lut = LUT1D([0.0, 2.0], [0.0, 10.0])
+    assert lut(0.5) == pytest.approx(2.5)
+
+
+def test_lut1d_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        LUT1D([0.0], [1.0])
+    with pytest.raises(ValueError):
+        LUT1D([0.0, 1.0], [1.0])
+    with pytest.raises(ValueError):
+        LUT1D([0.0, 0.0], [1.0, 2.0])  # non-increasing
+
+
+def test_lut1d_out_of_range_raises_with_name():
+    lut = LUT1D([0.0, 1.0], [0.0, 1.0], name="i_read")
+    with pytest.raises(LookupError_) as err:
+        lut(1.5)
+    assert "i_read" in str(err.value)
+
+
+def test_lut1d_clamp_mode():
+    lut = LUT1D([0.0, 1.0], [0.0, 1.0], clamp=True)
+    assert lut(2.0) == 1.0
+    assert lut(-1.0) == 0.0
+
+
+def test_lut1d_vector_query():
+    lut = LUT1D([0.0, 1.0], [0.0, 2.0])
+    out = lut(np.array([0.0, 0.5, 1.0]))
+    assert np.allclose(out, [0.0, 1.0, 2.0])
+
+
+def test_lut1d_map():
+    lut = LUT1D([0.0, 1.0], [1.0, 2.0])
+    doubled = lut.map(lambda y: 2 * y, name="doubled")
+    assert doubled(1.0) == 4.0
+    assert doubled.name == "doubled"
+
+
+def test_lut1d_x_range():
+    assert LUT1D([0.0, 3.0], [0, 0]).x_range == (0.0, 3.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-10, max_value=10), min_size=3,
+             max_size=8, unique=True),
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=-5, max_value=5),
+)
+def test_lut1d_reproduces_affine_functions(xs, slope, intercept):
+    """Property: linear interpolation is exact for affine data."""
+    xs = sorted(xs)
+    ys = [slope * x + intercept for x in xs]
+    lut = LUT1D(xs, ys)
+    for frac in (0.25, 0.5, 0.75):
+        x = xs[0] + frac * (xs[-1] - xs[0])
+        assert lut(x) == pytest.approx(slope * x + intercept,
+                                       rel=1e-9, abs=1e-9)
+
+
+def test_lut2d_exact_at_grid():
+    zs = np.array([[1.0, 2.0], [3.0, 4.0]])
+    lut = LUT2D([0.0, 1.0], [0.0, 1.0], zs)
+    assert lut(0.0, 0.0) == 1.0
+    assert lut(1.0, 1.0) == 4.0
+
+
+def test_lut2d_bilinear_center():
+    zs = np.array([[0.0, 0.0], [0.0, 4.0]])
+    lut = LUT2D([0.0, 1.0], [0.0, 1.0], zs)
+    assert lut(0.5, 0.5) == pytest.approx(1.0)
+
+
+def test_lut2d_shape_validation():
+    with pytest.raises(ValueError):
+        LUT2D([0.0, 1.0], [0.0, 1.0], np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        LUT2D([0.0], [0.0, 1.0], np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        LUT2D([1.0, 0.0], [0.0, 1.0], np.zeros((2, 2)))
+
+
+def test_lut2d_bounds_and_clamp():
+    zs = np.array([[0.0, 1.0], [2.0, 3.0]])
+    strict = LUT2D([0.0, 1.0], [0.0, 1.0], zs, name="grid")
+    with pytest.raises(LookupError_):
+        strict(2.0, 0.5)
+    clamped = LUT2D([0.0, 1.0], [0.0, 1.0], zs, clamp=True)
+    assert clamped(2.0, 2.0) == 3.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=-3, max_value=3),
+    st.floats(min_value=-3, max_value=3),
+    st.floats(min_value=-3, max_value=3),
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+def test_lut2d_reproduces_bilinear_functions(a, b, c, qx, qy):
+    """Property: bilinear interpolation is exact for z = a + b*x + c*y."""
+    xs = [0.0, 0.4, 1.0]
+    ys = [0.0, 0.7, 1.0]
+    zs = np.array([[a + b * x + c * y for y in ys] for x in xs])
+    lut = LUT2D(xs, ys, zs)
+    expected = a + b * qx + c * qy
+    assert lut(qx, qy) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_tabulate_helpers():
+    lut1 = tabulate_1d(lambda x: x * x, [0.0, 1.0, 2.0])
+    assert lut1(2.0) == 4.0
+    lut2 = tabulate_2d(lambda x, y: x + y, [0.0, 1.0], [0.0, 2.0])
+    assert lut2(1.0, 2.0) == 3.0
+
+
+def test_lut2d_ranges():
+    zs = np.zeros((2, 3))
+    lut = LUT2D([0.0, 1.0], [-1.0, 0.0, 2.0], zs)
+    assert lut.x_range == (0.0, 1.0)
+    assert lut.y_range == (-1.0, 2.0)

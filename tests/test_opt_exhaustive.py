@@ -1,0 +1,133 @@
+"""The exhaustive optimizer: optimality, feasibility, bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayConfig, DesignPoint, SRAMArrayModel
+from repro.errors import DesignSpaceError
+from repro.opt import (
+    DesignSpace,
+    ExhaustiveOptimizer,
+    YieldConstraint,
+    YieldLevels,
+    make_policy,
+)
+
+CAPACITY_BITS = 1024 * 8  # 1KB
+
+
+@pytest.fixture(scope="module")
+def setup(library, hvt_char):
+    model = SRAMArrayModel(hvt_char, ArrayConfig())
+    constraint = YieldConstraint(library, "hvt", delta=0.35 * library.vdd)
+    constraint._v_flip = hvt_char.v_wl_flip
+    space = DesignSpace(n_pre_max=20, n_wr_max=8)  # trimmed for speed
+    levels = YieldLevels(v_ddc_min=0.550, v_wl_min=0.540)
+    return model, constraint, space, levels
+
+
+@pytest.fixture(scope="module")
+def m2_result(setup):
+    model, constraint, space, levels = setup
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    return optimizer.optimize(CAPACITY_BITS, make_policy("M2", levels),
+                              keep_landscape=True)
+
+
+def test_result_feasible(m2_result):
+    hsnm, rsnm, wm = m2_result.margins
+    assert min(hsnm, rsnm, wm) >= 0.35 * 0.45 - 1e-9
+
+
+def test_result_within_space(m2_result, setup):
+    _model, _constraint, space, _levels = setup
+    d = m2_result.design
+    assert d.n_r * d.n_c == CAPACITY_BITS
+    assert 1 <= d.n_pre <= space.n_pre_max
+    assert 1 <= d.n_wr <= space.n_wr_max
+    assert d.v_ssc in space.v_ssc_values
+
+
+def test_optimum_beats_every_landscape_slice(m2_result):
+    best = m2_result.metrics.edp
+    for point in m2_result.landscape:
+        assert best <= point.edp + 1e-30
+
+
+def test_optimum_beats_random_samples(m2_result, setup):
+    """Property-style check: no sampled feasible design beats the
+    reported optimum."""
+    model, constraint, space, _levels = setup
+    rng = np.random.default_rng(5)
+    d = m2_result.design
+    for _ in range(60):
+        n_r = int(rng.choice(space.row_counts(CAPACITY_BITS)))
+        v_ssc = float(rng.choice(space.v_ssc_values))
+        candidate = DesignPoint(
+            n_r=n_r, n_c=CAPACITY_BITS // n_r,
+            n_pre=int(rng.integers(1, space.n_pre_max + 1)),
+            n_wr=int(rng.integers(1, space.n_wr_max + 1)),
+            v_ddc=d.v_ddc, v_ssc=v_ssc, v_wl=d.v_wl,
+        )
+        if not constraint.satisfied(candidate.v_ddc, candidate.v_ssc,
+                                    candidate.v_wl):
+            continue
+        metrics = model.evaluate(CAPACITY_BITS, candidate)
+        assert m2_result.metrics.edp <= metrics.edp + 1e-30
+
+
+def test_m2_exploits_negative_gnd(m2_result):
+    assert m2_result.design.v_ssc < -0.05
+
+
+def test_m1_stays_on_ground(setup):
+    model, constraint, space, levels = setup
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    result = optimizer.optimize(CAPACITY_BITS, make_policy("M1", levels))
+    assert result.design.v_ssc == 0.0
+    assert result.metrics.edp > 0
+
+
+def test_evaluation_count(m2_result, setup):
+    _model, _constraint, space, _levels = setup
+    per_slice = space.n_pre_max * space.n_wr_max
+    assert m2_result.n_evaluated % per_slice == 0
+    assert m2_result.n_evaluated > 0
+
+
+def test_row_output(m2_result):
+    row = m2_result.row()
+    assert row["capacity"] == "1KB"
+    assert row["config"] == "6T-HVT-M2"
+    assert isinstance(row["N_pre"], int)
+
+
+def test_infeasible_space_raises(setup):
+    model, constraint, space, _levels = setup
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    # Rails far too low for any margin to clear delta.
+    hopeless = make_policy(
+        "M1", YieldLevels(v_ddc_min=0.450, v_wl_min=0.450)
+    )
+    with pytest.raises(DesignSpaceError):
+        optimizer.optimize(CAPACITY_BITS, hopeless)
+
+
+def test_summary_text(m2_result):
+    text = m2_result.summary()
+    assert "1KB" in text and "EDP" in text
+
+
+def test_negative_bl_policy_optimizes(setup, paper_session):
+    """The optimizer runs end-to-end under the negative-BL write policy
+    and produces a feasible design whose write path uses the assist."""
+    from repro.opt import policy_m2_negative_bl
+
+    model, _constraint, space, levels = setup
+    constraint = paper_session.constraint("hvt")
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    policy = policy_m2_negative_bl(levels, vdd=0.45, v_bl=-0.15)
+    result = optimizer.optimize(CAPACITY_BITS, policy)
+    assert result.design.v_bl == pytest.approx(-0.15)
+    assert result.metrics.edp > 0
+    assert result.method == "M2-NBL"

@@ -1,0 +1,72 @@
+"""Voltage-rail policies M1 / M2."""
+
+import pytest
+
+from repro.opt import (
+    DesignSpace,
+    YieldLevels,
+    make_policy,
+    policy_m1,
+    policy_m2,
+)
+
+
+def test_m1_single_high_rail():
+    levels = YieldLevels(v_ddc_min=0.550, v_wl_min=0.540)
+    policy = policy_m1(levels)
+    assert policy.v_ddc == pytest.approx(0.550)
+    assert policy.v_wl == pytest.approx(0.550)
+    assert not policy.v_ssc_free
+    assert policy.extra_rails == 1
+
+
+def test_m1_takes_the_larger_minimum():
+    levels = YieldLevels(v_ddc_min=0.640, v_wl_min=0.490)
+    policy = policy_m1(levels)
+    assert policy.v_ddc == policy.v_wl == pytest.approx(0.640)
+
+
+def test_m2_consolidates_close_rails():
+    """The paper's HVT case: 550 vs 540 mV share one 550 mV pin."""
+    levels = YieldLevels(v_ddc_min=0.550, v_wl_min=0.540)
+    policy = policy_m2(levels)
+    assert policy.v_ddc == policy.v_wl == pytest.approx(0.550)
+    assert policy.extra_rails == 2
+    assert policy.v_ssc_free
+
+
+def test_m2_keeps_distant_rails_separate():
+    """The paper's LVT case: 640 and 490 mV stay independent."""
+    levels = YieldLevels(v_ddc_min=0.640, v_wl_min=0.490)
+    policy = policy_m2(levels)
+    assert policy.v_ddc == pytest.approx(0.640)
+    assert policy.v_wl == pytest.approx(0.490)
+    assert policy.extra_rails == 3
+
+
+def test_v_ssc_candidates_by_method():
+    levels = YieldLevels(v_ddc_min=0.550, v_wl_min=0.540)
+    space = DesignSpace()
+    assert policy_m1(levels).v_ssc_candidates(space) == (0.0,)
+    assert len(policy_m2(levels).v_ssc_candidates(space)) == 25
+
+
+def test_make_policy_dispatch():
+    levels = YieldLevels(v_ddc_min=0.6, v_wl_min=0.5)
+    assert make_policy("M1", levels).method == "M1"
+    assert make_policy("M2", levels).method == "M2"
+    with pytest.raises(ValueError):
+        make_policy("M3", levels)
+
+
+def test_negative_bl_policy():
+    from repro.opt import policy_m2_negative_bl
+
+    levels = YieldLevels(v_ddc_min=0.550, v_wl_min=0.540)
+    policy = policy_m2_negative_bl(levels, vdd=0.45, v_bl=-0.15)
+    assert policy.method == "M2-NBL"
+    assert policy.v_wl == pytest.approx(0.45)   # no WL overdrive rail
+    assert policy.v_bl == pytest.approx(-0.15)
+    assert policy.v_ssc_free
+    with pytest.raises(ValueError):
+        policy_m2_negative_bl(levels, vdd=0.45, v_bl=0.05)

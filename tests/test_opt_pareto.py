@@ -1,0 +1,87 @@
+"""Pareto-front extraction and weighted optima."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt import best_weighted, pareto_front
+from repro.opt.results import LandscapePoint
+
+
+def point(d, e, n_r=64):
+    return LandscapePoint(n_r=n_r, v_ssc=0.0, n_pre=1, n_wr=1,
+                          edp=d * e, d_array=d, e_total=e)
+
+
+def test_front_filters_dominated_points():
+    points = [point(1.0, 4.0), point(2.0, 2.0), point(4.0, 1.0),
+              point(3.0, 3.0)]  # the last one is dominated
+    front = pareto_front(points)
+    assert len(front) == 3
+    assert all(not (p.d_array == 3.0 and p.e_total == 3.0) for p in front)
+
+
+def test_front_sorted_by_delay():
+    front = pareto_front([point(4.0, 1.0), point(1.0, 4.0),
+                          point(2.0, 2.0)])
+    delays = [p.d_array for p in front]
+    assert delays == sorted(delays)
+
+
+def test_single_point_front():
+    front = pareto_front([point(1.0, 1.0)])
+    assert len(front) == 1
+    assert front[0].edp == pytest.approx(1.0)
+
+
+points_strategy = st.lists(
+    st.tuples(st.floats(min_value=0.1, max_value=10.0),
+              st.floats(min_value=0.1, max_value=10.0)),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points_strategy)
+def test_front_is_mutually_non_dominated(raw):
+    """Property: no front member dominates another."""
+    front = pareto_front([point(d, e) for d, e in raw])
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            dominates = (a.d_array <= b.d_array and a.e_total <= b.e_total
+                         and (a.d_array < b.d_array
+                              or a.e_total < b.e_total))
+            assert not dominates
+
+
+@settings(max_examples=60, deadline=None)
+@given(points_strategy)
+def test_every_point_dominated_or_on_front(raw):
+    """Property: each input point is beaten (weakly) by a front point."""
+    points = [point(d, e) for d, e in raw]
+    front = pareto_front(points)
+    for p in points:
+        assert any(f.d_array <= p.d_array + 1e-12
+                   and f.e_total <= p.e_total + 1e-12 for f in front)
+
+
+def test_best_weighted_recovers_edp_optimum():
+    points = [point(1.0, 4.0), point(2.0, 1.5), point(4.0, 1.0)]
+    front = pareto_front(points)
+    best = best_weighted(front, 1.0, 1.0)
+    assert best.edp == pytest.approx(min(p.edp for p in points))
+
+
+def test_best_weighted_exponents_shift_choice():
+    points = [point(1.0, 5.0), point(5.0, 1.0)]
+    front = pareto_front(points)
+    fast = best_weighted(front, energy_exponent=1.0, delay_exponent=3.0)
+    green = best_weighted(front, energy_exponent=3.0, delay_exponent=1.0)
+    assert fast.d_array < green.d_array
+
+
+def test_best_weighted_empty_front_raises():
+    with pytest.raises(ValueError):
+        best_weighted([])

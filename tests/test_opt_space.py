@@ -1,0 +1,59 @@
+"""Design space: the paper's Section-5 ranges."""
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.opt import DesignSpace
+
+
+def test_default_ranges_match_paper():
+    space = DesignSpace()
+    assert space.v_ssc_values[0] == 0.0
+    assert space.v_ssc_values[-1] == pytest.approx(-0.240)
+    assert len(space.v_ssc_values) == 25
+    assert space.n_pre_max == 50
+    assert space.n_wr_max == 20
+    assert space.n_r_min == 2 and space.n_r_max == 1024
+
+
+def test_row_counts_divide_capacity():
+    space = DesignSpace()
+    rows = space.row_counts(1024)  # 128B
+    assert all(1024 % n_r == 0 for n_r in rows)
+    assert rows[0] == 2
+    assert rows[-1] == 1024  # n_c = 1 allowed? capacity/n_r >= 1
+
+
+def test_row_counts_respect_column_cap():
+    space = DesignSpace()
+    rows = space.row_counts(131072)  # 16KB
+    # n_c <= 1024 forces n_r >= 128.
+    assert min(rows) == 128
+    assert max(rows) == 1024
+
+
+def test_space_size_counts_raw_points():
+    space = DesignSpace()
+    n_rows = len(space.row_counts(8192))
+    assert space.size(8192) == n_rows * 25 * 50 * 20
+
+
+def test_fin_value_arrays():
+    space = DesignSpace()
+    assert list(space.n_pre_values[:3]) == [1, 2, 3]
+    assert len(space.n_wr_values) == 20
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(DesignSpaceError):
+        DesignSpace(n_r_min=3)
+    with pytest.raises(DesignSpaceError):
+        DesignSpace(n_r_min=64, n_r_max=32)
+    with pytest.raises(DesignSpaceError):
+        DesignSpace(n_pre_max=0)
+
+
+def test_impossible_capacity_raises():
+    space = DesignSpace(n_r_min=1024, n_r_max=1024)
+    with pytest.raises(DesignSpaceError):
+        space.row_counts(512)

@@ -1,0 +1,56 @@
+"""Sense amplifier, precharger, and write buffer characterizations."""
+
+import pytest
+
+from repro.periphery import (
+    PRECHARGE_CURRENT_COEFF,
+    WRITE_CURRENT_COEFF,
+    characterize_senseamp,
+    i_on_pfet,
+    precharge_current,
+    write_drive_current,
+)
+
+
+def test_senseamp_constants(hvt_char):
+    sense = hvt_char.sense
+    assert 1e-13 < sense.delay < 1e-10
+    assert sense.energy > 0
+    assert sense.delta_v_sense == pytest.approx(0.120)
+
+
+def test_senseamp_smaller_split_is_slower(library):
+    fast = characterize_senseamp(library, 0.120)
+    slow = characterize_senseamp(library, 0.040)
+    assert slow.delay > fast.delay
+
+
+def test_i_on_pfet_matches_device(library):
+    from repro.devices import FinFET
+
+    expected = FinFET(library.pfet_lvt).ion(library.vdd)
+    assert i_on_pfet(library) == pytest.approx(expected)
+
+
+def test_precharge_current_scaling(library):
+    base = precharge_current(library, 1)
+    assert precharge_current(library, 10) == pytest.approx(10 * base)
+    assert base == pytest.approx(
+        PRECHARGE_CURRENT_COEFF * i_on_pfet(library)
+    )
+
+
+def test_i_on_tg_magnitude(hvt_char, library):
+    from repro.devices import FinFET
+
+    i_tg = hvt_char.i_on_tg
+    nfet_ion = FinFET(library.nfet_lvt).ion(library.vdd)
+    # A TG passes somewhere between one and two single-device ONs.
+    assert 0.3 * nfet_ion < i_tg < 2.5 * nfet_ion
+
+
+def test_write_drive_current_scaling(hvt_char):
+    i_tg = hvt_char.i_on_tg
+    assert write_drive_current(i_tg, 4) == pytest.approx(
+        4 * WRITE_CURRENT_COEFF * i_tg
+    )

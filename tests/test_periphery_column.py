@@ -1,0 +1,48 @@
+"""Column-level validation of the analytical bitline-delay model."""
+
+import pytest
+
+from repro.periphery.column import (
+    build_read_column_circuit,
+    column_bitline_capacitance,
+    measure_read_column,
+)
+
+
+def test_lumped_capacitance_scales_with_rows(library):
+    c64 = column_bitline_capacitance(library, 64, n_pre=4)
+    c256 = column_bitline_capacitance(library, 256, n_pre=4)
+    assert c256 > 3.0 * c64
+
+
+def test_circuit_structure(library, hvt_cell):
+    circuit, bias = build_read_column_circuit(library, hvt_cell, 64)
+    circuit.compile()
+    assert "bl" in circuit.node_names
+    assert bias.v_bl == library.vdd
+
+
+def test_analytic_matches_simulation_no_assist(library, hvt_cell):
+    m = measure_read_column(library, hvt_cell, n_rows=64)
+    assert m.agreement == pytest.approx(1.0, abs=0.12)
+
+
+def test_analytic_matches_simulation_with_assists(library, hvt_cell):
+    m = measure_read_column(library, hvt_cell, n_rows=64,
+                            v_ddc=0.55, v_ssc=-0.24)
+    assert m.agreement == pytest.approx(1.0, abs=0.15)
+
+
+def test_simulated_negative_gnd_speedup(library, hvt_cell):
+    base = measure_read_column(library, hvt_cell, n_rows=64, v_ddc=0.55)
+    fast = measure_read_column(library, hvt_cell, n_rows=64,
+                               v_ddc=0.55, v_ssc=-0.24)
+    assert fast.simulated_delay < 0.4 * base.simulated_delay
+
+
+def test_simulated_delay_scales_with_rows(library, hvt_cell):
+    short = measure_read_column(library, hvt_cell, n_rows=64,
+                                v_ddc=0.55)
+    tall = measure_read_column(library, hvt_cell, n_rows=256,
+                               v_ddc=0.55)
+    assert 3.0 < tall.simulated_delay / short.simulated_delay < 5.0

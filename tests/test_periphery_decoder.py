@@ -1,0 +1,67 @@
+"""Structural decoder model."""
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.periphery import build_decoder_model
+
+
+@pytest.fixture(scope="module")
+def decoder(hvt_char):
+    return hvt_char.decoder
+
+
+def test_degenerate_decoder_is_free(decoder):
+    assert decoder.delay(0) == 0.0
+    assert decoder.energy(0) == 0.0
+
+
+def test_delay_monotone_in_address_bits(decoder):
+    delays = [decoder.delay(k) for k in range(1, 11)]
+    assert all(a <= b + 1e-15 for a, b in zip(delays, delays[1:]))
+
+
+def test_energy_monotone_in_address_bits(decoder):
+    energies = [decoder.energy(k) for k in range(1, 11)]
+    assert all(a <= b + 1e-20 for a, b in zip(energies, energies[1:]))
+
+
+def test_delay_grows_sublinearly_with_outputs(decoder):
+    """Buffer insertion keeps decoder delay ~log(n_r): doubling the
+    row count from 512 to 1024 must cost far less than 2x."""
+    assert decoder.delay(10) < 1.5 * decoder.delay(9)
+
+
+def test_delay_scale_is_picoseconds(decoder):
+    assert 1e-13 < decoder.delay(7) < 1e-9
+
+
+def test_requires_nand2():
+    with pytest.raises(DesignSpaceError):
+        build_decoder_model(object(), {3: object()}, 1e-16)
+
+
+def test_missing_large_fanin_raises(hvt_char):
+    decoder = build_decoder_model(
+        hvt_char.decoder.inverter,
+        {2: hvt_char.decoder.nands[2]},
+        hvt_char.driver.input_capacitance,
+    )
+    with pytest.raises(DesignSpaceError):
+        decoder.delay(9)  # needs a NAND5
+
+
+def test_max_address_bits(decoder):
+    assert decoder.max_address_bits() >= 10
+
+
+def test_buffer_chain_behavior(decoder):
+    d_small, e_small, n_small = decoder._buffer_chain(
+        decoder.inverter.c_input * 0.5
+    )
+    assert (d_small, e_small, n_small) == (0.0, 0.0, 0)
+    d_big, e_big, n_big = decoder._buffer_chain(
+        decoder.inverter.c_input * 100
+    )
+    assert n_big >= 3
+    assert d_big > 0 and e_big > 0

@@ -1,0 +1,66 @@
+"""Superbuffer model, validated against its transistor-level netlist."""
+
+import pytest
+
+from repro.periphery import (
+    STAGE_FINS,
+    SuperbufferModel,
+    build_superbuffer_circuit,
+    scaled_gate,
+)
+from repro.spice import step, transient
+
+
+def test_stage_fins_taper():
+    assert STAGE_FINS == (1, 3, 9, 27)
+
+
+def test_scaled_gate_algebra(hvt_char):
+    inv = hvt_char.decoder.inverter
+    big = scaled_gate(inv, 3)
+    assert big.drive_resistance == pytest.approx(inv.drive_resistance / 3)
+    assert big.c_input == pytest.approx(3 * inv.c_input)
+    assert big.e0 == pytest.approx(3 * inv.e0)
+    assert big.d0 == inv.d0
+
+
+def test_input_capacitance_is_unit_inverter(hvt_char):
+    driver = hvt_char.driver
+    assert driver.input_capacitance == pytest.approx(
+        driver.unit_inverter.c_input
+    )
+
+
+def test_first_three_delay_positive_and_balanced(hvt_char):
+    driver = hvt_char.driver
+    total = driver.first_three_delay
+    assert total > 0
+    # Equal-taper stages: each contributes about a third.
+    inv = driver.unit_inverter
+    stage1 = inv.delay(3 * inv.c_input)
+    assert total == pytest.approx(3 * stage1, rel=0.05)
+
+
+def test_model_against_simulated_superbuffer(library, hvt_char):
+    """The analytic first-three-stages delay must track a full
+    transistor-level simulation of the 1-3-9-27 chain."""
+    vdd = library.vdd
+    circuit = build_superbuffer_circuit(
+        library, load_cap=10e-15,
+        input_value=step(1e-12, 0.0, vdd, 0.1e-12),
+    )
+    result = transient(circuit, 120e-12, 5e-14)
+    half = 0.5 * vdd
+    t_in = result.node("n0").cross(half, "rise")
+    t_n3 = result.node("n3").cross(half)
+    simulated = t_n3 - t_in
+    model = hvt_char.driver.first_three_delay
+    assert model == pytest.approx(simulated, rel=0.45)
+
+
+def test_first_three_energy_positive(hvt_char):
+    assert hvt_char.driver.first_three_energy > 0
+
+
+def test_last_stage_fins(hvt_char):
+    assert hvt_char.driver.last_stage_device_fins() == 27

@@ -1,0 +1,48 @@
+"""Unit-gate characterization (one real inverter run + model algebra)."""
+
+import pytest
+
+from repro.periphery import GateCharacterization, characterize_inverter
+
+
+@pytest.fixture(scope="module")
+def inverter(library):
+    return characterize_inverter(library)
+
+
+def test_inverter_delay_model_fields(inverter):
+    assert inverter.d0 >= 0.0
+    assert inverter.drive_resistance > 0.0
+    # A single-fin near-threshold 7nm inverter: kOhm-scale drive.
+    assert 1e3 < inverter.drive_resistance < 1e5
+    assert inverter.c_input > 0
+
+
+def test_inverter_delay_increases_with_load(inverter):
+    assert inverter.delay(1e-15) < inverter.delay(5e-15)
+
+
+def test_inverter_energy_includes_load(inverter):
+    e_small = inverter.energy(1e-15)
+    e_large = inverter.energy(2e-15)
+    v = inverter.v_supply
+    assert e_large - e_small == pytest.approx(1e-15 * v * v, rel=1e-6)
+
+
+def test_gate_model_is_affine():
+    gate = GateCharacterization(
+        name="g", d0=1e-12, drive_resistance=1e4, e0=1e-16,
+        v_supply=0.45, c_input=1e-16,
+    )
+    assert gate.delay(0.0) == pytest.approx(1e-12)
+    assert gate.delay(1e-15) == pytest.approx(1e-12 + 1e4 * 1e-15)
+    assert gate.energy(0.0) == pytest.approx(1e-16)
+
+
+def test_nand_models_from_characterization(hvt_char):
+    nands = hvt_char.decoder.nands
+    inv = hvt_char.decoder.inverter
+    # Stacked NFETs: higher fan-in means weaker drive.
+    resistances = [nands[k].drive_resistance for k in sorted(nands)]
+    assert all(a < b for a, b in zip(resistances, resistances[1:]))
+    assert nands[2].drive_resistance > inv.drive_resistance

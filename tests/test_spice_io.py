@@ -1,0 +1,141 @@
+"""SPICE netlist import/export."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    operating_point,
+    parse_netlist,
+    parse_value,
+    transient,
+    write_netlist,
+)
+
+DIVIDER_DECK = """
+* resistor divider
+VS a 0 2.0
+R1 a m 3k
+R2 m 0 1k
+.end
+"""
+
+INVERTER_DECK = """
+* FinFET inverter driven by a pulse
+VDD vdd 0 450m
+VIN in 0 PULSE(0 450m 1p 0.1p 0.1p 20p)
+MP1 out in vdd pfet_lvt
+MN1 out in 0 nfet_lvt nfin=2
+CL out 0 0.28f
+.end
+"""
+
+
+def test_parse_value_suffixes():
+    assert parse_value("1k") == pytest.approx(1e3)
+    assert parse_value("0.28f") == pytest.approx(0.28e-15)
+    assert parse_value("450m") == pytest.approx(0.45)
+    assert parse_value("3meg") == pytest.approx(3e6)
+    assert parse_value("2.5e-12") == pytest.approx(2.5e-12)
+    assert parse_value("10p") == pytest.approx(1e-11)
+    assert parse_value("-5n") == pytest.approx(-5e-9)
+
+
+def test_parse_value_units_after_suffix():
+    # "1kohm" style trailing unit letters are tolerated.
+    assert parse_value("1kohm") == pytest.approx(1e3)
+
+
+def test_parse_value_rejects_garbage():
+    with pytest.raises(NetlistError):
+        parse_value("abc")
+
+
+def test_divider_deck_solves():
+    circuit = parse_netlist(DIVIDER_DECK)
+    sol = operating_point(circuit)
+    assert sol["m"] == pytest.approx(0.5)
+
+
+def test_comments_and_continuations():
+    deck = """
+* comment line
+VS a 0 1.0   ; trailing comment
+R1 a
++ m 1k
+R2 m 0 1k
+"""
+    circuit = parse_netlist(deck)
+    sol = operating_point(circuit)
+    assert sol["m"] == pytest.approx(0.5)
+
+
+def test_inverter_deck_transient(library):
+    circuit = parse_netlist(INVERTER_DECK, library=library)
+    result = transient(circuit, 10e-12, 0.05e-12)
+    # Input rises at 1 ps; the 2-fin NFET pulls the output low.
+    assert result.node("out").value_at(0.5e-12) == pytest.approx(
+        0.45, abs=0.01
+    )
+    assert result.node("out").final < 0.1
+
+
+def test_mos_card_requires_library():
+    with pytest.raises(NetlistError):
+        parse_netlist(INVERTER_DECK)
+
+
+def test_unknown_model_rejected(library):
+    with pytest.raises(NetlistError):
+        parse_netlist("M1 d g s bogus_model\n", library=library)
+
+
+def test_unknown_card_rejected():
+    with pytest.raises(NetlistError):
+        parse_netlist("X1 a b sub\n")
+
+
+def test_unsupported_directive_rejected():
+    with pytest.raises(NetlistError):
+        parse_netlist(".tran 1p 10p\nR1 a 0 1k\n")
+
+
+def test_pwl_source():
+    deck = "VS a 0 PWL(0 0 1n 1.0)\nR1 a 0 1k\n"
+    circuit = parse_netlist(deck)
+    source = circuit.element("VS")
+    assert source.voltage_at(0.0) == pytest.approx(0.0)
+    assert source.voltage_at(0.5e-9) == pytest.approx(0.5)
+
+
+def test_pwl_odd_args_rejected():
+    with pytest.raises(NetlistError):
+        parse_netlist("VS a 0 PWL(0 0 1n)\nR1 a 0 1k\n")
+
+
+def test_round_trip_dc_deck(library):
+    circuit = parse_netlist(DIVIDER_DECK)
+    text = write_netlist(circuit, library)
+    again = parse_netlist(text)
+    assert operating_point(again)["m"] == pytest.approx(0.5)
+
+
+def test_round_trip_fets(library):
+    deck = """
+VDD vdd 0 450m
+VIN in 0 200m
+MP1 out in vdd pfet_hvt nfin=3
+MN1 out in 0 nfet_hvt
+"""
+    circuit = parse_netlist(deck, library=library)
+    text = write_netlist(circuit, library)
+    assert "pfet_hvt" in text and "nfin=3" in text
+    again = parse_netlist(text, library=library)
+    a = operating_point(circuit)["out"]
+    b = operating_point(again)["out"]
+    assert a == pytest.approx(b, abs=1e-9)
+
+
+def test_time_varying_source_export_notes_limitation(library):
+    circuit = parse_netlist(INVERTER_DECK, library=library)
+    text = write_netlist(circuit, library)
+    assert "t=0 value" in text

@@ -1,0 +1,121 @@
+"""Circuit construction: nodes, elements, validation."""
+
+import pytest
+
+from repro.devices import DeviceLibrary, FinFET
+from repro.errors import NetlistError
+from repro.spice import Circuit
+from repro.spice.elements import GROUND_INDEX
+
+LIB = DeviceLibrary.default_7nm()
+
+
+def test_ground_aliases_map_to_ground_index():
+    c = Circuit()
+    for name in ("0", "gnd", "GND"):
+        assert c.node(name) == GROUND_INDEX
+    assert c.n_nodes == 0
+
+
+def test_nodes_created_on_first_use():
+    c = Circuit()
+    assert c.node("a") == 0
+    assert c.node("b") == 1
+    assert c.node("a") == 0
+    assert c.node_names == ("a", "b")
+
+
+def test_index_of_unknown_node_raises():
+    c = Circuit()
+    c.node("a")
+    with pytest.raises(NetlistError):
+        c.index_of("zzz")
+
+
+def test_duplicate_element_names_rejected():
+    c = Circuit()
+    c.add_resistor("r1", "a", "0", 100.0)
+    with pytest.raises(NetlistError):
+        c.add_resistor("r1", "a", "0", 200.0)
+
+
+def test_nonpositive_resistance_rejected():
+    c = Circuit()
+    with pytest.raises(NetlistError):
+        c.add_resistor("r", "a", "0", 0.0)
+
+
+def test_nonpositive_capacitance_rejected():
+    c = Circuit()
+    with pytest.raises(NetlistError):
+        c.add_capacitor("c", "a", "0", -1e-15)
+
+
+def test_unknowns_count_nodes_plus_sources():
+    c = Circuit()
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "b", 100.0)
+    c.add_resistor("r2", "b", "0", 100.0)
+    assert c.n_unknowns == 2 + 1
+
+
+def test_compile_assigns_branch_indices():
+    c = Circuit()
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "0", 100.0)
+    c.compile()
+    assert c.element("v1").branch_index == 1
+    assert c.compiled
+
+
+def test_compile_empty_circuit_rejected():
+    with pytest.raises(NetlistError):
+        Circuit().compile()
+
+
+def test_floating_single_connection_node_rejected():
+    c = Circuit()
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "dangling", 100.0)
+    with pytest.raises(NetlistError):
+        c.compile()
+
+
+def test_source_driven_single_connection_node_allowed():
+    c = Circuit()
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "0", 100.0)
+    c.compile()  # "a" has two touches; fine
+
+
+def test_unconnected_declared_node_rejected():
+    c = Circuit()
+    c.node("orphan")
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "0", 100.0)
+    with pytest.raises(NetlistError):
+        c.compile()
+
+
+def test_element_lookup():
+    c = Circuit()
+    c.add_resistor("r1", "a", "0", 100.0)
+    assert c.element("r1").resistance == 100.0
+    with pytest.raises(NetlistError):
+        c.element("nope")
+
+
+def test_add_fet_requires_device():
+    c = Circuit()
+    with pytest.raises(NetlistError):
+        c.add_fet("m1", "not a device", "g", "d", "s")
+    c.add_fet("m2", FinFET(LIB.nfet_lvt), "g", "d", "s")
+    assert len(c.elements) == 1
+
+
+def test_repr_contains_counts():
+    c = Circuit("mycircuit")
+    c.add_resistor("r1", "a", "0", 1.0)
+    text = repr(c)
+    assert "mycircuit" in text
+    assert "1 elements" in text

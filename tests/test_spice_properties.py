@@ -1,0 +1,94 @@
+"""Cross-cutting property tests for the circuit simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import (
+    Circuit,
+    operating_point,
+    parse_netlist,
+    step,
+    transient,
+    write_netlist,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    resistances=st.lists(st.floats(min_value=100.0, max_value=1e5),
+                         min_size=2, max_size=5),
+    v_in=st.floats(min_value=0.2, max_value=5.0),
+)
+def test_parallel_resistors_conductances_add(resistances, v_in):
+    """Property: N parallel resistors draw V * sum(1/R)."""
+    circuit = Circuit("parallel")
+    circuit.add_vsource("vs", "a", "0", v_in)
+    for k, r in enumerate(resistances):
+        circuit.add_resistor("r%d" % k, "a", "0", r)
+    sol = operating_point(circuit)
+    expected = v_in * sum(1.0 / r for r in resistances)
+    assert sol.source_current("vs") == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=0.2e-15, max_value=5e-15),
+                  min_size=1, max_size=4),
+    v_step=st.floats(min_value=0.2, max_value=2.0),
+)
+def test_total_charge_delivered_to_parallel_caps(caps, v_step):
+    """Property: after settling, the source delivered sum(C)*V^2 into
+    parallel RC branches (half stored, half dissipated — total C*V^2)."""
+    circuit = Circuit("rc_bank")
+    circuit.add_vsource("vs", "a", "0", step(1e-12, 0.0, v_step, 1e-15))
+    for k, c in enumerate(caps):
+        circuit.add_resistor("r%d" % k, "a", "m%d" % k, 5e3)
+        circuit.add_capacitor("c%d" % k, "m%d" % k, "0", c)
+    tau_max = 5e3 * max(caps)
+    result = transient(circuit, 1e-12 + 12.0 * tau_max, tau_max / 40.0)
+    expected = sum(caps) * v_step ** 2
+    assert result.delivered_energy("vs") == pytest.approx(
+        expected, rel=0.05
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    r_values=st.lists(st.floats(min_value=10.0, max_value=9.9e5),
+                      min_size=1, max_size=6),
+    v_value=st.floats(min_value=0.1, max_value=9.0),
+)
+def test_netlist_round_trip_preserves_solution(r_values, v_value):
+    """Property: write_netlist(parse) round-trips arbitrary ladders."""
+    circuit = Circuit("ladder")
+    circuit.add_vsource("VS", "n0", "0", v_value)
+    for k, r in enumerate(r_values):
+        circuit.add_resistor("R%d" % k, "n%d" % k, "n%d" % (k + 1), r)
+    circuit.add_resistor("RL", "n%d" % len(r_values), "0", 1e3)
+    text = write_netlist(circuit)
+    again = parse_netlist(text)
+    a = operating_point(circuit)
+    b = operating_point(again)
+    for node in circuit.node_names:
+        assert a[node] == pytest.approx(b[node], rel=1e-6, abs=1e-12)
+
+
+def test_transistor_circuit_kcl_residual(library):
+    """The converged inverter operating point satisfies KCL to solver
+    tolerance when re-evaluated from raw device currents."""
+    from repro.devices import FinFET
+
+    circuit = Circuit("inv")
+    circuit.add_vsource("vps", "vdd", "0", library.vdd)
+    circuit.add_vsource("vin", "in", "0", 0.2)
+    mp = FinFET(library.pfet_lvt)
+    mn = FinFET(library.nfet_lvt)
+    circuit.add_fet("mp", mp, "in", "out", "vdd")
+    circuit.add_fet("mn", mn, "in", "out", "0")
+    sol = operating_point(circuit)
+    out = sol["out"]
+    i_p = mp.current(0.2, out, library.vdd)
+    i_n = mn.current(0.2, out, 0.0)
+    assert i_p + i_n == pytest.approx(0.0, abs=1e-11)

@@ -1,0 +1,66 @@
+"""Stimulus builders: step, pulse, piecewise-linear."""
+
+import pytest
+
+from repro.spice import piecewise_linear, pulse, step
+
+
+def test_step_levels():
+    f = step(1.0, 0.0, 2.0, t_rise=0.2)
+    assert f(0.5) == 0.0
+    assert f(1.0) == 0.0
+    assert f(1.1) == pytest.approx(1.0)
+    assert f(1.2) == pytest.approx(2.0)
+    assert f(5.0) == 2.0
+
+
+def test_step_falling():
+    f = step(0.0, 1.0, 0.0, t_rise=1.0)
+    assert f(0.5) == pytest.approx(0.5)
+
+
+def test_step_rejects_nonpositive_rise():
+    with pytest.raises(ValueError):
+        step(0.0, 0.0, 1.0, t_rise=0.0)
+
+
+def test_pulse_shape():
+    f = pulse(0.0, 1.0, t_delay=1.0, t_width=2.0, t_rise=0.5)
+    assert f(0.0) == 0.0
+    assert f(1.25) == pytest.approx(0.5)
+    assert f(1.5) == pytest.approx(1.0)
+    assert f(3.0) == pytest.approx(1.0)
+    assert f(3.5 + 0.5) == pytest.approx(0.0)
+    assert f(10.0) == 0.0
+
+
+def test_pulse_separate_fall_time():
+    f = pulse(0.0, 1.0, t_delay=0.0, t_width=1.0, t_rise=0.1, t_fall=0.4)
+    assert f(1.1 + 0.2) == pytest.approx(0.5)
+
+
+def test_pwl_interpolation():
+    f = piecewise_linear([(0.0, 0.0), (1.0, 1.0), (2.0, -1.0)])
+    assert f(-1.0) == 0.0
+    assert f(0.5) == pytest.approx(0.5)
+    assert f(1.5) == pytest.approx(0.0)
+    assert f(99.0) == -1.0
+
+
+def test_pwl_step_discontinuity():
+    f = piecewise_linear([(0.0, 0.0), (1.0, 0.0), (1.0, 5.0), (2.0, 5.0)])
+    assert f(0.99) == pytest.approx(0.0, abs=0.05)
+    assert f(1.01) == pytest.approx(5.0, abs=0.05)
+
+
+def test_pwl_validation():
+    with pytest.raises(ValueError):
+        piecewise_linear([])
+    with pytest.raises(ValueError):
+        piecewise_linear([(1.0, 0.0), (0.5, 1.0)])
+
+
+def test_pwl_single_point_is_constant():
+    f = piecewise_linear([(1.0, 3.0)])
+    assert f(0.0) == 3.0
+    assert f(2.0) == 3.0

@@ -1,0 +1,139 @@
+"""Transient analysis: RC analytics, energy bookkeeping, early stop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, step, transient
+
+
+def rc_circuit(r=1e4, c=1e-15, v=1.0, t_step=1e-12):
+    circuit = Circuit("rc")
+    circuit.add_vsource("vs", "a", "0", step(t_step, 0.0, v, 1e-15))
+    circuit.add_resistor("r", "a", "b", r)
+    circuit.add_capacitor("c", "b", "0", c)
+    return circuit
+
+
+def test_rc_charging_matches_analytic():
+    r, c, v = 1e4, 1e-15, 1.0
+    tau = r * c  # 10 ps
+    result = transient(rc_circuit(r, c, v), 60e-12, 0.05e-12)
+    for n_tau in (1.0, 2.0, 3.0):
+        t = 1e-12 + n_tau * tau
+        expected = v * (1.0 - math.exp(-n_tau))
+        assert result.node("b").value_at(t) == pytest.approx(
+            expected, abs=0.01
+        )
+
+
+def test_rc_source_energy_split():
+    """The source delivers C*V^2 total: half stored, half dissipated."""
+    r, c, v = 1e4, 1e-15, 1.0
+    result = transient(rc_circuit(r, c, v), 150e-12, 0.05e-12)
+    delivered = result.delivered_energy("vs")
+    assert delivered == pytest.approx(c * v * v, rel=0.02)
+
+
+def test_initial_operating_point_respected():
+    # Before the step fires, the capacitor node holds its DC value (0).
+    result = transient(rc_circuit(t_step=5e-12), 8e-12, 0.05e-12)
+    assert abs(result.node("b").value_at(2e-12)) < 1e-9
+
+
+def test_transient_argument_validation():
+    with pytest.raises(ValueError):
+        transient(rc_circuit(), -1.0, 1e-12)
+    with pytest.raises(ValueError):
+        transient(rc_circuit(), 1e-12, 0.0)
+
+
+def test_stop_condition_ends_run_early():
+    result = transient(
+        rc_circuit(), 100e-12, 0.05e-12,
+        stop_condition=lambda t, v: v["b"] > 0.5,
+        stop_margin=2,
+    )
+    assert result.times[-1] < 50e-12
+    assert result.node("b").final > 0.45
+
+
+def test_record_every_subsamples():
+    dense = transient(rc_circuit(), 20e-12, 0.05e-12)
+    sparse = transient(rc_circuit(), 20e-12, 0.05e-12, record_every=5)
+    assert len(sparse.times) < len(dense.times)
+    # The final point is always kept.
+    assert sparse.times[-1] == pytest.approx(dense.times[-1])
+
+
+def test_two_capacitor_charge_sharing():
+    """A charged cap sharing onto an equal uncharged cap halves the
+    voltage (charge conservation through a resistor)."""
+    circuit = Circuit("share")
+    circuit.add_vsource("vdrv", "a", "0", step(1e-12, 1.0, 0.0, 1e-15))
+    circuit.add_resistor("riso", "a", "b", 1e6)  # weak tie to the driver
+    circuit.add_resistor("rshare", "b", "c", 1e3)
+    circuit.add_capacitor("c1", "b", "0", 1e-15)
+    circuit.add_capacitor("c2", "c", "0", 1e-15)
+    # At t=0 the DC solution puts b = c = 1.0 (driver high)...
+    result = transient(circuit, 4e-12, 0.02e-12)
+    # ... then the driver drops and both caps discharge toward 0 via the
+    # 1 MOhm tie with tau = 2 fF * 1 MOhm = 2 ns >> runtime, while the
+    # 1 kOhm share resistor keeps them equal.
+    b = result.node("b").final
+    c = result.node("c").final
+    assert b == pytest.approx(c, abs=0.02)
+    assert b > 0.95  # barely discharged within 4 ps
+
+
+def test_branch_current_waveform_available():
+    result = transient(rc_circuit(), 20e-12, 0.1e-12)
+    current = result.branch_current("vs")
+    assert len(current.values) == len(result.times)
+    # Peak charging current ~ V/R right after the step.
+    assert float(np.max(np.abs(current.values))) == pytest.approx(
+        1.0 / 1e4, rel=0.2
+    )
+
+
+def test_trapezoidal_more_accurate_at_coarse_steps():
+    """Second-order trap beats first-order BE on a coarse-step RC."""
+    import math
+
+    r, c, v = 1e4, 1e-15, 1.0
+    tau = r * c
+    dt = tau / 4.0  # deliberately coarse
+    t_probe = 1e-12 + 2.0 * tau
+    exact = v * (1.0 - math.exp(-2.0))
+    be = transient(rc_circuit(r, c, v), 40e-12, dt, method="be")
+    trap = transient(rc_circuit(r, c, v), 40e-12, dt, method="trap")
+    err_be = abs(be.node("b").value_at(t_probe) - exact)
+    err_trap = abs(trap.node("b").value_at(t_probe) - exact)
+    assert err_trap < 0.5 * err_be
+
+
+def test_trapezoidal_matches_be_at_fine_steps():
+    be = transient(rc_circuit(), 30e-12, 0.02e-12, method="be")
+    trap = transient(rc_circuit(), 30e-12, 0.02e-12, method="trap")
+    assert trap.node("b").final == pytest.approx(
+        be.node("b").final, abs=1e-3
+    )
+
+
+def test_trapezoidal_energy_accuracy():
+    """At a coarse step, trap's delivered source energy stays closer to
+    the exact C*V^2 than BE's."""
+    r, c, v = 1e4, 1e-15, 1.0
+    dt = r * c / 4.0
+    be = transient(rc_circuit(r, c, v), 200e-12, dt, method="be")
+    trap = transient(rc_circuit(r, c, v), 200e-12, dt, method="trap")
+    exact = c * v * v
+    err_be = abs(be.delivered_energy("vs") - exact)
+    err_trap = abs(trap.delivered_energy("vs") - exact)
+    assert err_trap <= err_be + 1e-18
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        transient(rc_circuit(), 1e-12, 1e-13, method="gear")

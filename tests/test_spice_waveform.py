@@ -1,0 +1,113 @@
+"""Waveform measurements: crossings, delays, integrals, energies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.spice.waveform import TransientResult, Waveform
+
+
+def ramp_waveform():
+    t = np.linspace(0.0, 10.0, 101)
+    return Waveform(t, t.copy(), "ramp")
+
+
+def test_waveform_shape_validation():
+    with pytest.raises(ValueError):
+        Waveform([0, 1], [0], "bad")
+    with pytest.raises(ValueError):
+        Waveform([0], [0], "short")
+
+
+def test_value_at_interpolates():
+    w = ramp_waveform()
+    assert w.value_at(2.5) == pytest.approx(2.5)
+
+
+def test_initial_and_final():
+    w = ramp_waveform()
+    assert w.initial == 0.0
+    assert w.final == 10.0
+
+
+def test_cross_rising_exact_interpolation():
+    w = ramp_waveform()
+    assert w.cross(3.3, "rise") == pytest.approx(3.3)
+
+
+def test_cross_falling():
+    t = np.linspace(0.0, 10.0, 101)
+    w = Waveform(t, 10.0 - t, "fall")
+    assert w.cross(4.0, "fall") == pytest.approx(6.0)
+
+
+def test_cross_occurrence_selection():
+    t = np.linspace(0.0, 2.0 * np.pi, 1001)
+    w = Waveform(t, np.sin(t), "sine")
+    first = w.cross(0.5, "rise", occurrence=1)
+    assert first == pytest.approx(np.arcsin(0.5), abs=0.01)
+    second_rise_missing = w.crosses(0.5, "rise")
+    assert second_rise_missing  # at least one exists
+    fall = w.cross(0.5, "fall")
+    assert fall == pytest.approx(np.pi - np.arcsin(0.5), abs=0.01)
+
+
+def test_cross_missing_raises_with_context():
+    w = ramp_waveform()
+    with pytest.raises(CharacterizationError) as err:
+        w.cross(99.0)
+    assert "ramp" in str(err.value)
+    assert not w.crosses(99.0)
+
+
+def test_cross_edge_filtering():
+    t = np.linspace(0.0, 10.0, 101)
+    w = Waveform(t, t.copy(), "ramp")
+    with pytest.raises(CharacterizationError):
+        w.cross(5.0, "fall")
+
+
+def test_integral_of_ramp():
+    w = ramp_waveform()
+    assert w.integral() == pytest.approx(50.0)
+
+
+def make_result():
+    times = np.linspace(0.0, 1.0, 11)
+    nodes = {"a": times * 2.0, "b": 2.0 - times * 2.0}
+    branches = {"vs": np.full_like(times, -1e-3)}
+    svolt = {"vs": np.full_like(times, 2.0)}
+    return TransientResult(times, nodes, branches, svolt)
+
+
+def test_result_node_access():
+    res = make_result()
+    assert res.node("a").final == pytest.approx(2.0)
+    assert res.node("gnd").final == 0.0
+    with pytest.raises(KeyError):
+        res.node("zzz")
+    assert set(res.node_names) == {"a", "b"}
+
+
+def test_result_delay():
+    res = make_result()
+    # a rises through 1.0 at t=0.5; b falls through 1.0 at t=0.5.
+    assert res.delay("a", "b", 1.0, "rise", "fall") == pytest.approx(0.0)
+
+
+def test_delivered_power_and_energy():
+    res = make_result()
+    power = res.delivered_power("vs")
+    # -V*I = -2.0 * (-1e-3) = +2 mW constant.
+    assert np.allclose(power.values, 2e-3)
+    assert res.delivered_energy("vs") == pytest.approx(2e-3)
+    assert res.delivered_energy("vs", t_start=0.5) == pytest.approx(1e-3)
+    # Degenerate window returns zero.
+    assert res.delivered_energy("vs", t_start=0.99, t_stop=1.0) in (
+        pytest.approx(2e-5, rel=0.5), 0.0
+    )
+
+
+def test_branch_current_waveform():
+    res = make_result()
+    assert res.branch_current("vs").final == pytest.approx(-1e-3)

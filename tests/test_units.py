@@ -1,0 +1,111 @@
+"""Unit helpers: conversions, formatting, power-of-two utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_phi_t_room_temperature():
+    assert 0.0255 < units.PHI_T < 0.0262
+
+
+def test_mv_to_volts():
+    assert units.mV(450) == pytest.approx(0.45)
+
+
+def test_ua_na_pa_scaling():
+    assert units.uA(1) == pytest.approx(1e-6)
+    assert units.nA(1) == pytest.approx(1e-9)
+    assert units.pA(1) == pytest.approx(1e-12)
+
+
+def test_capacitance_helpers():
+    assert units.fF(0.17) == pytest.approx(0.17e-15)
+    assert units.aF(170) == pytest.approx(units.fF(0.17))
+
+
+def test_time_helpers():
+    assert units.ps(1.5) == pytest.approx(1.5e-12)
+    assert units.ns(1) == pytest.approx(1000 * units.ps(1))
+
+
+def test_energy_power_helpers():
+    assert units.fJ(1) == pytest.approx(1e-15)
+    assert units.aJ(1000) == pytest.approx(units.fJ(1))
+    assert units.nW(1.692) == pytest.approx(1.692e-9)
+
+
+def test_length_helpers():
+    assert units.nm(43) == pytest.approx(43e-9)
+    assert units.um(1) == pytest.approx(1000 * units.nm(1))
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_as_mv_round_trip(value):
+    assert units.as_mV(units.mV(value)) == pytest.approx(value)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_as_ps_round_trip(value):
+    assert units.as_ps(units.ps(value)) == pytest.approx(value)
+
+
+def test_as_accessors():
+    assert units.as_uA(2.5e-6) == pytest.approx(2.5)
+    assert units.as_nA(3e-9) == pytest.approx(3.0)
+    assert units.as_fF(5e-15) == pytest.approx(5.0)
+    assert units.as_fJ(7e-15) == pytest.approx(7.0)
+    assert units.as_aJ(1e-18) == pytest.approx(1.0)
+    assert units.as_nW(0.082e-9) == pytest.approx(0.082)
+
+
+def test_eng_formatting():
+    assert units.eng(1.692e-9, "W") == "1.692nW"
+    assert units.eng(0.0, "V") == "0V"
+    assert units.eng(4.5e-12, "s") == "4.5ps"
+    assert units.eng(2.2e3, "Hz") == "2.2kHz"
+
+
+def test_eng_negative_values():
+    assert units.eng(-0.24, "V").startswith("-240")
+
+
+def test_bytes_to_bits():
+    assert units.bytes_to_bits(128) == 1024
+
+
+def test_capacity_label():
+    assert units.capacity_label(128) == "128B"
+    assert units.capacity_label(1024) == "1KB"
+    assert units.capacity_label(16384) == "16KB"
+
+
+def test_is_power_of_two():
+    assert units.is_power_of_two(1)
+    assert units.is_power_of_two(1024)
+    assert not units.is_power_of_two(0)
+    assert not units.is_power_of_two(-4)
+    assert not units.is_power_of_two(3)
+    assert not units.is_power_of_two(2.5)
+
+
+@given(st.integers(min_value=0, max_value=60))
+def test_log2_int_powers(exponent):
+    assert units.log2_int(2 ** exponent) == exponent
+
+
+def test_log2_int_rejects_non_powers():
+    with pytest.raises(ValueError):
+        units.log2_int(12)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_is_power_of_two_matches_bit_trick(value):
+    expected = value & (value - 1) == 0
+    assert units.is_power_of_two(value) == expected
