@@ -1,0 +1,111 @@
+"""Serial vs parallel full-matrix study benchmark.
+
+Times the complete capacity x flavor x method optimization matrix (the
+paper's whole Table-4/Figure-7 workload) through the serial path and the
+parallel study runner, then writes both a human-readable report and the
+machine-readable ``BENCH_search.json`` baseline (repo root) so future
+PRs can track the search-performance trajectory:
+
+* ``single.*`` — one 16KB/HVT/M2 exhaustive search per engine, the
+  configuration the acceptance gate tracks;
+* ``matrix.*`` — the full 20-cell study, serial and parallel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.analysis.runner import run_study
+from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_search.json")
+
+#: Workers to request for the parallel leg (bounded by the host).
+REQUESTED_WORKERS = 4
+
+
+def _time_engine(paper_session, engine, repeats=3):
+    """Best-of-N wall time of one 16KB/HVT/M2 exhaustive search [s]."""
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt"),
+    )
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    optimizer.optimize(16384 * 8, policy, engine=engine)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        optimizer.optimize(16384 * 8, policy, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_parallel_study_matrix(paper_session, report_writer):
+    cpus = os.cpu_count() or 1
+    workers = min(REQUESTED_WORKERS, max(cpus, 1))
+
+    single_loop = _time_engine(paper_session, "loop")
+    single_vec = _time_engine(paper_session, "vectorized")
+
+    serial = run_study(session=paper_session, workers=1)
+    parallel = run_study(session=paper_session, workers=workers,
+                         executor="process")
+    speedup = serial.total_seconds / parallel.total_seconds
+
+    baseline = {
+        "schema": "BENCH_search/v1",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "cpus": cpus,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "single": {
+            "config": "16KB/hvt/M2",
+            "loop_seconds": single_loop,
+            "vectorized_seconds": single_vec,
+            "vectorization_speedup": single_loop / single_vec,
+        },
+        "matrix": {
+            "tasks": len(serial.timings),
+            "serial_seconds": serial.total_seconds,
+            "parallel_seconds": parallel.total_seconds,
+            "parallel_workers": parallel.workers,
+            "parallel_executor": parallel.executor,
+            "parallel_speedup": speedup,
+            "per_task_ms": {
+                t.task.label: round(t.seconds * 1e3, 3)
+                for t in serial.timings
+            },
+        },
+    }
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = [
+        "Search-performance baseline (written to BENCH_search.json)",
+        "single 16KB/HVT/M2: loop %.1f ms, vectorized %.1f ms (%.1fx)"
+        % (single_loop * 1e3, single_vec * 1e3, single_loop / single_vec),
+        "full matrix (%d tasks): serial %.2f s, parallel %.2f s "
+        "(%d workers, %.2fx)"
+        % (len(serial.timings), serial.total_seconds,
+           parallel.total_seconds, parallel.workers, speedup),
+        "",
+        parallel.report(),
+    ]
+    report_writer("bench_parallel_study", "\n".join(lines))
+
+    # Correctness regardless of speed: both paths must agree exactly.
+    for key, result in parallel.sweep.results.items():
+        assert result.metrics.edp == serial.sweep.results[key].metrics.edp
+        assert result.design == serial.sweep.results[key].design
+    # The vectorized engine carries the acceptance gate everywhere; the
+    # parallel-speedup gate only exists where parallel hardware does.
+    assert single_loop / single_vec >= 3.0
+    if cpus >= 2 and parallel.workers >= 2:
+        assert speedup > 1.5

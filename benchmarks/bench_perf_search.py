@@ -48,3 +48,19 @@ def bench_full_optimization(benchmark, paper_session):
     result = benchmark(optimizer.optimize, 16384 * 8, policy)
     assert result.metrics.edp > 0
     assert result.n_evaluated >= 50_000
+
+
+def bench_full_optimization_loop_engine(benchmark, paper_session):
+    """The same 16KB search through the reference slice-loop engine —
+    the denominator of the vectorization speedup tracked in
+    ``BENCH_search.json``."""
+    model = paper_session.model("hvt")
+    constraint = paper_session.constraint("hvt")
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    optimizer = ExhaustiveOptimizer(model, DesignSpace(), constraint)
+    optimizer.optimize(16384 * 8, policy, engine="loop")
+
+    result = benchmark(optimizer.optimize, 16384 * 8, policy,
+                       engine="loop")
+    assert result.metrics.edp > 0
+    assert result.n_evaluated >= 50_000

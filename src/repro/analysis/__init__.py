@@ -20,6 +20,13 @@ from .experiments import (
     optimize_all,
 )
 from .charts import bar_chart, grouped_bar_chart, sparkline
+from .runner import (
+    StudyRunResult,
+    StudyTask,
+    TaskTiming,
+    run_study,
+    study_matrix,
+)
 from .extensions import (
     breakdown_study,
     corners_study,
@@ -42,7 +49,10 @@ __all__ = [
     "HeadlineResult",
     "SelfCheckResult",
     "Session",
+    "StudyRunResult",
+    "StudyTask",
     "SweepResult",
+    "TaskTiming",
     "bar_chart",
     "breakdown_study",
     "grouped_bar_chart",
@@ -56,6 +66,8 @@ __all__ = [
     "fig5_write_assists",
     "load_json",
     "optimize_all",
+    "run_study",
+    "study_matrix",
     "temperature_study",
     "word_width_study",
     "paper_vs_measured",

@@ -17,6 +17,7 @@ simulations need to reach the yield floor (the paper's own procedure);
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -90,10 +91,14 @@ class Session:
             library=library, config=config, cache=cache,
             voltage_mode=voltage_mode,
         )
-        for flavor in FLAVORS:
-            session.chars[flavor] = characterize(library, flavor,
-                                                 cache=cache)
-            session.cells[flavor] = SRAM6TCell.from_library(library, flavor)
+        # Batch all cold-start characterization inserts into one flush.
+        with cache.deferred() if cache is not None else _nullcontext():
+            for flavor in FLAVORS:
+                session.chars[flavor] = characterize(library, flavor,
+                                                     cache=cache)
+                session.cells[flavor] = SRAM6TCell.from_library(
+                    library, flavor
+                )
         return session
 
     @property
@@ -483,8 +488,12 @@ class SweepResult:
 
 
 def optimize_all(session, capacities=CAPACITIES_BYTES,
-                 keep_landscape=False):
-    """Run the exhaustive optimizer over the full evaluation matrix."""
+                 keep_landscape=False, engine="vectorized"):
+    """Run the exhaustive optimizer over the full evaluation matrix.
+
+    Serial reference driver; :func:`repro.analysis.runner.run_study`
+    produces the same sweep across a worker pool.
+    """
     space = DesignSpace()
     results = {}
     for flavor in FLAVORS:
@@ -496,7 +505,8 @@ def optimize_all(session, capacities=CAPACITIES_BYTES,
             policy = make_policy(method, levels)
             for capacity in capacities:
                 results[(capacity, flavor, method)] = optimizer.optimize(
-                    capacity * 8, policy, keep_landscape=keep_landscape
+                    capacity * 8, policy, keep_landscape=keep_landscape,
+                    engine=engine,
                 )
     return SweepResult(results=results, voltage_mode=session.voltage_mode)
 

@@ -1,0 +1,288 @@
+"""Parallel study runner: fan the capacity x flavor x method matrix out
+over a worker pool.
+
+A full Table-4 / Figure-7 study is 20 independent exhaustive searches
+(5 capacities x 2 flavors x 2 methods).  They share only *read-only*
+state — the characterization LUTs and the memoized yield margins — so
+the matrix parallelizes embarrassingly:
+
+* ``executor="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers each build one :class:`Session` from the (warm)
+  characterization cache in their initializer, then reuse it for every
+  task they pull.  The parent pre-computes the yield margins for the
+  whole V_SSC candidate axis once and ships the memo to every worker
+  (:meth:`YieldConstraint.seed_margin_memo`), so no process ever re-runs
+  a butterfly the study already ran.
+* ``executor="thread"`` — a thread pool sharing the parent session
+  directly.  The heavy lifting is numpy broadcasting, which releases
+  the GIL, so threads scale too while skipping worker start-up.
+* ``executor="serial"`` — the plain loop (what
+  :func:`repro.analysis.optimize_all` does), useful as the baseline.
+
+Results are keyed by ``(capacity, flavor, method)`` and assembled into a
+:class:`SweepResult` after every future resolves, so the outcome is
+deterministic and independent of task completion order.  Every task
+records wall time and evaluation counts (:class:`TaskTiming`), and the
+workers' :mod:`repro.perf` registries are merged back into the parent's
+so ``--profile`` accounts for every millisecond even across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .. import perf
+from ..opt import DesignSpace, ExhaustiveOptimizer, make_policy
+from .experiments import (
+    CAPACITIES_BYTES,
+    DEFAULT_CACHE_PATH,
+    FLAVORS,
+    METHODS,
+    Session,
+    SweepResult,
+)
+from .tables import render_dict_table
+from ..units import capacity_label
+
+
+@dataclass(frozen=True)
+class StudyTask:
+    """One cell of the study matrix."""
+
+    capacity_bytes: int
+    flavor: str
+    method: str
+
+    @property
+    def key(self):
+        return (self.capacity_bytes, self.flavor, self.method)
+
+    @property
+    def label(self):
+        return "%s/%s/%s" % (
+            capacity_label(self.capacity_bytes), self.flavor.upper(),
+            self.method,
+        )
+
+
+def study_matrix(capacities=CAPACITIES_BYTES, flavors=FLAVORS,
+                 methods=METHODS):
+    """The full task matrix in canonical (deterministic) order."""
+    return tuple(
+        StudyTask(capacity, flavor, method)
+        for flavor in flavors
+        for method in methods
+        for capacity in capacities
+    )
+
+
+@dataclass
+class TaskTiming:
+    """Per-task telemetry: where the study's milliseconds went."""
+
+    task: StudyTask
+    seconds: float
+    n_evaluated: int
+    worker: int   # pid (process pool) or 0 (in-process)
+
+    def row(self):
+        return {
+            "task": self.task.label,
+            "ms": round(self.seconds * 1e3, 2),
+            "n_evaluated": self.n_evaluated,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class StudyRunResult:
+    """A finished study: the sweep plus its execution telemetry."""
+
+    sweep: SweepResult
+    timings: list = field(default_factory=list)
+    total_seconds: float = 0.0
+    workers: int = 1
+    executor: str = "serial"
+
+    @property
+    def task_seconds(self):
+        """Sum of per-task wall times (the serial-equivalent work)."""
+        return sum(t.seconds for t in self.timings)
+
+    def report(self):
+        rows = [t.row() for t in self.timings]
+        text = render_dict_table(
+            rows,
+            title="Study runner telemetry (%s, %d worker%s)"
+            % (self.executor, self.workers,
+               "" if self.workers == 1 else "s"),
+        )
+        text += (
+            "\ntotal wall time: %.3f s   task time: %.3f s   "
+            "parallel efficiency: %.0f%%"
+            % (self.total_seconds, self.task_seconds,
+               100.0 * self.task_seconds
+               / (self.total_seconds * max(self.workers, 1) or 1.0))
+        )
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery (module-level so the process pool can pickle it)
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE = {}
+
+
+def _worker_init(cache_path, voltage_mode, space, margin_memos):
+    """Build one shared read-only session per worker process."""
+    # Fork-started workers inherit the parent's telemetry registry;
+    # clear it so the first task's snapshot is this worker's delta only.
+    perf.get_registry().reset()
+    session = Session.create(cache_path=cache_path,
+                             voltage_mode=voltage_mode)
+    for flavor, memo in margin_memos.items():
+        session.constraint(flavor).seed_margin_memo(memo)
+    _WORKER_STATE["session"] = session
+    _WORKER_STATE["space"] = space
+
+
+def _run_task_in_worker(task, engine, keep_landscape):
+    session = _WORKER_STATE["session"]
+    space = _WORKER_STATE["space"]
+    result, seconds = _execute_task(session, space, task, engine,
+                                    keep_landscape)
+    # Snapshot-and-reset so each returned snapshot is a disjoint delta;
+    # the parent merges them all without double counting.
+    registry = perf.get_registry()
+    snapshot = registry.snapshot()
+    registry.reset()
+    return task, result, seconds, os.getpid(), snapshot
+
+
+def _execute_task(session, space, task, engine, keep_landscape):
+    start = time.perf_counter()
+    model = session.model(task.flavor)
+    constraint = session.constraint(task.flavor)
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    policy = make_policy(task.method, session.yield_levels(task.flavor))
+    result = optimizer.optimize(
+        task.capacity_bytes * 8, policy, keep_landscape=keep_landscape,
+        engine=engine,
+    )
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
+              methods=METHODS, workers=None, executor="auto",
+              engine="vectorized", keep_landscape=False, space=None,
+              cache_path=None, voltage_mode="paper"):
+    """Run the full study matrix, optionally across a worker pool.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or
+    ``executor="serial"``) runs in-process.  ``executor="auto"`` picks a
+    process pool when more than one worker is requested.  Returns a
+    :class:`StudyRunResult` whose ``sweep`` is byte-for-byte the same
+    :class:`SweepResult` a serial :func:`optimize_all` would produce,
+    regardless of worker count or completion order.
+    """
+    if session is None:
+        session = Session.create(
+            cache_path=cache_path or DEFAULT_CACHE_PATH,
+            voltage_mode=voltage_mode,
+        )
+    if cache_path is None and session.cache is not None:
+        cache_path = session.cache.path
+    space = space or DesignSpace()
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(int(workers), 1)
+    if executor == "auto":
+        executor = "process" if workers > 1 else "serial"
+    if workers == 1:
+        executor = "serial"
+    tasks = study_matrix(capacities, flavors, methods)
+    workers = min(workers, len(tasks))
+
+    # Warm and export the margin memos once, in the parent: feasibility
+    # masks over the whole V_SSC axis for every flavor in play.
+    margin_memos = {}
+    with perf.timed("study.warm_margins"):
+        for flavor in set(task.flavor for task in tasks):
+            constraint = session.constraint(flavor)
+            levels = session.yield_levels(flavor)
+            for method in set(task.method for task in tasks):
+                policy = make_policy(method, levels)
+                constraint.satisfied_grid(
+                    policy.v_ddc,
+                    [float(v) for v in policy.v_ssc_candidates(space)],
+                    policy.v_wl, policy.v_bl,
+                )
+            margin_memos[flavor] = constraint.export_margin_memo()
+
+    start = time.perf_counter()
+    results = {}
+    timings = {}
+    if executor == "serial":
+        for task in tasks:
+            result, seconds = _execute_task(session, space, task, engine,
+                                            keep_landscape)
+            results[task.key] = result
+            timings[task.key] = TaskTiming(task, seconds,
+                                           result.n_evaluated, 0)
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_task, session, space, task, engine,
+                            keep_landscape): task
+                for task in tasks
+            }
+            for future, task in futures.items():
+                result, seconds = future.result()
+                results[task.key] = result
+                timings[task.key] = TaskTiming(task, seconds,
+                                               result.n_evaluated, 0)
+    elif executor == "process":
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(cache_path, session.voltage_mode, space,
+                      margin_memos),
+        ) as pool:
+            futures = [
+                pool.submit(_run_task_in_worker, task, engine,
+                            keep_landscape)
+                for task in tasks
+            ]
+            for future in futures:
+                task, result, seconds, pid, snapshot = future.result()
+                results[task.key] = result
+                timings[task.key] = TaskTiming(task, seconds,
+                                               result.n_evaluated, pid)
+                perf.get_registry().merge(snapshot)
+    else:
+        raise ValueError(
+            "unknown executor %r (expected 'auto', 'serial', 'thread', "
+            "or 'process')" % (executor,)
+        )
+    total_seconds = time.perf_counter() - start
+    perf.get_registry().add_time("study.run_study", total_seconds)
+    perf.count("study.tasks", len(tasks))
+
+    sweep = SweepResult(results=results,
+                        voltage_mode=session.voltage_mode)
+    ordered_timings = [timings[task.key] for task in tasks]
+    return StudyRunResult(
+        sweep=sweep,
+        timings=ordered_timings,
+        total_seconds=total_seconds,
+        workers=workers if executor != "serial" else 1,
+        executor=executor,
+    )

@@ -9,7 +9,12 @@ fitted average-current coefficients (0.30, 0.15, 0.25, 0.18, 0.33, 0.50)
 and the fixed driver fin counts (20 for the CVDD/CVSS rail muxes, 27 for
 the WL/COL driver last stage).
 
-``n_pre`` / ``n_wr`` may be numpy arrays; everything broadcasts.
+``n_pre`` / ``n_wr`` may be numpy arrays; everything broadcasts.  So may
+``v_ssc``: the vectorized exhaustive search passes the whole feasible
+V_SSC candidate axis with shape ``(S, 1, 1)`` alongside an
+``(N_pre, N_wr)`` fin grid, and every V_SSC-dependent component (CVSS
+rail, BL read discharge) comes back with the full ``(S, P, W)``
+broadcast shape.
 """
 
 from __future__ import annotations
@@ -45,6 +50,14 @@ class ComponentSet:
         return self.energies[name]
 
 
+def _neg_part(v):
+    """``|min(v, 0)|`` for scalars or arrays, preserving the scalar
+    arithmetic (and hence bit-exact results) on the scalar path."""
+    if np.ndim(v) == 0:
+        return abs(min(float(v), 0.0))
+    return np.abs(np.minimum(v, 0.0))
+
+
 def _safe_div(numerator, current):
     """C*dV / I with a guard: zero numerator yields zero delay even when
     the drive current is also zero (e.g. V_SSC = 0 disables the CVSS
@@ -60,7 +73,8 @@ def _safe_div(numerator, current):
 
 def compute_components(char, org, config, n_pre, n_wr,
                        v_ddc, v_ssc, v_wl, v_bl=0.0):
-    """Evaluate Table 2 for one design point (fins may be arrays).
+    """Evaluate Table 2 for one design point (``n_pre`` / ``n_wr`` /
+    ``v_ssc`` may be broadcastable arrays).
 
     ``v_bl`` is the write-low bitline level: 0 in the paper's adopted
     scheme, negative under the negative-BL write assist (extension),
@@ -79,7 +93,7 @@ def compute_components(char, org, config, n_pre, n_wr,
     e["CVDD"] = caps["CVDD"] * vdd * dv_cvdd
 
     # Cell Vss rail: swings 0 -> V_SSC through the 20-fin NFET mux.
-    dv_cvss = abs(min(v_ssc, 0.0))
+    dv_cvss = _neg_part(v_ssc)
     i_cvss = COEFF_CVSS * RAIL_DRIVER_FINS * char.i_cvss(v_ssc)
     d["CVSS"] = _safe_div(caps["CVSS"] * dv_cvss, i_cvss)
     e["CVSS"] = caps["CVSS"] * vdd * dv_cvss

@@ -5,8 +5,12 @@ Table 3 (access delays/energies), and Eqs. (2)-(5) (array delay, energy,
 and their product) together over one :class:`ArrayCharacterization`.
 
 ``n_pre`` / ``n_wr`` may be numpy arrays: a single call then evaluates a
-whole fin-count grid, which is how the exhaustive optimizer sweeps its
-250k-point design space in well under the paper's two minutes.
+whole fin-count grid.  ``v_ssc`` may also be an array (conventionally
+shaped ``(S, 1, 1)`` so it broadcasts as a leading axis over the
+``(N_pre, N_wr)`` grid): the vectorized exhaustive optimizer evaluates
+an entire policy's feasible ``V_SSC x N_pre x N_wr`` space for one row
+count in a single call, which is how it sweeps its 250k-point design
+space in well under the paper's two minutes.
 """
 
 from __future__ import annotations
@@ -31,17 +35,21 @@ class DesignPoint:
     n_pre: object  # int or numpy array
     n_wr: object   # int or numpy array
     v_ddc: float
-    v_ssc: float
+    v_ssc: object  # float or numpy array (broadcast V_SSC axis)
     v_wl: float
     #: Write-low bitline level (0 = paper's adopted WLOD-only scheme;
     #: negative under the negative-BL write-assist extension).
     v_bl: float = 0.0
 
     def describe(self):
+        if np.ndim(self.v_ssc) == 0:
+            v_ssc_text = "%.0fmV" % (self.v_ssc * 1e3)
+        else:
+            v_ssc_text = "<%d-level axis>" % np.size(self.v_ssc)
         text = (
-            "%dx%d N_pre=%s N_wr=%s V_DDC=%.0fmV V_SSC=%.0fmV V_WL=%.0fmV"
+            "%dx%d N_pre=%s N_wr=%s V_DDC=%.0fmV V_SSC=%s V_WL=%.0fmV"
             % (self.n_r, self.n_c, self.n_pre, self.n_wr,
-               self.v_ddc * 1e3, self.v_ssc * 1e3, self.v_wl * 1e3)
+               self.v_ddc * 1e3, v_ssc_text, self.v_wl * 1e3)
         )
         if self.v_bl < 0:
             text += " V_BL=%.0fmV" % (self.v_bl * 1e3)
@@ -125,8 +133,9 @@ class SRAMArrayModel:
     def evaluate(self, capacity_bits, design):
         """Full Table-1..3 + Eq.(2)-(5) evaluation of ``design``.
 
-        ``design.n_pre`` / ``design.n_wr`` may be numpy arrays; every
-        metric field then carries the broadcast shape.
+        ``design.n_pre`` / ``design.n_wr`` / ``design.v_ssc`` may be
+        numpy arrays; every metric field then carries the broadcast
+        shape (``(S, P, W)`` when a V_SSC axis rides along a fin grid).
         """
         org = ArrayOrganization(
             n_r=design.n_r, n_c=design.n_c,

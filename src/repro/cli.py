@@ -7,13 +7,17 @@ Usage::
     python -m repro.cli fig3
     python -m repro.cli fig5
     python -m repro.cli table4 --voltage-mode paper
-    python -m repro.cli fig7
-    python -m repro.cli headline
+    python -m repro.cli fig7 --workers 4
+    python -m repro.cli headline --profile
     python -m repro.cli all
 
 The first run characterizes the device/cell/periphery stack with the
 built-in simulator (a few minutes) and caches the results; later runs
 are fast.
+
+``--workers N`` fans the optimization matrix (table4 / fig7 / headline)
+over a worker pool (see :mod:`repro.analysis.runner`); ``--profile``
+prints the :mod:`repro.perf` telemetry report after the run.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import perf
 from .analysis import (
     Session,
     breakdown_study,
@@ -31,6 +36,7 @@ from .analysis import (
     fig5_write_assists,
     optimize_all,
     run_selfcheck,
+    run_study,
     temperature_study,
     word_width_study,
 )
@@ -46,7 +52,23 @@ PAPER_SET = ("calibration", "fig2", "fig3", "fig5", "table4", "fig7",
              "headline")
 
 
-def run_experiment(name, session):
+def _run_sweep(session, options):
+    """The Table-4/Figure-7 sweep, parallel when workers were requested."""
+    workers = getattr(options, "workers", 1) if options else 1
+    engine = getattr(options, "engine", "vectorized") if options else (
+        "vectorized"
+    )
+    if workers and workers > 1:
+        run = run_study(
+            session=session, workers=workers,
+            executor=getattr(options, "executor", "auto"),
+            engine=engine,
+        )
+        return run.sweep
+    return optimize_all(session, engine=engine)
+
+
+def run_experiment(name, session, options=None):
     """Run one experiment; returns (result, text report)."""
     if name == "calibration":
         result = calibration_checkpoints(session)
@@ -61,7 +83,7 @@ def run_experiment(name, session):
         result = fig5_write_assists(session)
         return result, result.report()
     if name in ("table4", "fig7", "headline"):
-        sweep = optimize_all(session)
+        sweep = _run_sweep(session, options)
         if name == "table4":
             return sweep, sweep.report()
         if name == "fig7":
@@ -101,6 +123,20 @@ def main(argv=None):
                         help="characterization cache path ('' disables)")
     parser.add_argument("--json", default=None,
                         help="also dump the result object to this path")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count for the optimization sweeps "
+                             "(1 = serial; >1 fans the capacity x flavor "
+                             "x method matrix over a pool)")
+    parser.add_argument("--executor",
+                        choices=("auto", "serial", "thread", "process"),
+                        default="auto",
+                        help="pool type for --workers > 1")
+    parser.add_argument("--engine", choices=("vectorized", "loop"),
+                        default="vectorized",
+                        help="search engine (loop = the reference "
+                             "slice-by-slice implementation)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the perf telemetry report at the end")
     args = parser.parse_args(argv)
 
     session = Session.create(
@@ -112,7 +148,7 @@ def main(argv=None):
     )
     last_result = None
     for name in names:
-        result, text = run_experiment(name, session)
+        result, text = run_experiment(name, session, args)
         print("=" * 72)
         print("# %s" % name)
         print("=" * 72)
@@ -122,6 +158,9 @@ def main(argv=None):
     if args.json and last_result is not None:
         save_json(last_result, args.json)
         print("result saved to %s" % args.json)
+    if args.profile:
+        print()
+        print(perf.get_registry().report())
     return 0
 
 

@@ -8,6 +8,17 @@ benchmark runs skip recharacterization.
 
 Keys must be strings; values are anything JSON-serializable (the
 characterization code stores grids and sampled arrays as lists).
+
+Writes are batched: :meth:`put` marks the store dirty and rewrites the
+file immediately *unless* the cache is inside a ``with cache.deferred():``
+block (or used as a context manager itself), in which case all inserts
+of the block land in a single atomic rewrite on exit.  Cold-start
+characterization runs many ``get_or_compute`` calls, so without
+deferral the JSON file would be serialized once per insert — O(n^2)
+bytes written.  Deferral is crash-safe: the exit flush runs from a
+``finally`` even when a compute raises, so everything computed before
+the failure is persisted, and the rewrite itself stays atomic
+(write-to-temp then ``os.replace``).
 """
 
 from __future__ import annotations
@@ -15,14 +26,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
+
+from .. import perf
 
 
 class CharacterizationCache:
-    """A tiny persistent key-value store (JSON file)."""
+    """A tiny persistent key-value store (JSON file) with batched writes."""
 
     def __init__(self, path=None):
         self.path = path
         self._data = {}
+        self._dirty = False
+        self._defer_depth = 0
         if path is not None and os.path.exists(path):
             with open(path) as handle:
                 self._data = json.load(handle)
@@ -35,7 +51,9 @@ class CharacterizationCache:
 
     def put(self, key, value):
         self._data[key] = value
-        self._flush()
+        self._dirty = True
+        if self._defer_depth == 0:
+            self.flush()
 
     def get_or_compute(self, key, compute):
         """Return the cached value for ``key`` or compute-and-store it."""
@@ -45,8 +63,34 @@ class CharacterizationCache:
         self.put(key, value)
         return value
 
-    def _flush(self):
-        if self.path is None:
+    @contextmanager
+    def deferred(self):
+        """Batch every ``put`` of the block into one flush on exit.
+
+        Nestable; only the outermost exit writes.  The flush runs even
+        when the block raises, so partial progress survives a crash.
+        """
+        self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            self._defer_depth -= 1
+            if self._defer_depth == 0:
+                self.flush()
+
+    def __enter__(self):
+        self._defer_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._defer_depth -= 1
+        if self._defer_depth == 0:
+            self.flush()
+        return False
+
+    def flush(self):
+        """Write the store to disk now (no-op when clean or memory-only)."""
+        if self.path is None or not self._dirty:
             return
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
@@ -60,10 +104,14 @@ class CharacterizationCache:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        self._dirty = False
+        perf.count("cache.flushes")
 
     def clear(self):
         self._data = {}
-        self._flush()
+        self._dirty = True
+        if self._defer_depth == 0:
+            self.flush()
 
     def __len__(self):
         return len(self._data)

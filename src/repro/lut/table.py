@@ -91,13 +91,51 @@ class LUT2D:
         return k, min(max(frac, 0.0), 1.0)
 
     def __call__(self, x, y):
-        i, fx = self._locate(self.xs, float(x), "x")
-        j, fy = self._locate(self.ys, float(y), "y")
+        if np.ndim(x) == 0 and np.ndim(y) == 0:
+            i, fx = self._locate(self.xs, float(x), "x")
+            j, fy = self._locate(self.ys, float(y), "y")
+            z00 = self.zs[i, j]
+            z10 = self.zs[i + 1, j]
+            z01 = self.zs[i, j + 1]
+            z11 = self.zs[i + 1, j + 1]
+            return float(
+                z00 * (1 - fx) * (1 - fy)
+                + z10 * fx * (1 - fy)
+                + z01 * (1 - fx) * fy
+                + z11 * fx * fy
+            )
+        return self.batch(x, y)
+
+    def _locate_batch(self, grid, values, axis_name):
+        values = np.asarray(values, dtype=float)
+        if np.any(values < grid[0] - 1e-12) or np.any(
+            values > grid[-1] + 1e-12
+        ):
+            if not self.clamp:
+                raise LookupError_(
+                    "%s: %s query %s outside characterized range [%g, %g]"
+                    % (self.name, axis_name, values, grid[0], grid[-1])
+                )
+            values = np.minimum(np.maximum(values, grid[0]), grid[-1])
+        k = np.searchsorted(grid, values, side="right") - 1
+        k = np.clip(k, 0, len(grid) - 2)
+        frac = (values - grid[k]) / (grid[k + 1] - grid[k])
+        return k, np.clip(frac, 0.0, 1.0)
+
+    def batch(self, x, y):
+        """Bilinear interpolation with broadcasting ``x`` / ``y`` arrays.
+
+        Elementwise identical to the scalar path (same locate and blend
+        arithmetic), so vectorized sweeps reproduce scalar loops bit for
+        bit.
+        """
+        i, fx = self._locate_batch(self.xs, x, "x")
+        j, fy = self._locate_batch(self.ys, y, "y")
         z00 = self.zs[i, j]
         z10 = self.zs[i + 1, j]
         z01 = self.zs[i, j + 1]
         z11 = self.zs[i + 1, j + 1]
-        return float(
+        return (
             z00 * (1 - fx) * (1 - fy)
             + z10 * fx * (1 - fy)
             + z01 * (1 - fx) * fy

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..cell.bias import CellBias
 from ..cell.snm import butterfly, hold_snm
 from ..cell.sram6t import SRAM6TCell
@@ -96,6 +98,51 @@ class YieldConstraint:
             return min(hsnm, rsnm) >= self.delta
         return min(hsnm, rsnm, wm) >= self.delta
 
+    # -- batch API (the vectorized search path) ----------------------------
+
+    def margins_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        """(HSNM, RSNM, WM) arrays across a whole V_SSC candidate axis.
+
+        HSNM and WM do not depend on V_SSC, so they broadcast; RSNM is
+        looked up per level through the same memo the scalar path uses,
+        which keeps both paths numerically identical and means each
+        distinct operating point runs at most one butterfly per process.
+        """
+        v_ssc_values = np.asarray(v_ssc_values, dtype=float)
+        rsnm = np.array([
+            self.rsnm(v_ddc, float(v)) for v in v_ssc_values
+        ])
+        hsnm = np.full(v_ssc_values.shape, self.hsnm())
+        wm = np.full(v_ssc_values.shape, self.wm(v_wl, v_bl))
+        return hsnm, rsnm, wm
+
+    def satisfied_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        """Boolean feasibility mask over a V_SSC candidate axis."""
+        hsnm, rsnm, wm = self.margins_grid(v_ddc, v_ssc_values, v_wl, v_bl)
+        if self.trust_fixed_rails:
+            return np.minimum(hsnm, rsnm) >= self.delta
+        return np.minimum(np.minimum(hsnm, rsnm), wm) >= self.delta
+
+    # -- memo transport (sharing margins across worker processes) ----------
+
+    def export_margin_memo(self):
+        """Picklable snapshot of every memoized margin quantity."""
+        return {
+            "hsnm": self._hsnm,
+            "v_flip": self._v_flip,
+            "rsnm": dict(self._rsnm_cache),
+        }
+
+    def seed_margin_memo(self, memo):
+        """Pre-load margins computed elsewhere (e.g. by the parent of a
+        worker pool), so no process recomputes a butterfly the study
+        already ran."""
+        if memo.get("hsnm") is not None:
+            self._hsnm = memo["hsnm"]
+        if memo.get("v_flip") is not None:
+            self._v_flip = memo["v_flip"]
+        self._rsnm_cache.update(memo.get("rsnm", {}))
+
 
 @dataclass
 class MonteCarloYieldConstraint:
@@ -154,3 +201,18 @@ class MonteCarloYieldConstraint:
     def satisfied(self, v_ddc, v_ssc, v_wl, v_bl=0.0):
         hsnm_ks, rsnm_ks = self.mu_minus_k_sigma(v_ddc, v_ssc, v_wl)
         return min(hsnm_ks, rsnm_ks) >= 0.0
+
+    def margins_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        """Batch view of :meth:`margins` (each point still runs its own
+        memoized Monte Carlo — the cost the paper's fixed-delta mode
+        avoids)."""
+        rows = [self.margins(v_ddc, float(v), v_wl, v_bl)
+                for v in np.asarray(v_ssc_values, dtype=float)]
+        hsnm, rsnm, wm = (np.array(col) for col in zip(*rows))
+        return hsnm, rsnm, wm
+
+    def satisfied_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        return np.array([
+            self.satisfied(v_ddc, float(v), v_wl, v_bl)
+            for v in np.asarray(v_ssc_values, dtype=float)
+        ])

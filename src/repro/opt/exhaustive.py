@@ -3,17 +3,32 @@
 With V_DDC / V_WL pre-set by the voltage policy, the free variables are
 ``(n_r, V_SSC, N_pre, N_wr)`` — small enough for exhaustive search (the
 paper reports under two minutes on a 2011-era server; the vectorized
-grid evaluation here takes well under a second per configuration).
+grid evaluation here takes milliseconds per configuration).
 
-For each ``(n_r, V_SSC)`` slice, the whole ``N_pre x N_wr`` fin grid is
-evaluated in one broadcast call of the array model; the yield constraint
-is checked once per slice (fin counts do not affect cell margins).
+Two search engines share one result path:
+
+* ``engine="vectorized"`` (default) — the whole feasible
+  ``V_SSC x N_pre x N_wr`` space of one row count is evaluated in a
+  single broadcast call of the array model (``v_ssc`` rides along as a
+  ``(S, 1, 1)`` axis over the fin grid), so a full policy search costs
+  O(rows) model calls.  The yield constraint is applied once, up front,
+  as a vectorized boolean mask over the V_SSC candidates
+  (:meth:`YieldConstraint.satisfied_grid`) — cell margins do not depend
+  on the organization or the fin counts.
+* ``engine="loop"`` — the original per-``(n_r, V_SSC)`` slice loop,
+  kept as the bit-exact reference the equivalence tests compare
+  against.
+
+Both engines perform the same elementwise arithmetic in the same order,
+so they return bit-identical results (designs, EDP, evaluation counts,
+and landscapes).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import perf
 from ..array.model import DesignPoint
 from ..errors import DesignSpaceError
 from .results import LandscapePoint, OptimizationResult
@@ -27,13 +42,127 @@ class ExhaustiveOptimizer:
         self.space = space
         self.constraint = constraint
 
-    def optimize(self, capacity_bits, policy, keep_landscape=False):
+    def optimize(self, capacity_bits, policy, keep_landscape=False,
+                 engine="vectorized"):
         """Search one capacity under one voltage policy.
 
         Returns an :class:`OptimizationResult`; raises
         :class:`DesignSpaceError` when no candidate satisfies the yield
         constraint.
         """
+        if engine == "vectorized":
+            search = self._search_vectorized
+        elif engine == "loop":
+            search = self._search_loop
+        else:
+            raise ValueError(
+                "unknown engine %r (expected 'vectorized' or 'loop')"
+                % (engine,)
+            )
+        with perf.timed("optimizer.search.%s" % engine):
+            best, landscape, n_evaluated = search(
+                capacity_bits, policy, keep_landscape
+            )
+        perf.count("optimizer.evaluations", n_evaluated)
+        if best is None:
+            raise DesignSpaceError(
+                "no feasible design for %d bits under policy %s "
+                "(yield constraint unsatisfiable)"
+                % (capacity_bits, policy.method)
+            )
+        final_design = DesignPoint(
+            n_r=best.n_r, n_c=capacity_bits // best.n_r,
+            n_pre=best.n_pre, n_wr=best.n_wr,
+            v_ddc=policy.v_ddc, v_ssc=best.v_ssc, v_wl=policy.v_wl,
+            v_bl=policy.v_bl,
+        )
+        final_metrics = self.model.evaluate(capacity_bits, final_design)
+        margins = self.constraint.margins(
+            final_design.v_ddc, final_design.v_ssc, final_design.v_wl,
+            final_design.v_bl,
+        )
+        return OptimizationResult(
+            capacity_bits=capacity_bits,
+            flavor=self.constraint.flavor,
+            method=policy.method,
+            design=final_design,
+            metrics=final_metrics,
+            margins=margins,
+            n_evaluated=n_evaluated,
+            landscape=landscape,
+        )
+
+    # -- feasibility -------------------------------------------------------
+
+    def _feasible_v_ssc(self, policy):
+        """The policy's V_SSC candidates that clear the yield constraint,
+        in candidate order (margins are organization-independent, so
+        this is computed once per search, not once per slice)."""
+        candidates = np.asarray(policy.v_ssc_candidates(self.space),
+                                dtype=float)
+        grid_check = getattr(self.constraint, "satisfied_grid", None)
+        if grid_check is not None:
+            mask = np.asarray(grid_check(
+                policy.v_ddc, candidates, policy.v_wl, policy.v_bl
+            ), dtype=bool)
+        else:
+            mask = np.array([
+                bool(self.constraint.satisfied(
+                    policy.v_ddc, float(v), policy.v_wl, policy.v_bl
+                ))
+                for v in candidates
+            ], dtype=bool)
+        return candidates[mask]
+
+    # -- engines -----------------------------------------------------------
+
+    def _search_vectorized(self, capacity_bits, policy, keep_landscape):
+        """O(rows) broadcast calls: one ``(S, P, W)`` evaluation per
+        row count, where S spans the feasible V_SSC candidates."""
+        feasible = self._feasible_v_ssc(policy)
+        best = None
+        landscape = []
+        n_evaluated = 0
+        if feasible.size == 0:
+            return best, landscape, n_evaluated
+        n_pre_grid, n_wr_grid = np.meshgrid(
+            self.space.n_pre_values, self.space.n_wr_values, indexing="ij"
+        )
+        v_ssc_axis = feasible.reshape(-1, 1, 1)
+        full_shape = (feasible.size,) + n_pre_grid.shape
+        for n_r in self.space.row_counts(capacity_bits):
+            design = DesignPoint(
+                n_r=n_r, n_c=capacity_bits // n_r,
+                n_pre=n_pre_grid, n_wr=n_wr_grid,
+                v_ddc=policy.v_ddc, v_ssc=v_ssc_axis,
+                v_wl=policy.v_wl, v_bl=policy.v_bl,
+            )
+            metrics = self.model.evaluate(capacity_bits, design)
+            n_evaluated += feasible.size * n_pre_grid.size
+            edp = np.broadcast_to(metrics.edp, full_shape)
+            d_array = np.broadcast_to(metrics.d_array, full_shape)
+            e_total = np.broadcast_to(metrics.e_total, full_shape)
+            flat = edp.reshape(feasible.size, -1)
+            slice_argmins = flat.argmin(axis=1)
+            for s in range(feasible.size):
+                arg = int(slice_argmins[s])
+                i, j = np.unravel_index(arg, n_pre_grid.shape)
+                slice_best = LandscapePoint(
+                    n_r=n_r, v_ssc=float(feasible[s]),
+                    n_pre=int(n_pre_grid[i, j]),
+                    n_wr=int(n_wr_grid[i, j]),
+                    edp=float(edp[s, i, j]),
+                    d_array=float(d_array[s, i, j]),
+                    e_total=float(e_total[s, i, j]),
+                )
+                if keep_landscape:
+                    landscape.append(slice_best)
+                if best is None or slice_best.edp < best.edp:
+                    best = slice_best
+        return best, landscape, n_evaluated
+
+    def _search_loop(self, capacity_bits, policy, keep_landscape):
+        """The original per-(n_r, V_SSC) slice loop (reference engine)."""
         n_pre_grid, n_wr_grid = np.meshgrid(
             self.space.n_pre_values, self.space.n_wr_values, indexing="ij"
         )
@@ -67,33 +196,6 @@ class ExhaustiveOptimizer:
                 )
                 if keep_landscape:
                     landscape.append(slice_best)
-                if best is None or slice_best.edp < best[0].edp:
-                    best = (slice_best, design)
-        if best is None:
-            raise DesignSpaceError(
-                "no feasible design for %d bits under policy %s "
-                "(yield constraint unsatisfiable)"
-                % (capacity_bits, policy.method)
-            )
-        slice_best, _grid_design = best
-        final_design = DesignPoint(
-            n_r=slice_best.n_r, n_c=capacity_bits // slice_best.n_r,
-            n_pre=slice_best.n_pre, n_wr=slice_best.n_wr,
-            v_ddc=policy.v_ddc, v_ssc=slice_best.v_ssc, v_wl=policy.v_wl,
-            v_bl=policy.v_bl,
-        )
-        final_metrics = self.model.evaluate(capacity_bits, final_design)
-        margins = self.constraint.margins(
-            final_design.v_ddc, final_design.v_ssc, final_design.v_wl,
-            final_design.v_bl,
-        )
-        return OptimizationResult(
-            capacity_bits=capacity_bits,
-            flavor=self.constraint.flavor,
-            method=policy.method,
-            design=final_design,
-            metrics=final_metrics,
-            margins=margins,
-            n_evaluated=n_evaluated,
-            landscape=landscape,
-        )
+                if best is None or slice_best.edp < best.edp:
+                    best = slice_best
+        return best, landscape, n_evaluated

@@ -18,6 +18,7 @@ simulations.  See EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -167,7 +168,11 @@ def characterize(library, flavor, cache=None, grids=None):
     key = "%s:%s:%s:array" % (VERSION, flavor, grids.signature())
     if cache is not None and key in cache:
         return _from_dict(cache.get(key), library, grids)
+    with cache.deferred() if cache is not None else nullcontext():
+        return _characterize_cold(library, flavor, cache, grids, key)
 
+
+def _characterize_cold(library, flavor, cache, grids, key):
     vdd = library.vdd
     cell = SRAM6TCell.from_library(library, flavor)
     geometry = ArrayGeometry()

@@ -1,0 +1,101 @@
+"""The parallel study runner: determinism, telemetry, executor parity."""
+
+import pytest
+
+from repro.analysis import optimize_all
+from repro.analysis.runner import (
+    StudyTask,
+    run_study,
+    study_matrix,
+)
+
+#: Small matrix so the suite stays fast (2 x 2 x 2 = 8 tasks).
+CAPACITIES = (128, 256)
+
+
+def _edp_map(sweep):
+    return {key: result.metrics.edp for key, result in sweep.results.items()}
+
+
+def test_study_matrix_deterministic_order():
+    tasks = study_matrix(CAPACITIES)
+    assert tasks == study_matrix(CAPACITIES)
+    assert len(tasks) == len(CAPACITIES) * 2 * 2
+    assert tasks[0] == StudyTask(128, "lvt", "M1")
+    assert len(set(task.key for task in tasks)) == len(tasks)
+
+
+def test_serial_run_matches_optimize_all(paper_session):
+    run = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=1)
+    reference = optimize_all(paper_session, capacities=CAPACITIES)
+    assert _edp_map(run.sweep) == _edp_map(reference)
+    assert run.executor == "serial"
+    assert run.workers == 1
+
+
+def test_thread_pool_matches_serial(paper_session):
+    serial = run_study(session=paper_session, capacities=CAPACITIES,
+                       workers=1)
+    threaded = run_study(session=paper_session, capacities=CAPACITIES,
+                         workers=2, executor="thread")
+    assert _edp_map(threaded.sweep) == _edp_map(serial.sweep)
+    assert threaded.executor == "thread"
+    assert threaded.workers == 2
+
+
+def test_process_pool_matches_serial(paper_session):
+    serial = run_study(session=paper_session, capacities=CAPACITIES,
+                       workers=1)
+    parallel = run_study(session=paper_session, capacities=CAPACITIES,
+                         workers=2, executor="process")
+    assert _edp_map(parallel.sweep) == _edp_map(serial.sweep)
+    # Designs round-trip through pickling intact.
+    for key, result in parallel.sweep.results.items():
+        assert result.design == serial.sweep.results[key].design
+        assert result.n_evaluated == serial.sweep.results[key].n_evaluated
+    assert parallel.executor == "process"
+
+
+def test_timing_telemetry(paper_session):
+    run = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=1)
+    tasks = study_matrix(CAPACITIES)
+    assert len(run.timings) == len(tasks)
+    # Telemetry rides in canonical task order regardless of completion.
+    assert [t.task for t in run.timings] == list(tasks)
+    for timing in run.timings:
+        assert timing.seconds > 0
+        assert timing.n_evaluated > 0
+    assert run.total_seconds > 0
+    assert run.task_seconds > 0
+
+
+def test_report_renders(paper_session):
+    run = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=1)
+    text = run.report()
+    assert "Study runner telemetry" in text
+    assert "128B/LVT/M1" in text
+    assert "total wall time" in text
+
+
+def test_sweep_report_still_works(paper_session):
+    """The runner's sweep is a full SweepResult (tables render)."""
+    run = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=1)
+    assert "Table 4" in run.sweep.report()
+
+
+def test_unknown_executor_rejected(paper_session):
+    with pytest.raises(ValueError):
+        run_study(session=paper_session, capacities=CAPACITIES,
+                  workers=2, executor="carrier-pigeon")
+
+
+def test_engine_parity_through_runner(paper_session):
+    vec = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=1, engine="vectorized")
+    loop = run_study(session=paper_session, capacities=CAPACITIES,
+                     workers=1, engine="loop")
+    assert _edp_map(vec.sweep) == _edp_map(loop.sweep)

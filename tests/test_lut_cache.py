@@ -74,3 +74,72 @@ def test_creates_parent_directory(tmp_path):
     cache = CharacterizationCache(path)
     cache.put("k", 1)
     assert os.path.exists(path)
+
+
+def _mtime(path):
+    return os.stat(path).st_mtime_ns
+
+
+def test_deferred_batches_writes(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    with cache.deferred():
+        for k in range(10):
+            cache.put("k%d" % k, k)
+        # Nothing hits the disk while the batch is open.
+        assert not os.path.exists(path)
+    assert len(CharacterizationCache(path)) == 10
+
+
+def test_context_manager_is_deferred(tmp_path):
+    path = str(tmp_path / "cache.json")
+    with CharacterizationCache(path) as cache:
+        cache.put("a", 1)
+        assert not os.path.exists(path)
+    assert CharacterizationCache(path).get("a") == 1
+
+
+def test_deferred_nesting_flushes_once_at_outermost(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    with cache.deferred():
+        with cache.deferred():
+            cache.put("inner", 1)
+        # Inner exit must not flush while the outer batch is open.
+        assert not os.path.exists(path)
+        cache.put("outer", 2)
+    assert len(CharacterizationCache(path)) == 2
+
+
+def test_deferred_crash_persists_prior_work(tmp_path):
+    """A compute crash mid-batch still lands everything computed before
+    the failure (get_or_compute stays crash-safe under deferral)."""
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+
+    def boom():
+        raise RuntimeError("characterization failed")
+
+    with pytest.raises(RuntimeError):
+        with cache.deferred():
+            cache.get_or_compute("good", lambda: 41)
+            cache.get_or_compute("bad", boom)
+    reloaded = CharacterizationCache(path)
+    assert reloaded.get("good") == 41
+    assert "bad" not in reloaded
+
+
+def test_flush_is_noop_when_clean(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("k", 1)
+    first = _mtime(path)
+    cache.flush()  # clean -> no rewrite
+    assert _mtime(path) == first
+
+
+def test_undeferred_put_still_writes_immediately(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    cache.put("k", "v")
+    assert CharacterizationCache(path).get("k") == "v"

@@ -139,3 +139,38 @@ def test_lut2d_ranges():
     lut = LUT2D([0.0, 1.0], [-1.0, 0.0, 2.0], zs)
     assert lut.x_range == (0.0, 1.0)
     assert lut.y_range == (-1.0, 2.0)
+
+
+def test_lut2d_batch_matches_scalar_bitwise():
+    """The broadcast path must reproduce the scalar path bit for bit
+    (the vectorized search relies on this for loop-engine equivalence)."""
+    rng = np.random.default_rng(7)
+    xs = np.sort(rng.uniform(0.0, 1.0, 6))
+    ys = np.sort(rng.uniform(-1.0, 0.0, 5))
+    zs = rng.uniform(0.0, 1e-4, (6, 5))
+    lut = LUT2D(xs, ys, zs)
+    queries_y = rng.uniform(ys[0], ys[-1], 12)
+    x = float(rng.uniform(xs[0], xs[-1]))
+    batch = lut(x, queries_y)
+    assert batch.shape == queries_y.shape
+    for k, y in enumerate(queries_y):
+        assert batch[k] == lut(x, float(y))
+
+
+def test_lut2d_batch_broadcast_shapes():
+    zs = np.array([[0.0, 1.0], [2.0, 3.0]])
+    lut = LUT2D([0.0, 1.0], [0.0, 1.0], zs)
+    y_axis = np.array([0.0, 0.5, 1.0]).reshape(-1, 1, 1)
+    out = lut(0.5, y_axis)
+    assert out.shape == (3, 1, 1)
+
+
+def test_lut2d_batch_bounds_raise():
+    zs = np.array([[0.0, 1.0], [2.0, 3.0]])
+    strict = LUT2D([0.0, 1.0], [0.0, 1.0], zs, name="grid")
+    with pytest.raises(LookupError_):
+        strict(0.5, np.array([0.0, 2.0]))
+    clamped = LUT2D([0.0, 1.0], [0.0, 1.0], zs, clamp=True)
+    out = clamped(0.5, np.array([-1.0, 2.0]))
+    assert out[0] == clamped(0.5, 0.0)
+    assert out[1] == clamped(0.5, 1.0)
