@@ -16,9 +16,11 @@ from .bias import CellBias
 from .leakage import cell_leakage_power, leakage_vs_vdd
 from .montecarlo import (
     MonteCarloResult,
+    batched_cell,
     required_margin_fraction,
     run_cell_montecarlo,
     sample_cells,
+    sample_shift_matrix,
 )
 from .dynamic_noise import (
     DynamicNoiseMargin,
@@ -32,7 +34,7 @@ from .retention import (
     data_retention_voltage,
     retention_analysis,
 )
-from .snm import ButterflyResult, butterfly, hold_snm, read_snm, vtc
+from .snm import ButterflyResult, butterfly, hold_snm, read_snm, snm_samples, vtc
 from .sram6t import TRANSISTOR_ROLES, SRAM6TCell
 from .sram8t import AREA_RATIO_VS_6T, SRAM8TCell
 from .timing_yield import (
@@ -45,7 +47,9 @@ from .write import (
     bitline_write_margin,
     cell_flips,
     flip_wordline_voltage,
+    flip_wordline_voltage_batch,
     write_margin,
+    write_margin_batch,
 )
 from .write_delay import WriteEvent, cell_write_event, write_delay_vs_wordline
 
@@ -71,11 +75,13 @@ __all__ = [
     "TRANSISTOR_ROLES",
     "WriteEvent",
     "WriteMarginResult",
+    "batched_cell",
     "butterfly",
     "cell_flips",
     "cell_leakage_power",
     "cell_write_event",
     "flip_wordline_voltage",
+    "flip_wordline_voltage_batch",
     "hold_snm",
     "leakage_vs_vdd",
     "read_current",
@@ -85,6 +91,8 @@ __all__ = [
     "required_margin_fraction",
     "run_cell_montecarlo",
     "sample_cells",
+    "sample_shift_matrix",
+    "snm_samples",
     "vtc",
     "write_delay_vs_wordline",
     "write_margin",

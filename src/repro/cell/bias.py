@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from ..devices.library import VDD_NOMINAL
 
 
@@ -41,10 +43,12 @@ class CellBias:
     def __post_init__(self):
         if self.vdd <= 0:
             raise ValueError("vdd must be positive")
-        if self.v_ddc <= self.v_ssc:
+        # np.any handles batched (array-valued) rails; for scalars it
+        # reduces to the plain comparison.
+        if np.any(np.asarray(self.v_ddc) <= np.asarray(self.v_ssc)):
             raise ValueError(
                 "cell supply rail must exceed cell ground rail "
-                "(v_ddc=%g, v_ssc=%g)" % (self.v_ddc, self.v_ssc)
+                "(v_ddc=%s, v_ssc=%s)" % (self.v_ddc, self.v_ssc)
             )
 
     # -- constructors for the standard operations ---------------------------

@@ -8,6 +8,20 @@ module reproduces the underlying distributional analysis: it samples
 per-transistor threshold shifts, re-extracts the margins, and reports
 means, sigmas, mu - k*sigma, and empirical yield at a given margin
 floor.
+
+Two engines extract the margins:
+
+* ``engine="batched"`` (default) — one batched cell carries every
+  sample's thresholds as per-transistor ``(n, 1)`` columns, so each
+  margin is a single vectorized bisection/relaxation over all samples
+  (O(iterations) numpy passes instead of O(n * iterations) scalar
+  solves);
+* ``engine="loop"`` — the retained scalar reference: one perturbed cell
+  object per sample, solved point by point.
+
+Both engines consume the *same* shift matrix from the same seeded
+generator and follow the same per-element operation sequence, so their
+sample arrays are bit-identical (``tests/test_montecarlo_parity.py``).
 """
 
 from __future__ import annotations
@@ -16,11 +30,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..devices.variation import VariationModel
+from .. import perf
+from ..devices.variation import VariationModel, apply_shift_matrix
 from .bias import CellBias
 from .sram6t import TRANSISTOR_ROLES
-from .snm import butterfly
-from .write import write_margin
+from .snm import butterfly, snm_samples
+from .write import write_margin, write_margin_batch
 
 
 @dataclass
@@ -65,15 +80,40 @@ class MonteCarloResult:
         return float(np.mean(np.all(stacked >= floor, axis=0)))
 
 
+def sample_shift_matrix(n_samples, variation=None, seed=0):
+    """The seeded per-transistor Vt shift matrix both engines consume.
+
+    Shape ``(n_samples, len(TRANSISTOR_ROLES))``, columns in
+    :data:`TRANSISTOR_ROLES` order.  This is the single source of random
+    draws for a Monte Carlo run: the batched engine maps the whole
+    matrix onto one batched cell, the loop engine walks its rows.
+    """
+    variation = variation or VariationModel()
+    rng = np.random.default_rng(seed)
+    return variation.sample_shifts(len(TRANSISTOR_ROLES), n_samples, rng)
+
+
+def batched_cell(base_cell, shift_matrix):
+    """One cell carrying every Monte Carlo sample at once.
+
+    Each transistor's column of ``shift_matrix`` becomes a batched
+    per-sample ``vt`` on that transistor's parameters (see
+    :func:`repro.devices.variation.apply_shift_matrix`), so every cell
+    measurement downstream evaluates all samples simultaneously.
+    """
+    batched = apply_shift_matrix(base_cell.all_params(), shift_matrix)
+    return base_cell.with_overrides(dict(zip(TRANSISTOR_ROLES, batched)))
+
+
 def sample_cells(base_cell, n_samples, variation=None, seed=0):
     """Generate Monte Carlo cell instances (a generator).
 
     Each instance perturbs all six transistor thresholds independently
-    with the Pelgrom sigma of :class:`VariationModel`.
+    with the Pelgrom sigma of :class:`VariationModel`.  Compatibility
+    shim over :func:`sample_shift_matrix` — the batched engine consumes
+    the same matrix directly via :func:`batched_cell`.
     """
-    variation = variation or VariationModel()
-    rng = np.random.default_rng(seed)
-    shifts = variation.sample_shifts(len(TRANSISTOR_ROLES), n_samples, rng)
+    shifts = sample_shift_matrix(n_samples, variation, seed)
     for row in shifts:
         overrides = {
             role: base_cell.params(role).with_vt_shift(float(delta))
@@ -82,36 +122,83 @@ def sample_cells(base_cell, n_samples, variation=None, seed=0):
         yield base_cell.with_overrides(overrides)
 
 
+def _collect_loop(base_cell, n_samples, variation, seed, vdd, read_bias,
+                  hold_bias, metrics, wm_resolution, snm_points):
+    """Scalar reference engine: one perturbed cell object per sample."""
+    collected = {name: [] for name in metrics}
+    for cell in sample_cells(base_cell, n_samples, variation, seed):
+        if "hsnm" in collected:
+            with perf.timed("montecarlo.loop.hsnm"):
+                collected["hsnm"].append(
+                    butterfly(cell, hold_bias, access_on=False,
+                              points=snm_points).snm
+                )
+        if "rsnm" in collected:
+            with perf.timed("montecarlo.loop.rsnm"):
+                collected["rsnm"].append(
+                    butterfly(cell, read_bias, access_on=True,
+                              points=snm_points).snm
+                )
+        if "wm" in collected:
+            with perf.timed("montecarlo.loop.wm"):
+                collected["wm"].append(
+                    write_margin(cell, v_wl_applied=read_bias.v_wl, vdd=vdd,
+                                 resolution=wm_resolution)
+                )
+    return {name: np.asarray(values) for name, values in collected.items()}
+
+
+def _collect_batched(base_cell, n_samples, variation, seed, vdd, read_bias,
+                     hold_bias, metrics, wm_resolution, snm_points):
+    """Batched engine: every sample solved in one vectorized pass."""
+    cell = batched_cell(base_cell, sample_shift_matrix(n_samples, variation,
+                                                       seed))
+    collected = {name: np.asarray([]) for name in metrics}
+    if "hsnm" in collected:
+        with perf.timed("montecarlo.batched.hsnm"):
+            collected["hsnm"] = snm_samples(cell, hold_bias,
+                                            access_on=False,
+                                            points=snm_points)
+    if "rsnm" in collected:
+        with perf.timed("montecarlo.batched.rsnm"):
+            collected["rsnm"] = snm_samples(cell, read_bias, access_on=True,
+                                            points=snm_points)
+    if "wm" in collected:
+        with perf.timed("montecarlo.batched.wm"):
+            collected["wm"] = write_margin_batch(
+                cell, n_samples, v_wl_applied=read_bias.v_wl, vdd=vdd,
+                resolution=wm_resolution,
+            )
+    return collected
+
+
 def run_cell_montecarlo(base_cell, n_samples=200, variation=None, seed=0,
                         vdd=None, read_bias=None, hold_bias=None,
                         metrics=("hsnm", "rsnm"), wm_resolution=0.002,
-                        snm_points=61):
+                        snm_points=61, engine="batched"):
     """Monte Carlo over cell instances; returns :class:`MonteCarloResult`.
 
     ``metrics`` selects among ``"hsnm"``, ``"rsnm"`` and ``"wm"`` (write
     margin is by far the most expensive — each sample runs a bisection of
-    full write-flip relaxations).
+    full write-flip relaxations).  ``engine`` selects the batched
+    vectorized engine (default) or the scalar reference loop; both
+    produce bit-identical sample arrays.
     """
     vdd = CellBias().vdd if vdd is None else vdd
     hold_bias = hold_bias or CellBias.hold(vdd)
     read_bias = read_bias or CellBias.read(vdd)
-    collected = {name: [] for name in metrics}
-    for cell in sample_cells(base_cell, n_samples, variation, seed):
-        if "hsnm" in collected:
-            collected["hsnm"].append(
-                butterfly(cell, hold_bias, access_on=False,
-                          points=snm_points).snm
-            )
-        if "rsnm" in collected:
-            collected["rsnm"].append(
-                butterfly(cell, read_bias, access_on=True,
-                          points=snm_points).snm
-            )
-        if "wm" in collected:
-            collected["wm"].append(
-                write_margin(cell, v_wl_applied=read_bias.v_wl, vdd=vdd,
-                             resolution=wm_resolution)
-            )
+    if engine == "batched":
+        collect = _collect_batched
+    elif engine == "loop":
+        collect = _collect_loop
+    else:
+        raise ValueError("unknown engine %r" % (engine,))
+    perf.count("montecarlo.samples", n_samples)
+    with perf.timed("montecarlo.run.%s" % engine):
+        collected = collect(
+            base_cell, n_samples, variation, seed, vdd, read_bias,
+            hold_bias, metrics, wm_resolution, snm_points,
+        )
     result = MonteCarloResult(n_samples=n_samples)
     for name, values in collected.items():
         result.metrics[name] = MetricSamples(name, np.asarray(values))

@@ -95,12 +95,83 @@ def read_current(cell, bias=None, vdd=None, v_ddc=None, v_ssc=0.0):
     return state.i_read
 
 
-def read_current_grid(cell, v_ddc_values, v_ssc_values, vdd=None):
+def read_state_batch(cell, bias, lanes):
+    """Batched :func:`read_state`: every lane's DC read state at once.
+
+    Lanes are Monte Carlo samples (batched cell parameters), independent
+    bias points (array-valued ``bias`` rails, shape ``(lanes, 1)``), or
+    both.  The damped fixed point freezes each lane the iteration it
+    converges, mirroring the scalar loop's update-then-break ordering,
+    so states match the per-lane scalar path bitwise.
+
+    Returns ``(v_q, v_qb, flipped, i_read)`` as ``(lanes,)`` arrays.
+    """
+    from .snm import solve_half_circuit
+
+    v_q = np.broadcast_to(
+        np.asarray(bias.v_ssc, dtype=float), (lanes, 1)
+    ).copy()
+    v_qb = np.broadcast_to(
+        np.asarray(bias.v_ddc, dtype=float), (lanes, 1)
+    ).copy()
+    active = np.ones((lanes, 1), dtype=bool)
+    moved = None
+    for _ in range(_MAX_ITER):
+        v_q_new = solve_half_circuit(cell, "l", v_qb, bias, access_on=True)
+        v_qb_new = solve_half_circuit(cell, "r", v_q_new, bias,
+                                      access_on=True)
+        v_q_next = (1.0 - _DAMPING) * v_q + _DAMPING * v_q_new
+        v_qb_next = (1.0 - _DAMPING) * v_qb + _DAMPING * v_qb_new
+        moved = np.maximum(np.abs(v_q_next - v_q), np.abs(v_qb_next - v_qb))
+        v_q = np.where(active, v_q_next, v_q)
+        v_qb = np.where(active, v_qb_next, v_qb)
+        active &= ~(moved < _TOL)
+        if not active.any():
+            break
+    else:
+        raise CharacterizationError(
+            "read-state fixed point did not converge on %d of %d lanes "
+            "(worst last move %.3g V)"
+            % (int(active.sum()), lanes, float(np.max(moved[active])))
+        )
+    flipped = v_q >= v_qb
+    ax = cell.device("ax_l")
+    i_read = ax.current(bias.v_wl, bias.v_bl, v_q)
+    i_read = np.broadcast_to(np.asarray(i_read, dtype=float), (lanes, 1))
+    return v_q[:, 0], v_qb[:, 0], flipped[:, 0], i_read[:, 0]
+
+
+def read_current_grid(cell, v_ddc_values, v_ssc_values, vdd=None,
+                      engine="batched"):
     """I_read over a (V_DDC, V_SSC) grid — the 2-D LUT the array model
     interpolates (paper Table 2, ``I_read(V_DDC, V_SSC)``).
 
     Returns an array of shape ``(len(v_ddc_values), len(v_ssc_values))``.
+    ``engine="batched"`` flattens the grid into rail lanes and solves
+    every point in one batched fixed point; ``engine="loop"`` retains the
+    scalar point-by-point reference.  Both are bit-identical.
     """
+    if engine == "batched":
+        mesh_ddc, mesh_ssc = np.meshgrid(
+            np.asarray(v_ddc_values, dtype=float),
+            np.asarray(v_ssc_values, dtype=float),
+            indexing="ij",
+        )
+        lanes = mesh_ddc.size
+        bias = CellBias.read(
+            vdd=vdd if vdd is not None else CellBias().vdd,
+            v_ddc=mesh_ddc.reshape(lanes, 1),
+            v_ssc=mesh_ssc.reshape(lanes, 1),
+        )
+        v_q, v_qb, flipped, i_read = read_state_batch(cell, bias, lanes)
+        if flipped.any():
+            raise CharacterizationError(
+                "cell flipped during read on %d of %d grid points; "
+                "read current undefined" % (int(flipped.sum()), lanes)
+            )
+        return i_read.reshape(mesh_ddc.shape)
+    if engine != "loop":
+        raise ValueError("unknown engine %r" % (engine,))
     grid = np.zeros((len(v_ddc_values), len(v_ssc_values)))
     for i, v_ddc in enumerate(v_ddc_values):
         for j, v_ssc in enumerate(v_ssc_values):

@@ -58,38 +58,86 @@ def _half_circuit_current(cell, side, v_in, v_out, bias, access_on):
     return out
 
 
+def _bisection_counts(spans):
+    """Exact per-element bisection iteration counts for given spans.
+
+    Each element's count must equal what the scalar path computes via
+    ``math.ceil(math.log2(span / tol))``; ``np.log2`` can differ from
+    ``math.log2`` in the last ulp (which would flip the ceil right at a
+    power-of-two boundary), so the counts are computed with ``math.log2``
+    over the unique span values.
+    """
+    spans = np.asarray(spans, dtype=float)
+    counts = np.empty(spans.shape, dtype=int)
+    for value in np.unique(spans):
+        counts[spans == value] = int(
+            math.ceil(math.log2(float(value) / _BISECT_TOL))
+        )
+    return counts
+
+
 def solve_half_circuit(cell, side, v_in, bias, access_on):
     """Output voltage(s) of one half circuit for forced input(s) [V].
 
     ``v_in`` may be a scalar or an array; the bisection runs vectorized
     across all input points simultaneously (the net out-current is
     strictly increasing in the output voltage, so bisection is exact).
+
+    Batched evaluation composes along two more axes, both handled by the
+    same code path because every operation below is elementwise:
+
+    * a **batched cell** (per-sample ``vt`` columns of shape ``(n, 1)``)
+      turns a ``(points,)`` input sweep into an ``(n, points)`` output
+      grid, or an ``(n, 1)`` per-sample input column into an ``(n, 1)``
+      output column;
+    * **array-valued bias fields** (e.g. per-lane rails or wordline
+      levels, shape ``(k, 1)``) batch independent operating points.
+      Lanes whose bracket spans differ get exactly the per-lane
+      iteration count the scalar path would compute, with finished
+      lanes frozen, so every element follows the scalar op sequence
+      bitwise.
     """
     v_in = np.asarray(v_in, dtype=float)
     scalar = v_in.ndim == 0
     v_in = np.atleast_1d(v_in)
-    lo_bound = min(bias.v_ssc, bias.v_bl, bias.v_blb, 0.0) - 0.1
-    hi_bound = max(bias.v_ddc, bias.v_bl, bias.v_blb) + 0.1
-    lo = np.full_like(v_in, lo_bound)
-    hi = np.full_like(v_in, hi_bound)
-    f_lo = _half_circuit_current(cell, side, v_in, lo, bias, access_on)
-    f_hi = _half_circuit_current(cell, side, v_in, hi, bias, access_on)
+    # min/max of floats select an input exactly, so np.minimum/np.maximum
+    # reduce to the scalar path's python min()/max() values when every
+    # field is scalar; pairwise calls let array-valued fields broadcast.
+    lo_bound = np.minimum(
+        np.minimum(bias.v_ssc, bias.v_bl), np.minimum(bias.v_blb, 0.0)
+    ) - 0.1
+    hi_bound = np.maximum(
+        np.maximum(bias.v_ddc, bias.v_bl), bias.v_blb
+    ) + 0.1
+    f_lo = _half_circuit_current(
+        cell, side, v_in, lo_bound + 0.0 * v_in, bias, access_on
+    )
+    f_hi = _half_circuit_current(
+        cell, side, v_in, hi_bound + 0.0 * v_in, bias, access_on
+    )
     if np.any(f_lo > 0) or np.any(f_hi < 0):
         raise CharacterizationError(
             "half-circuit current not bracketed within [%.2f, %.2f] V"
-            % (lo_bound, hi_bound)
+            % (float(np.min(lo_bound)), float(np.max(hi_bound)))
         )
-    iterations = int(math.ceil(math.log2((hi_bound - lo_bound) / _BISECT_TOL)))
-    for _ in range(iterations):
+    shape = f_lo.shape
+    lo = np.broadcast_to(np.asarray(lo_bound, dtype=float), shape)
+    hi = np.broadcast_to(np.asarray(hi_bound, dtype=float), shape)
+    counts = _bisection_counts(np.broadcast_to(hi_bound - lo_bound, shape))
+    for step in range(int(counts.max())):
+        running = step < counts
         mid = 0.5 * (lo + hi)
         high_side = _half_circuit_current(
             cell, side, v_in, mid, bias, access_on
         ) > 0
-        hi = np.where(high_side, mid, hi)
-        lo = np.where(high_side, lo, mid)
+        hi = np.where(running & high_side, mid, hi)
+        lo = np.where(running & ~high_side, mid, lo)
     result = 0.5 * (lo + hi)
     if scalar:
-        return float(result[0])
+        if result.ndim == 1:
+            return float(result[0])
+        # Batched cell with a scalar input: one output per sample.
+        return result
     return result
 
 
@@ -189,6 +237,34 @@ def butterfly(cell, bias, access_on, points=DEFAULT_POINTS):
         lobe_low=min(lobe_a, lobe_b),
         lobe_high=max(lobe_a, lobe_b),
     )
+
+
+def snm_samples(cell, bias, access_on, points=DEFAULT_POINTS):
+    """Noise margin of every sample of a batched cell at once [V].
+
+    ``cell`` carries batched per-sample parameters (see
+    :meth:`repro.devices.params.FinFETParams.with_vt_shifts`); both VTC
+    bisections evaluate all samples simultaneously, then the largest
+    inscribed square is extracted per sample.  Returns an ``(n,)`` array
+    that is bitwise equal to calling ``butterfly(...).snm`` on each
+    sample's scalar cell.
+    """
+    qb_axis, q_of_qb = vtc(cell, "l", bias, access_on, points)
+    q_of_qb = np.atleast_2d(q_of_qb)
+    if cell.is_symmetric and bias.v_bl == bias.v_blb:
+        q_axis, qb_of_q = qb_axis.copy(), q_of_qb.copy()
+    else:
+        q_axis, qb_of_q = vtc(cell, "r", bias, access_on, points)
+        qb_of_q = np.atleast_2d(qb_of_q)
+    # Eye extraction is 1-D interpolation, so it runs per sample — cheap
+    # next to the bisections (O(points log points) vs O(iters * devices)).
+    snm = np.empty(q_of_qb.shape[0])
+    for k in range(q_of_qb.shape[0]):
+        lobe_a, lobe_b = _largest_squares(
+            qb_axis, q_of_qb[k], qb_of_q[k], q_axis
+        )
+        snm[k] = min(lobe_a, lobe_b)
+    return snm
 
 
 def hold_snm(cell, vdd=None, points=DEFAULT_POINTS, bias=None):

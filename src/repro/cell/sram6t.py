@@ -89,6 +89,25 @@ class SRAM6TCell:
         )
 
     @property
+    def batch_size(self):
+        """Sample count of a Monte Carlo-batched cell; None if scalar.
+
+        All batched transistors of one cell must agree on the count.
+        """
+        sizes = {
+            p.batch_size for p in self._params.values()
+            if p.batch_size is not None
+        }
+        if not sizes:
+            return None
+        if len(sizes) > 1:
+            raise ValueError(
+                "inconsistent batch sizes across transistors: %s"
+                % sorted(sizes)
+            )
+        return sizes.pop()
+
+    @property
     def is_symmetric(self):
         """True when left and right halves share identical parameters."""
         return (

@@ -23,12 +23,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import CharacterizationError
 from .bias import CellBias
 
 _DAMPING = 0.5
 _TOL = 1e-7
-_MAX_ITER = 400
+#: The damped fixed point converges slowly right at the flip bifurcation
+#: (a near-unit contraction rate); Monte Carlo samples probing WL levels
+#: there can need >500 iterations, so the cap carries generous headroom.
+#: Converged relaxations break (scalar) or freeze (batched) early, so
+#: the cap only affects runs that would otherwise raise.
+_MAX_ITER = 4000
 
 #: Bisection resolution for the flip voltage [V].
 FLIP_RESOLUTION = 0.0005
@@ -64,6 +71,61 @@ def cell_flips(cell, bias):
     return v_q < v_qb
 
 
+def settle_from_one_batch(cell, bias, lanes):
+    """Batched :func:`settle_from_one`: relax every lane at once.
+
+    A *lane* is one independent relaxation — a Monte Carlo sample of a
+    batched cell, a candidate wordline level carried as an array-valued
+    ``bias.v_wl``, or both.  ``lanes`` is the lane count; states are
+    ``(lanes, 1)`` columns so batched device parameters broadcast
+    elementwise.
+
+    Bit-identity with the scalar loop: a lane that converges is updated
+    one last time and then *frozen*, mirroring the scalar loop's
+    update-then-break ordering; iterations past a lane's convergence
+    cannot touch it.
+    """
+    from .snm import solve_half_circuit
+
+    v_q = np.full((lanes, 1), float(np.max(bias.v_ddc)))
+    v_qb = np.full((lanes, 1), float(np.max(bias.v_ssc)))
+    if np.ndim(bias.v_ddc) != 0 or np.ndim(bias.v_ssc) != 0:
+        # Per-lane rails: start each lane from its own corner.
+        v_q = np.broadcast_to(
+            np.asarray(bias.v_ddc, dtype=float), (lanes, 1)
+        ).copy()
+        v_qb = np.broadcast_to(
+            np.asarray(bias.v_ssc, dtype=float), (lanes, 1)
+        ).copy()
+    active = np.ones((lanes, 1), dtype=bool)
+    moved = None
+    for _ in range(_MAX_ITER):
+        v_q_new = solve_half_circuit(cell, "l", v_qb, bias, access_on=True)
+        v_qb_new = solve_half_circuit(cell, "r", v_q_new, bias,
+                                      access_on=True)
+        v_q_next = (1.0 - _DAMPING) * v_q + _DAMPING * v_q_new
+        v_qb_next = (1.0 - _DAMPING) * v_qb + _DAMPING * v_qb_new
+        moved = np.maximum(np.abs(v_q_next - v_q), np.abs(v_qb_next - v_qb))
+        v_q = np.where(active, v_q_next, v_q)
+        v_qb = np.where(active, v_qb_next, v_qb)
+        active &= ~(moved < _TOL)
+        if not active.any():
+            break
+    else:
+        raise CharacterizationError(
+            "write settle iteration did not converge on %d of %d lanes "
+            "(worst last move %.3g V)"
+            % (int(active.sum()), lanes, float(np.max(moved[active])))
+        )
+    return v_q, v_qb
+
+
+def cell_flips_batch(cell, bias, lanes):
+    """Batched :func:`cell_flips`: an ``(lanes, 1)`` boolean column."""
+    v_q, v_qb = settle_from_one_batch(cell, bias, lanes)
+    return v_q < v_qb
+
+
 def flip_wordline_voltage(cell, vdd=None, v_bl_low=0.0, v_wl_max=None,
                           resolution=FLIP_RESOLUTION):
     """Minimum WL voltage [V] that flips the cell during a write.
@@ -93,6 +155,70 @@ def flip_wordline_voltage(cell, vdd=None, v_bl_low=0.0, v_wl_max=None,
         else:
             lo = mid
     return 0.5 * (lo + hi)
+
+
+def flip_wordline_voltage_batch(cell, lanes, vdd=None, v_bl_low=0.0,
+                                v_wl_max=None, resolution=FLIP_RESOLUTION):
+    """Batched :func:`flip_wordline_voltage`: all lanes bisect at once.
+
+    The candidate wordline level rides through the bistability oracle as
+    an array-valued ``bias.v_wl`` column, so one
+    :func:`settle_from_one_batch` call advances every lane's bisection by
+    one step.  ``v_bl_low`` may itself be a per-lane column (the
+    negative-BL characterization sweep batches over bitline levels with
+    a scalar cell).
+
+    Per-lane ``lo``/``hi`` brackets march independently: IEEE midpoint
+    halving does not keep spans exactly equal across lanes, so each lane
+    runs its own ``hi - lo > resolution`` test and freezes when done —
+    every lane reproduces the scalar bisection bitwise.
+
+    Returns an ``(lanes,)`` array of flip voltages.
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    if v_wl_max is None:
+        v_wl_max = 1.8 * vdd
+
+    def bias_at(v_wl):
+        return CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl_low)
+
+    hi = np.full((lanes, 1), float(v_wl_max))
+    lo = np.zeros((lanes, 1))
+    flips_hi = cell_flips_batch(cell, bias_at(hi), lanes)
+    if not flips_hi.all():
+        raise CharacterizationError(
+            "%d of %d lanes do not flip even at WL = %.3f V (unwritable)"
+            % (int((~flips_hi).sum()), lanes, float(v_wl_max))
+        )
+    # Scalar path: a cell that already flips just above WL = 0 returns 0.
+    at_floor = cell_flips_batch(cell, bias_at(np.full((lanes, 1), 1e-6)),
+                                lanes)
+    running = ~at_floor & (hi - lo > resolution)
+    while running.any():
+        mid = 0.5 * (lo + hi)
+        # Finished lanes are probed at their (known-convergent) hi level
+        # so the shared settle call cannot diverge on a stale midpoint;
+        # their brackets are frozen by the running mask regardless.
+        probe = np.where(running, mid, hi)
+        flips = cell_flips_batch(cell, bias_at(probe), lanes)
+        hi = np.where(running & flips, mid, hi)
+        lo = np.where(running & ~flips, mid, lo)
+        running = running & (hi - lo > resolution)
+    result = np.where(at_floor, 0.0, 0.5 * (lo + hi))
+    return result[:, 0]
+
+
+def write_margin_batch(cell, lanes, v_wl_applied=None, vdd=None,
+                       v_bl_low=0.0, resolution=FLIP_RESOLUTION):
+    """Batched :func:`write_margin`: an ``(lanes,)`` margin array."""
+    vdd = CellBias().vdd if vdd is None else vdd
+    v_wl_applied = vdd if v_wl_applied is None else v_wl_applied
+    v_flip = flip_wordline_voltage_batch(
+        cell, lanes, vdd=vdd, v_bl_low=v_bl_low,
+        v_wl_max=max(1.8 * vdd, v_wl_applied),
+        resolution=resolution,
+    )
+    return v_wl_applied - v_flip
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CharacterizationError
+from ..spice.batch import transient_batch
 from ..spice.stimuli import step
 from ..spice.transient import transient
 from ..spice.waveform import Waveform
@@ -69,6 +70,11 @@ def cell_write_event(cell, v_wl=None, vdd=None, v_bl_low=0.0,
         stop_condition=lambda _t, v: v["q"] < v["qb"] - 0.2 * vdd,
         stop_margin=5,
     )
+    return _measure_write_event(result, vdd, v_bl_low)
+
+
+def _measure_write_event(result, vdd, v_bl_low):
+    """Extract a :class:`WriteEvent` from one write transient."""
     t_wl = result.node("wl").cross(0.5 * vdd, "rise")
     diff = Waveform(
         result.times,
@@ -91,11 +97,63 @@ def cell_write_event(cell, v_wl=None, vdd=None, v_bl_low=0.0,
     return WriteEvent(delay=t_flip - t_wl, energy=energy, completed=True)
 
 
-def write_delay_vs_wordline(cell, v_wl_values, vdd=None, v_bl_low=0.0):
+def cell_write_event_batch(cell, v_wl, vdd=None, v_bl_low=0.0,
+                           t_stop=_T_STOP, dt=_DT):
+    """Batched :func:`cell_write_event`: one transient for many lanes.
+
+    ``v_wl`` and/or ``v_bl_low`` may be ``(lanes,)`` arrays — each lane
+    is one write condition of a *scalar* cell (the characterization
+    WL/negative-BL sweeps), integrated simultaneously over the shared
+    time grid by :func:`repro.spice.batch.transient_batch`.  Per-lane
+    waveforms, and hence delays and energies, are bitwise equal to
+    per-point :func:`cell_write_event` calls.
+
+    Returns a list of :class:`WriteEvent` in lane order.
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    v_wl = np.asarray(vdd if v_wl is None else v_wl, dtype=float)
+    lanes = int(
+        np.broadcast_shapes(np.shape(v_wl), np.shape(v_bl_low), (1,))[0]
+    )
+    bias = CellBias.write(vdd=vdd, v_wl=v_wl, v_bl_low=v_bl_low)
+    c_node = cell.internal_node_capacitance()
+    circuit = cell.build_circuit(
+        bias,
+        wl_value=step(_T_START, 0.0, v_wl, _T_RISE),
+        node_caps={"q": c_node, "qb": c_node},
+    )
+    results = transient_batch(
+        circuit, lanes, t_stop, dt,
+        initial_guess={"q": vdd, "qb": 0.0},
+        stop_condition=lambda _t, v: v["q"] < v["qb"] - 0.2 * vdd,
+        stop_margin=5,
+    )
+    return [
+        _measure_write_event(
+            result, vdd,
+            float(np.asarray(v_bl_low).reshape(-1)[k])
+            if np.ndim(v_bl_low) else v_bl_low,
+        )
+        for k, result in enumerate(results)
+    ]
+
+
+def write_delay_vs_wordline(cell, v_wl_values, vdd=None, v_bl_low=0.0,
+                            engine="batched"):
     """Write delay [s] for each WL level (paper Fig. 5 x-axis sweeps).
 
-    Levels that fail to write map to ``inf``.
+    Levels that fail to write map to ``inf``.  ``engine="batched"``
+    integrates every level in one lane-batched transient;
+    ``engine="loop"`` retains the per-level reference.  Both are
+    bit-identical.
     """
+    if engine == "batched":
+        v_wl = np.asarray([float(v) for v in v_wl_values])
+        events = cell_write_event_batch(cell, v_wl, vdd=vdd,
+                                        v_bl_low=v_bl_low)
+        return [event.delay for event in events]
+    if engine != "loop":
+        raise ValueError("unknown engine %r" % (engine,))
     delays = []
     for v_wl in v_wl_values:
         event = cell_write_event(cell, v_wl=float(v_wl), vdd=vdd,

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli table4 --voltage-mode paper
     python -m repro.cli fig7 --workers 4
     python -m repro.cli headline --profile
+    python -m repro.cli montecarlo --samples 2000 --metrics hsnm,rsnm,wm
     python -m repro.cli all
 
 The first run characterizes the device/cell/periphery stack with the
@@ -41,11 +42,14 @@ from .analysis import (
     word_width_study,
 )
 from .analysis.serialize import save_json
+from .cell.montecarlo import required_margin_fraction, run_cell_montecarlo
+from .cell.sram6t import SRAM6TCell
+from .devices.library import DeviceLibrary
 
 #: Paper artifacts first, extension studies after.
 EXPERIMENTS = ("calibration", "fig2", "fig3", "fig5", "table4", "fig7",
                "headline", "corners", "temperature", "breakdown",
-               "wordwidth", "selfcheck", "all")
+               "wordwidth", "selfcheck", "montecarlo", "all")
 
 #: What "all" expands to (the paper's artifacts).
 PAPER_SET = ("calibration", "fig2", "fig3", "fig5", "table4", "fig7",
@@ -66,6 +70,54 @@ def _run_sweep(session, options):
         )
         return run.sweep
     return optimize_all(session, engine=engine)
+
+
+def run_montecarlo(options):
+    """The ``montecarlo`` entry point: cell margin distributions.
+
+    Runs directly on the device library (no array characterization
+    needed).  ``--engine batched`` (default) uses the vectorized cell
+    engine; ``--engine loop`` runs the scalar reference — both are
+    bit-identical, so the engine choice only changes runtime.
+    """
+    library = DeviceLibrary.default_7nm()
+    cell = SRAM6TCell.from_library(library, options.flavor)
+    engine = "loop" if options.engine == "loop" else "batched"
+    metrics = tuple(
+        name.strip() for name in options.metrics.split(",") if name.strip()
+    )
+    result = run_cell_montecarlo(
+        cell, n_samples=options.samples, seed=options.seed,
+        vdd=library.vdd, metrics=metrics, engine=engine,
+    )
+    return result, _montecarlo_report(result, library.vdd, options.flavor,
+                                      engine)
+
+
+def _montecarlo_report(result, vdd, flavor, engine):
+    floor = 0.35 * vdd
+    lines = [
+        "Monte Carlo cell margins: flavor=%s n=%d engine=%s Vdd=%.3f V"
+        % (flavor, result.n_samples, engine, vdd),
+        "yield floor 0.35*Vdd = %.4f V" % floor,
+    ]
+    for name, samples in result.metrics.items():
+        lines.append(
+            "  %-5s mean=%7.4f V  sigma=%7.4f V  mu-3sigma=%7.4f V  "
+            "yield@floor=%.4f"
+            % (name, samples.mean, samples.sigma,
+               samples.mu_minus_k_sigma(3.0), samples.yield_at(floor))
+        )
+    required = required_margin_fraction(result, vdd=vdd)
+    lines.append(
+        "  required nominal margin for mu-3sigma >= 0 (fraction of Vdd): "
+        + ", ".join("%s=%.3f" % (name, value)
+                    for name, value in required.items())
+    )
+    if len(result.metrics) > 1:
+        lines.append("  joint yield at the floor: %.4f"
+                     % result.worst_case_yield(floor))
+    return "\n".join(lines)
 
 
 def run_experiment(name, session, options=None):
@@ -131,30 +183,52 @@ def main(argv=None):
                         choices=("auto", "serial", "thread", "process"),
                         default="auto",
                         help="pool type for --workers > 1")
-    parser.add_argument("--engine", choices=("vectorized", "loop"),
+    parser.add_argument("--engine",
+                        choices=("vectorized", "batched", "loop"),
                         default="vectorized",
-                        help="search engine (loop = the reference "
-                             "slice-by-slice implementation)")
+                        help="search/cell engine (loop = the reference "
+                             "point-by-point implementation; batched = "
+                             "the vectorized cell engine, montecarlo "
+                             "default)")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="montecarlo: number of Monte Carlo samples")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="montecarlo: random seed for the Vt draws")
+    parser.add_argument("--metrics", default="hsnm,rsnm,wm",
+                        help="montecarlo: comma-separated margin metrics "
+                             "(hsnm, rsnm, wm)")
+    parser.add_argument("--flavor", choices=("lvt", "hvt"), default="hvt",
+                        help="montecarlo: cell flavor")
     parser.add_argument("--profile", action="store_true",
                         help="print the perf telemetry report at the end")
     args = parser.parse_args(argv)
 
-    session = Session.create(
-        cache_path=args.cache or None,
-        voltage_mode=args.voltage_mode,
-    )
-    names = PAPER_SET if args.experiment == "all" else (
-        args.experiment,
-    )
     last_result = None
-    for name in names:
-        result, text = run_experiment(name, session, args)
+    if args.experiment == "montecarlo":
+        # Needs no array characterization; skip the Session entirely.
+        result, text = run_montecarlo(args)
         print("=" * 72)
-        print("# %s" % name)
+        print("# montecarlo")
         print("=" * 72)
         print(text)
         print()
         last_result = result
+    else:
+        session = Session.create(
+            cache_path=args.cache or None,
+            voltage_mode=args.voltage_mode,
+        )
+        names = PAPER_SET if args.experiment == "all" else (
+            args.experiment,
+        )
+        for name in names:
+            result, text = run_experiment(name, session, args)
+            print("=" * 72)
+            print("# %s" % name)
+            print("=" * 72)
+            print(text)
+            print()
+            last_result = result
     if args.json and last_result is not None:
         save_json(last_result, args.json)
         print("result saved to %s" % args.json)

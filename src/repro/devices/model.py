@@ -95,9 +95,13 @@ class FinFET:
         self.nfin = int(nfin)
 
     def __repr__(self):
-        return "FinFET(%sFET, vt=%.0fmV, nfin=%d)" % (
+        if self.params.is_batched:
+            vt_label = "batched[%d]" % self.params.batch_size
+        else:
+            vt_label = "%.0fmV" % (self.params.vt * 1e3)
+        return "FinFET(%sFET, vt=%s, nfin=%d)" % (
             self.params.polarity,
-            self.params.vt * 1e3,
+            vt_label,
             self.nfin,
         )
 
@@ -149,15 +153,22 @@ class FinFET:
             #   d/dvd = di_dvgs + di_dvds,  d/dvs = -di_dvds.
             d_vd = np.where(fwd, di_dvds, di_dvgs + di_dvds)
             d_vs = np.where(fwd, -(di_dvgs + di_dvds), -di_dvds)
+        # Single return path for scalars and arrays: scale by the fin
+        # count, then demote 0-d results to Python floats.  Multiplying
+        # before vs after the float() conversion is bitwise-equivalent
+        # (both are one float64 multiply), so scalar callers see exactly
+        # the values the old special case produced.
         scale = float(self.nfin)
-        if current.ndim == 0:
-            return (
-                float(current) * scale,
-                float(d_vg) * scale,
-                float(d_vd) * scale,
-                float(d_vs) * scale,
+        outputs = tuple(
+            np.asarray(term) * scale for term in (current, d_vg, d_vd, d_vs)
+        )
+        for term in outputs:
+            assert term.dtype == np.float64, (
+                "current_and_derivatives produced dtype %s" % term.dtype
             )
-        return current * scale, d_vg * scale, d_vd * scale, d_vs * scale
+        if outputs[0].ndim == 0:
+            return tuple(term.item() for term in outputs)
+        return outputs
 
     # -- figures of merit -----------------------------------------------------
 

@@ -4,17 +4,28 @@ A :class:`FinFETParams` instance fully describes one device flavor
 (e.g. the 7nm LVT NFET).  The numeric defaults for the paper's library
 live in :mod:`repro.devices.library`; the derivations that produced them
 live in :mod:`repro.devices.calibration`.
+
+The threshold voltage ``vt`` may also be a numpy *column vector* of
+shape ``(n, 1)`` — a **batched** parameter set carrying one threshold
+per Monte Carlo sample.  Every downstream expression in
+:mod:`repro.devices.model` is pure numpy, so a batched parameter set
+evaluates all samples simultaneously: scalar node voltages broadcast
+against the sample column, and 1-D voltage sweeps (shape ``(points,)``)
+broadcast to ``(n, points)`` grids.  See
+:meth:`FinFETParams.with_vt_shifts`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
 
 from ..units import PHI_T
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FinFETParams:
     """Compact-model parameters for a single FinFET flavor.
 
@@ -44,7 +55,8 @@ class FinFETParams:
 
     #: "n" or "p".  For PFETs all voltages are mirrored before evaluation.
     polarity: str
-    #: Threshold voltage magnitude [V].
+    #: Threshold voltage magnitude [V] — a float, or an ``(n, 1)`` column
+    #: of per-sample thresholds (see :meth:`with_vt_shifts`).
     vt: float
     #: Strong-inversion transconductance coefficient [A / V**alpha] per fin.
     b: float
@@ -69,7 +81,17 @@ class FinFETParams:
     def __post_init__(self):
         if self.polarity not in ("n", "p"):
             raise ValueError("polarity must be 'n' or 'p', got %r" % (self.polarity,))
-        if self.vt <= 0:
+        if np.ndim(self.vt) not in (0, 2):
+            raise ValueError(
+                "vt must be a scalar or an (n, 1) sample column; got shape %r"
+                % (np.shape(self.vt),)
+            )
+        if np.ndim(self.vt) == 2 and np.shape(self.vt)[1] != 1:
+            raise ValueError(
+                "batched vt must be a column of shape (n, 1); got %r"
+                % (np.shape(self.vt),)
+            )
+        if np.any(np.asarray(self.vt) <= 0):
             raise ValueError("vt must be a positive magnitude")
         if self.b <= 0:
             raise ValueError("current prefactor b must be positive")
@@ -77,6 +99,45 @@ class FinFETParams:
             raise ValueError("leakage floor must be non-negative")
         if self.alpha <= 0 or self.gamma_s <= 0:
             raise ValueError("alpha and gamma_s must be positive")
+
+    # -- batching -----------------------------------------------------------
+
+    @property
+    def batch_size(self):
+        """Number of samples carried by a batched ``vt``; None if scalar."""
+        if np.ndim(self.vt) == 0:
+            return None
+        return int(np.shape(self.vt)[0])
+
+    @property
+    def is_batched(self):
+        return self.batch_size is not None
+
+    # -- equality / hashing -------------------------------------------------
+    # The generated dataclass __eq__ would raise on a batched (array) vt,
+    # so equality and hashing are spelled out with array-aware semantics.
+
+    def __eq__(self, other):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        for f in fields(self):
+            a = getattr(self, f.name)
+            b = getattr(other, f.name)
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                if not np.array_equal(a, b):
+                    return False
+            elif a != b:
+                return False
+        return True
+
+    def __hash__(self):
+        key = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray):
+                value = (value.shape, value.tobytes())
+            key.append(value)
+        return hash(tuple(key))
 
     @property
     def subthreshold_swing(self):
@@ -90,7 +151,28 @@ class FinFETParams:
         The shifted threshold is floored at 1 mV so that extreme variation
         samples remain physically valid (vt must stay positive).
         """
-        return replace(self, vt=max(self.vt + delta_vt, 1e-3))
+        if np.ndim(self.vt) == 0 and np.ndim(delta_vt) == 0:
+            return replace(self, vt=max(self.vt + delta_vt, 1e-3))
+        return replace(self, vt=np.maximum(self.vt + delta_vt, 1e-3))
+
+    def with_vt_shifts(self, shifts):
+        """Batched copy: one threshold per sample, all evaluated at once.
+
+        ``shifts`` is a 1-D array of ``n`` per-sample Vt shifts [V]; the
+        result carries ``vt`` as an ``(n, 1)`` column (floored at 1 mV
+        exactly like :meth:`with_vt_shift`) so that voltage sweeps of
+        shape ``(points,)`` broadcast to ``(n, points)`` sample grids.
+        """
+        shifts = np.asarray(shifts, dtype=float)
+        if shifts.ndim != 1:
+            raise ValueError(
+                "shifts must be a 1-D per-sample vector; got shape %r"
+                % (shifts.shape,)
+            )
+        if self.is_batched:
+            raise ValueError("parameters are already batched")
+        column = np.maximum(self.vt + shifts.reshape(-1, 1), 1e-3)
+        return replace(self, vt=column)
 
     def scaled_drive(self, factor):
         """A copy with the channel drive scaled by ``factor``.

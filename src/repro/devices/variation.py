@@ -61,6 +61,36 @@ class VariationModel:
         )
 
 
+def apply_shift_matrix(params_list, shift_matrix):
+    """Batch a Monte Carlo shift matrix onto a circuit's transistors.
+
+    ``shift_matrix`` has shape ``(n_samples, n_transistors)`` — the
+    layout :meth:`VariationModel.sample_shifts` draws.  Returns one
+    **batched** :class:`FinFETParams` per transistor, each carrying its
+    column of the matrix as an ``(n_samples, 1)`` per-sample ``vt``, so
+    all samples evaluate in single numpy expressions downstream.
+
+    The thresholds are floored exactly like the scalar
+    :func:`apply_shifts` path (``with_vt_shift``), keeping batched and
+    per-sample evaluation bit-identical.
+    """
+    shift_matrix = np.asarray(shift_matrix, dtype=float)
+    if shift_matrix.ndim != 2:
+        raise ValueError(
+            "shift_matrix must be (n_samples, n_transistors); got shape %r"
+            % (shift_matrix.shape,)
+        )
+    if len(params_list) != shift_matrix.shape[1]:
+        raise ValueError(
+            "got %d parameter sets but %d shift columns"
+            % (len(params_list), shift_matrix.shape[1])
+        )
+    return [
+        params.with_vt_shifts(shift_matrix[:, column])
+        for column, params in enumerate(params_list)
+    ]
+
+
 def apply_shifts(params_list, shifts):
     """Shift each parameter set in ``params_list`` by the matching entry
     of ``shifts`` (one Monte Carlo instance of a circuit's transistors).

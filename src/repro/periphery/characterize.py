@@ -23,14 +23,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perf
 from ..array.capacitance import DeviceCaps
 from ..array.geometry import ArrayGeometry
 from ..cell.bias import CellBias
 from ..cell.leakage import cell_leakage_power
-from ..cell.read_current import read_current
+from ..cell.read_current import read_current_grid
 from ..cell.sram6t import SRAM6TCell
-from ..cell.write import flip_wordline_voltage
-from ..cell.write_delay import cell_write_event
+from ..cell.write import flip_wordline_voltage, flip_wordline_voltage_batch
+from ..cell.write_delay import cell_write_event, cell_write_event_batch
 from ..devices.model import FinFET
 from ..lut.table import LUT1D, LUT2D
 from .decoder import DecoderModel, build_decoder_model
@@ -158,21 +159,28 @@ def characterize_gates(library, grids=None, cache=None):
     return inv, nands
 
 
-def characterize(library, flavor, cache=None, grids=None):
+def characterize(library, flavor, cache=None, grids=None, engine="batched"):
     """Full characterization for one cell flavor.
 
     Returns an :class:`ArrayCharacterization`.  With a cache, repeated
     calls are instant.
+
+    ``engine`` selects how the cell-level LUT grids are evaluated:
+    ``"batched"`` (default) flattens each sweep into one lane-batched
+    evaluation; ``"loop"`` retains the per-point reference.  Both are
+    bit-identical (same cache key, same ``VERSION``).
     """
     grids = grids or CharacterizationGrids()
     key = "%s:%s:%s:array" % (VERSION, flavor, grids.signature())
     if cache is not None and key in cache:
         return _from_dict(cache.get(key), library, grids)
     with cache.deferred() if cache is not None else nullcontext():
-        return _characterize_cold(library, flavor, cache, grids, key)
+        return _characterize_cold(library, flavor, cache, grids, key, engine)
 
 
-def _characterize_cold(library, flavor, cache, grids, key):
+def _characterize_cold(library, flavor, cache, grids, key, engine="batched"):
+    if engine not in ("batched", "loop"):
+        raise ValueError("unknown engine %r" % (engine,))
     vdd = library.vdd
     cell = SRAM6TCell.from_library(library, flavor)
     geometry = ArrayGeometry()
@@ -209,21 +217,28 @@ def _characterize_cold(library, flavor, cache, grids, key):
         name="i_wl",
     )
 
-    # Cell-level LUTs.
-    i_read_grid = np.array([
-        [read_current(cell, vdd=vdd, v_ddc=float(vd), v_ssc=float(vs))
-         for vs in v_ssc_axis]
-        for vd in v_ddc_axis
-    ])
+    # Cell-level LUTs.  The batched engine evaluates each sweep as one
+    # flattened lane batch; both engines are bit-identical.
+    with perf.timed("characterize.i_read.%s" % engine):
+        i_read_grid = read_current_grid(
+            cell, v_ddc_axis, v_ssc_axis, vdd=vdd, engine=engine
+        )
     i_read = LUT2D(v_ddc_axis, v_ssc_axis, i_read_grid, name="i_read")
     p_leak = cell_leakage_power(cell, vdd)
 
     v_flip = flip_wordline_voltage(cell, vdd=vdd, resolution=0.002)
     v_wl_lo = min(v_flip + 0.03, vdd)
     v_wl_axis = np.linspace(v_wl_lo, grids.v_wl_max, grids.v_wl_points)
+    with perf.timed("characterize.d_write.%s" % engine):
+        if engine == "batched":
+            events = cell_write_event_batch(cell, v_wl_axis, vdd=vdd)
+        else:
+            events = [
+                cell_write_event(cell, v_wl=float(v_wl), vdd=vdd)
+                for v_wl in v_wl_axis
+            ]
     d_write_raw, e_write = [], []
-    for v_wl in v_wl_axis:
-        event = cell_write_event(cell, v_wl=float(v_wl), vdd=vdd)
+    for v_wl, event in zip(v_wl_axis, events):
         if not event.completed:
             raise RuntimeError(
                 "write did not complete at V_WL=%.3f (flip at %.3f)"
@@ -238,13 +253,30 @@ def _characterize_cold(library, flavor, cache, grids, key):
     # Negative-BL write assist: flip voltage and write delay/energy at
     # nominal WL across the assist levels.
     v_bl_axis = np.asarray(grids.v_bl)
-    flips, d_negbl, e_negbl = [], [], []
-    for v_bl in v_bl_axis:
-        flips.append(flip_wordline_voltage(
-            cell, vdd=vdd, v_bl_low=float(v_bl), resolution=0.002
-        ))
-        event = cell_write_event(cell, v_wl=vdd, vdd=vdd,
+    with perf.timed("characterize.negbl.%s" % engine):
+        if engine == "batched":
+            lanes = len(v_bl_axis)
+            flips = list(flip_wordline_voltage_batch(
+                cell, lanes, vdd=vdd, v_bl_low=v_bl_axis.reshape(-1, 1),
+                resolution=0.002,
+            ))
+            negbl_events = cell_write_event_batch(
+                cell, np.full(lanes, float(vdd)), vdd=vdd,
+                v_bl_low=v_bl_axis,
+            )
+        else:
+            flips = [
+                flip_wordline_voltage(cell, vdd=vdd, v_bl_low=float(v_bl),
+                                      resolution=0.002)
+                for v_bl in v_bl_axis
+            ]
+            negbl_events = [
+                cell_write_event(cell, v_wl=vdd, vdd=vdd,
                                  v_bl_low=float(v_bl))
+                for v_bl in v_bl_axis
+            ]
+    d_negbl, e_negbl = [], []
+    for v_bl, event in zip(v_bl_axis, negbl_events):
         if not event.completed:
             raise RuntimeError(
                 "negative-BL write did not complete at V_BL=%.3f" % v_bl

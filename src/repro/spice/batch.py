@@ -1,0 +1,311 @@
+"""Lane-batched Newton and transient analysis.
+
+Batches *independent operating points of the same topology* — e.g. the
+write-delay characterization's per-wordline transients — through one set
+of numpy solves.  The unknown vector becomes an ``(n_unknowns, lanes)``
+matrix; because every element stamp is elementwise in the unknowns, the
+existing :mod:`repro.spice.elements` stamping code assembles the batched
+residual ``(n, lanes)`` and Jacobian ``(n, n, lanes)`` unchanged.  Lane
+differences ride in through **array-valued source values**: a voltage
+source whose value (or stimulus callable) yields a ``(lanes,)`` row
+drives each lane at its own level.
+
+Bit-identity with the scalar solvers is a hard requirement (the LUT
+characterization must not change with the engine), maintained by:
+
+* per-lane Newton: voltage-step limiting, convergence tests, and the
+  final update all apply lane-by-lane, and a converged lane is frozen so
+  later iterations cannot perturb it (multiplying an unlimited lane's
+  update by 1.0 is exact);
+* batched ``np.linalg.solve`` over stacked Jacobians matches per-matrix
+  solves bitwise (LAPACK processes each matrix independently);
+* any lane that needs a convergence aid (gmin ladder, source stepping,
+  transient step halving) drops out of the batch and re-runs the exact
+  scalar path via :func:`lane_circuit`, which substitutes that lane's
+  source values as scalars.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .dc import (
+    MAX_ITERATIONS,
+    RESIDUAL_TOL,
+    VOLTAGE_STEP_LIMIT,
+    VOLTAGE_TOL,
+    _initial_vector,
+    operating_point,
+    solve_from,
+)
+from .elements import SolverState
+from .transient import transient
+from .waveform import TransientResult
+
+__all__ = [
+    "lane_circuit",
+    "operating_point_batch",
+    "solve_from_batch",
+    "transient_batch",
+]
+
+
+def _lane_value(value, lane):
+    """One lane's scalar from a possibly array-valued source value."""
+    if np.ndim(value) == 0:
+        return value
+    return value[lane]
+
+
+def _lane_callable(stimulus, lane):
+    """Wrap an array-valued stimulus so it yields one lane's level.
+
+    The wrapped callable evaluates the original elementwise expression
+    and selects the lane, so it is bitwise equal to a scalar stimulus
+    built from that lane's parameters.
+    """
+
+    def value(t):
+        return _lane_value(stimulus(t), lane)
+
+    return value
+
+
+@contextmanager
+def lane_circuit(circuit, lane):
+    """Temporarily substitute one lane's scalar source values.
+
+    Inside the context the circuit is exactly the scalar circuit of lane
+    ``lane``; used to run the reference scalar solvers on lanes that
+    fall out of a batch.
+    """
+    originals = [(src, src.value) for src in circuit.vsources]
+    try:
+        for src, value in originals:
+            if callable(value):
+                src.value = _lane_callable(value, lane)
+            elif np.ndim(value) != 0:
+                src.value = float(np.asarray(value)[lane])
+        yield circuit
+    finally:
+        for src, value in originals:
+            src.value = value
+
+
+def _assemble_batch(circuit, state, lanes):
+    n = circuit.n_unknowns
+    residual = np.zeros((n, lanes))
+    jacobian = np.zeros((n, n, lanes))
+    for element in circuit.elements:
+        element.stamp(state, residual, jacobian)
+    return residual, jacobian
+
+
+def _solve_lanes(jacobian, residual):
+    """Per-lane Newton updates ``dx`` with the scalar path's fallback.
+
+    The stacked solve equals per-matrix solves bitwise; when any lane's
+    Jacobian is singular the whole stacked solve raises, so each lane is
+    then solved exactly like the scalar loop (including its gentle
+    regularization of singular matrices).
+    """
+    try:
+        stacked = np.linalg.solve(
+            jacobian.transpose(2, 0, 1), (-residual).T[:, :, None]
+        )
+        return stacked[..., 0].T
+    except np.linalg.LinAlgError:
+        dx = np.empty_like(residual)
+        n = residual.shape[0]
+        for k in range(residual.shape[1]):
+            jac_k = jacobian[:, :, k]
+            rhs_k = -residual[:, k]
+            try:
+                dx[:, k] = np.linalg.solve(jac_k, rhs_k)
+            except np.linalg.LinAlgError:
+                dx[:, k] = np.linalg.solve(
+                    jac_k + 1e-12 * np.eye(n), rhs_k
+                )
+        return dx
+
+
+def _newton_batch(circuit, x0, time=None, dt=None, x_prev=None,
+                  max_iterations=MAX_ITERATIONS):
+    """Per-lane Newton; returns ``(x, iterations, failed)`` arrays.
+
+    ``failed`` marks lanes that did not converge within
+    ``max_iterations``; their columns hold the last iterate.  Converged
+    lanes freeze at their converged value (the scalar loop returns
+    immediately after its final update; iterations past a lane's
+    convergence must not touch it).
+    """
+    x = np.array(x0, dtype=float)
+    n_nodes = circuit.n_nodes
+    lanes = x.shape[1]
+    active = np.ones(lanes, dtype=bool)
+    iterations = np.zeros(lanes, dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        state = SolverState(x, time=time, dt=dt, x_prev=x_prev)
+        residual, jacobian = _assemble_batch(circuit, state, lanes)
+        res_max = np.max(np.abs(residual), axis=0)
+        dx = _solve_lanes(jacobian, residual)
+        v_step = dx[:n_nodes]
+        worst = np.max(np.abs(v_step), axis=0) if n_nodes else np.zeros(lanes)
+        scale = np.where(worst > VOLTAGE_STEP_LIMIT,
+                         VOLTAGE_STEP_LIMIT / np.where(worst > 0, worst, 1.0),
+                         1.0)
+        x = np.where(active[None, :], x + dx * scale[None, :], x)
+        newly = active & (worst < VOLTAGE_TOL) & (res_max < RESIDUAL_TOL)
+        iterations[newly] = iteration
+        active &= ~newly
+        if not active.any():
+            break
+    return x, iterations, active
+
+
+def solve_from_batch(circuit, x_start, time=None, dt=None, x_prev=None):
+    """Batched :func:`repro.spice.dc.solve_from`.
+
+    Lanes that fail plain Newton re-run the scalar :func:`solve_from`
+    (plain attempt plus its gmin ladder) under :func:`lane_circuit`, so
+    every lane's result matches the scalar path bitwise.  Raises
+    :class:`ConvergenceError` when a lane cannot be rescued — callers
+    fall back to fully scalar integration (which may halve steps).
+    """
+    if not circuit.compiled:
+        circuit.compile()
+    x, _iters, failed = _newton_batch(circuit, x_start, time=time, dt=dt,
+                                      x_prev=x_prev)
+    for k in np.nonzero(failed)[0]:
+        with lane_circuit(circuit, int(k)):
+            x_k, _ = solve_from(
+                circuit, np.array(x_start[:, k]), time=time, dt=dt,
+                x_prev=None if x_prev is None else np.array(x_prev[:, k]),
+            )
+        x[:, k] = x_k
+    return x
+
+
+def operating_point_batch(circuit, lanes, initial_guess=None):
+    """Batched DC operating point; returns the ``(n, lanes)`` matrix.
+
+    Lanes whose plain Newton fails re-run the scalar
+    :func:`operating_point` (with its gmin/source-stepping fallbacks)
+    under :func:`lane_circuit`.
+    """
+    if not circuit.compiled:
+        circuit.compile()
+    x0 = _initial_vector(circuit, initial_guess)
+    x0_batch = np.repeat(x0[:, None], lanes, axis=1)
+    x, _iters, failed = _newton_batch(circuit, x0_batch)
+    for k in np.nonzero(failed)[0]:
+        with lane_circuit(circuit, int(k)):
+            solution = operating_point(circuit, initial_guess)
+        x[:, k] = solution.x
+    return x
+
+
+def transient_batch(circuit, lanes, t_stop, dt, initial_guess=None,
+                    stop_condition=None, stop_margin=0):
+    """Batched backward-Euler transient over per-lane source values.
+
+    Marches the shared uniform time grid for all lanes at once.
+    ``stop_condition`` is evaluated with **array-valued** node voltages
+    (shape ``(lanes,)``) and must return a per-lane boolean array (an
+    elementwise expression such as ``v["q"] < v["qb"] - 0.1`` works for
+    both the scalar and batched engines); each lane then runs
+    ``stop_margin`` further steps and freezes, exactly like the scalar
+    early-stop bookkeeping.  The march ends when every lane has stopped
+    or ``t_stop`` is reached, and each lane's waveforms are cut at its
+    own stop point, so per-lane results equal scalar runs bitwise.
+
+    If any lane would need transient step halving (its Newton fails even
+    through the gmin ladder), the whole batch falls back to per-lane
+    scalar :func:`repro.spice.transient.transient` runs — exactness over
+    speed.
+
+    Returns a list of ``lanes`` :class:`TransientResult` objects.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    if not circuit.compiled:
+        circuit.compile()
+    try:
+        return _march_batch(circuit, lanes, t_stop, dt, initial_guess,
+                            stop_condition, stop_margin)
+    except ConvergenceError:
+        results = []
+        for k in range(lanes):
+            with lane_circuit(circuit, k):
+                results.append(
+                    transient(circuit, t_stop, dt,
+                              initial_guess=initial_guess,
+                              stop_condition=stop_condition,
+                              stop_margin=stop_margin)
+                )
+        return results
+
+
+def _march_batch(circuit, lanes, t_stop, dt, initial_guess, stop_condition,
+                 stop_margin):
+    x = operating_point_batch(circuit, lanes, initial_guess)
+    times = [0.0]
+    states = [x.copy()]
+    alive = np.ones(lanes, dtype=bool)
+    triggered = np.zeros(lanes, dtype=bool)
+    remaining = np.zeros(lanes, dtype=int)
+    # Final recorded step index per lane; -1 = ran to t_stop.
+    end_index = np.full(lanes, -1, dtype=int)
+    t = 0.0
+    index = 0
+    while t < t_stop - 1e-21 and alive.any():
+        step = min(dt, t_stop - t)
+        x = solve_from_batch(circuit, x, time=t + step, dt=step, x_prev=x)
+        t += step
+        index += 1
+        times.append(t)
+        states.append(x.copy())
+        if stop_condition is not None:
+            voltages = {
+                name: x[idx]
+                for idx, name in enumerate(circuit.node_names)
+            }
+            flags = np.broadcast_to(
+                np.asarray(stop_condition(t, voltages), dtype=bool), (lanes,)
+            )
+            newly = ~triggered & alive & flags
+            remaining = np.where(newly, stop_margin, remaining)
+            triggered |= newly
+            done = alive & triggered & (remaining <= 0)
+            end_index[done] = index
+            alive &= ~done
+            remaining = np.where(alive & triggered, remaining - 1, remaining)
+    return _package_batch(circuit, times, states, end_index)
+
+
+def _package_batch(circuit, times, states, end_index):
+    times = np.asarray(times)
+    stacked = np.stack(states)  # (points, n_unknowns, lanes)
+    results = []
+    for k, end in enumerate(end_index):
+        points = len(times) if end < 0 else int(end) + 1
+        lane_times = times[:points]
+        node_values = {
+            name: stacked[:points, idx, k]
+            for idx, name in enumerate(circuit.node_names)
+        }
+        branch_values = {}
+        source_voltages = {}
+        for src in circuit.vsources:
+            branch_values[src.name] = stacked[:points, src.branch_index, k]
+            source_voltages[src.name] = np.array(
+                [_lane_value(src.voltage_at(t), k) for t in lane_times]
+            )
+        results.append(
+            TransientResult(lane_times, node_values, branch_values,
+                            source_voltages)
+        )
+    return results

@@ -189,10 +189,18 @@ class VoltageSource(Element):
         return (self.plus, self.minus)
 
     def voltage_at(self, time):
-        """Source voltage at ``time`` (time ignored for constants)."""
+        """Source voltage at ``time`` (time ignored for constants).
+
+        Scalar values come back as floats; array-valued sources (one
+        level per lane of a batched analysis) come back as arrays.
+        """
         if callable(self.value):
-            return float(self.value(0.0 if time is None else time))
-        return float(self.value)
+            value = self.value(0.0 if time is None else time)
+        else:
+            value = self.value
+        if np.ndim(value) == 0:
+            return float(value)
+        return np.asarray(value, dtype=float)
 
     def stamp(self, state, residual, jacobian):
         if self.branch_index is None:
@@ -228,8 +236,12 @@ class CurrentSource(Element):
 
     def current_at(self, time):
         if callable(self.value):
-            return float(self.value(0.0 if time is None else time))
-        return float(self.value)
+            value = self.value(0.0 if time is None else time)
+        else:
+            value = self.value
+        if np.ndim(value) == 0:
+            return float(value)
+        return np.asarray(value, dtype=float)
 
     def stamp(self, state, residual, jacobian):
         current = self.current_at(state.time)

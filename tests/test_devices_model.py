@@ -165,3 +165,28 @@ def test_repr_mentions_polarity_and_fins(nfet):
     text = repr(nfet)
     assert "nFET" in text
     assert "nfin=1" in text
+
+
+def test_scalar_inputs_return_python_floats(nfet):
+    outputs = nfet.current_and_derivatives(0.45, 0.3, 0.0)
+    assert all(type(term) is float for term in outputs)
+
+
+def test_array_inputs_return_float64_arrays(nfet):
+    vg = np.array([0.0, 0.45])
+    outputs = nfet.current_and_derivatives(vg, 0.3, 0.0)
+    for term in outputs:
+        assert isinstance(term, np.ndarray)
+        assert term.dtype == np.float64
+        assert term.shape == vg.shape
+
+
+def test_batched_device_evaluates_per_sample_vt():
+    shifts = np.array([0.0, 0.05, -0.05])
+    batched = FinFET(LIB.nfet_lvt.with_vt_shifts(shifts), 1)
+    column = batched.current_and_derivatives(0.45, 0.3, 0.0)[0]
+    assert column.shape == (3, 1)
+    for k, delta in enumerate(shifts):
+        scalar = FinFET(LIB.nfet_lvt.with_vt_shift(float(delta)), 1)
+        assert column[k, 0] == scalar.current_and_derivatives(0.45, 0.3, 0.0)[0]
+    assert "batched[3]" in repr(batched)

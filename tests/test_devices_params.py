@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.devices import FinFETParams
@@ -86,3 +87,51 @@ def test_params_are_hashable_and_comparable():
     assert a == b
     assert hash(a) == hash(b)
     assert a != make_params(vt=0.3)
+
+
+def test_with_vt_shifts_builds_batched_column():
+    params = make_params()
+    shifts = np.asarray([0.02, -0.01, 0.0])
+    batched = params.with_vt_shifts(shifts)
+    assert batched.is_batched
+    assert batched.batch_size == 3
+    assert batched.vt.shape == (3, 1)
+    assert np.array_equal(batched.vt[:, 0], params.vt + shifts)
+    # Scalar params are untouched and report no batch.
+    assert not params.is_batched
+    assert params.batch_size is None
+
+
+def test_with_vt_shifts_applies_scalar_floor_per_sample():
+    batched = make_params().with_vt_shifts(np.asarray([-1.0, 0.0]))
+    assert batched.vt[0, 0] == pytest.approx(0.001)
+    # Matches the scalar shim on every row.
+    assert batched.vt[0, 0] == make_params().with_vt_shift(-1.0).vt
+
+
+def test_with_vt_shifts_validation():
+    params = make_params()
+    with pytest.raises(ValueError):
+        params.with_vt_shifts(np.zeros((2, 2)))
+    batched = params.with_vt_shifts(np.asarray([0.0, 0.01]))
+    with pytest.raises(ValueError):
+        batched.with_vt_shifts(np.asarray([0.0]))
+
+
+def test_batched_vt_must_be_column():
+    with pytest.raises(ValueError):
+        make_params(vt=np.asarray([0.3, 0.4]))
+    with pytest.raises(ValueError):
+        make_params(vt=np.asarray([[0.3, 0.4]]))
+    column = make_params(vt=np.asarray([[0.3], [0.4]]))
+    assert column.batch_size == 2
+
+
+def test_batched_params_eq_and_hash():
+    shifts = np.asarray([0.0, 0.02])
+    a = make_params().with_vt_shifts(shifts)
+    b = make_params().with_vt_shifts(shifts)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != make_params()
+    assert a != make_params().with_vt_shifts(np.asarray([0.0, 0.03]))

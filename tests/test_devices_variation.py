@@ -70,3 +70,27 @@ def test_apply_shifts_length_mismatch():
     library = DeviceLibrary.default_7nm()
     with pytest.raises(ValueError):
         apply_shifts([library.nfet_lvt], [0.01, 0.02])
+
+
+def test_apply_shift_matrix_batches_each_transistor_column():
+    from repro.devices.variation import apply_shift_matrix
+
+    library = DeviceLibrary.default_7nm()
+    params = [library.nfet_lvt, library.pfet_lvt]
+    matrix = np.asarray([[0.010, -0.020], [0.000, 0.030]])
+    batched = apply_shift_matrix(params, matrix)
+    assert [p.batch_size for p in batched] == [2, 2]
+    assert np.array_equal(batched[0].vt[:, 0],
+                          library.nfet_lvt.vt + matrix[:, 0])
+    assert np.array_equal(batched[1].vt[:, 0],
+                          library.pfet_lvt.vt + matrix[:, 1])
+
+
+def test_apply_shift_matrix_shape_validation():
+    from repro.devices.variation import apply_shift_matrix
+
+    library = DeviceLibrary.default_7nm()
+    with pytest.raises(ValueError):
+        apply_shift_matrix([library.nfet_lvt], np.zeros(3))
+    with pytest.raises(ValueError):
+        apply_shift_matrix([library.nfet_lvt], np.zeros((2, 3)))

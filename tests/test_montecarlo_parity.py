@@ -1,0 +1,102 @@
+"""Bit-identity of the batched cell engine against the scalar reference.
+
+The batched Monte Carlo and LUT-characterization paths must reproduce
+the retained loop engine *bitwise* — same seeds, same draws, same
+per-element operation sequence — so the engine choice can never change
+a result, only its runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cell.montecarlo import (
+    batched_cell,
+    run_cell_montecarlo,
+    sample_cells,
+    sample_shift_matrix,
+)
+from repro.cell.read_current import read_current_grid
+from repro.cell.sram6t import TRANSISTOR_ROLES
+from repro.cell.write import flip_wordline_voltage, flip_wordline_voltage_batch
+from repro.cell.write_delay import write_delay_vs_wordline
+
+#: Small-but-meaningful Monte Carlo settings (coarse bisections keep the
+#: scalar reference affordable; bit-identity is resolution-independent).
+MC_KWARGS = dict(
+    n_samples=3,
+    metrics=("hsnm", "rsnm", "wm"),
+    wm_resolution=0.01,
+    snm_points=21,
+)
+
+
+@pytest.mark.parametrize("flavor", ["lvt", "hvt"])
+@pytest.mark.parametrize("seed", [0, 11])
+def test_engines_bit_identical(library, lvt_cell, hvt_cell, flavor, seed):
+    cell = lvt_cell if flavor == "lvt" else hvt_cell
+    batched = run_cell_montecarlo(cell, seed=seed, engine="batched",
+                                  **MC_KWARGS)
+    loop = run_cell_montecarlo(cell, seed=seed, engine="loop", **MC_KWARGS)
+    for name in MC_KWARGS["metrics"]:
+        assert np.array_equal(
+            batched.metric(name).values, loop.metric(name).values
+        ), "%s/%d: %s samples differ between engines" % (flavor, seed, name)
+
+
+def test_unknown_engine_rejected(hvt_cell):
+    with pytest.raises(ValueError):
+        run_cell_montecarlo(hvt_cell, n_samples=1, engine="numpy")
+
+
+def test_engines_share_one_seeded_draw(hvt_cell):
+    """Both engines consume the same shift matrix: the loop shim's k-th
+    cell carries exactly row k of the matrix the batched cell embeds."""
+    shifts = sample_shift_matrix(4, seed=5)
+    assert np.array_equal(shifts, sample_shift_matrix(4, seed=5))
+    batched = batched_cell(hvt_cell, shifts)
+    cells = list(sample_cells(hvt_cell, 4, seed=5))
+    for column, role in enumerate(TRANSISTOR_ROLES):
+        expected = np.maximum(
+            hvt_cell.params(role).vt + shifts[:, column], 1e-3
+        )
+        assert np.array_equal(batched.params(role).vt[:, 0], expected)
+        for k, cell in enumerate(cells):
+            assert cell.params(role).vt == expected[k]
+
+
+def test_read_current_grid_engines_match(hvt_cell):
+    v_ddc = np.asarray([0.45, 0.5, 0.55, 0.6])
+    v_ssc = np.asarray([-0.1, -0.05, 0.0])
+    batched = read_current_grid(hvt_cell, v_ddc, v_ssc, engine="batched")
+    loop = read_current_grid(hvt_cell, v_ddc, v_ssc, engine="loop")
+    assert batched.shape == (4, 3)
+    assert np.array_equal(batched, loop)
+    with pytest.raises(ValueError):
+        read_current_grid(hvt_cell, v_ddc, v_ssc, engine="numpy")
+
+
+def test_write_delay_sweep_engines_match(hvt_cell, library):
+    v_wl = [0.45, 0.55, 0.65]
+    batched = write_delay_vs_wordline(hvt_cell, v_wl, vdd=library.vdd,
+                                      engine="batched")
+    loop = write_delay_vs_wordline(hvt_cell, v_wl, vdd=library.vdd,
+                                   engine="loop")
+    assert np.array_equal(np.asarray(batched), np.asarray(loop))
+    with pytest.raises(ValueError):
+        write_delay_vs_wordline(hvt_cell, v_wl, engine="numpy")
+
+
+def test_flip_voltage_batch_matches_scalar_over_bl_levels(hvt_cell, library):
+    """The negative-BL characterization sweep: per-lane bitline levels
+    through one batched bisection equal point-by-point scalar calls."""
+    v_bl = np.asarray([-0.15, -0.05, 0.0])
+    batched = flip_wordline_voltage_batch(
+        hvt_cell, len(v_bl), vdd=library.vdd,
+        v_bl_low=v_bl.reshape(-1, 1), resolution=0.01,
+    )
+    scalar = [
+        flip_wordline_voltage(hvt_cell, vdd=library.vdd,
+                              v_bl_low=float(level), resolution=0.01)
+        for level in v_bl
+    ]
+    assert np.array_equal(batched, np.asarray(scalar))

@@ -1,0 +1,112 @@
+"""Lane-batched Newton/transient engine vs the scalar solvers.
+
+Every batched analysis must equal per-lane scalar runs *bitwise*; these
+tests drive both paths over the same circuits, including array-valued
+source levels and per-lane early-stop bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, operating_point, step, transient
+from repro.spice.batch import (
+    lane_circuit,
+    operating_point_batch,
+    transient_batch,
+)
+
+LEVELS = np.asarray([0.3, 0.6, 0.9])
+
+
+def divider_circuit(v_levels):
+    circuit = Circuit("divider")
+    circuit.add_vsource("vs", "a", "0", v_levels)
+    circuit.add_resistor("r1", "a", "m", 1e4)
+    circuit.add_resistor("r2", "m", "0", 1e4)
+    return circuit
+
+
+def rc_circuit(v_levels, t_step=1e-12):
+    circuit = Circuit("rc")
+    circuit.add_vsource("vs", "a", "0", step(t_step, 0.0, v_levels, 1e-15))
+    circuit.add_resistor("r", "a", "b", 1e4)
+    circuit.add_capacitor("c", "b", "0", 1e-15)
+    return circuit
+
+
+def test_lane_circuit_substitutes_and_restores():
+    circuit = divider_circuit(LEVELS)
+    source = circuit.vsources[0]
+    with lane_circuit(circuit, 1):
+        assert source.value == 0.6
+    assert np.array_equal(source.value, LEVELS)
+
+    stimulus = rc_circuit(LEVELS)
+    source = stimulus.vsources[0]
+    original = source.value
+    with lane_circuit(stimulus, 2):
+        assert source.value(5e-12) == 0.9
+    assert source.value is original
+
+
+def test_operating_point_batch_matches_scalar_lanes():
+    circuit = divider_circuit(LEVELS)
+    x = operating_point_batch(circuit, len(LEVELS))
+    for k in range(len(LEVELS)):
+        with lane_circuit(circuit, k):
+            solution = operating_point(circuit)
+        assert np.array_equal(x[:, k], solution.x)
+
+
+def test_transient_batch_matches_scalar_lanes():
+    lanes = len(LEVELS)
+    results = transient_batch(rc_circuit(LEVELS), lanes, 20e-12, 0.1e-12)
+    for k in range(lanes):
+        scalar = transient(rc_circuit(float(LEVELS[k])), 20e-12, 0.1e-12)
+        batched = results[k]
+        assert np.array_equal(batched.times, scalar.times)
+        for node in ("a", "b"):
+            assert np.array_equal(
+                batched.node(node).values, scalar.node(node).values
+            )
+        assert np.array_equal(
+            batched._source_voltages["vs"], scalar._source_voltages["vs"]
+        )
+        assert batched.delivered_energy("vs") == scalar.delivered_energy("vs")
+
+
+def test_transient_batch_per_lane_early_stop():
+    """Each lane stops at its own threshold crossing with the scalar
+    margin bookkeeping: same point counts, same final values."""
+    lanes = len(LEVELS)
+    results = transient_batch(
+        rc_circuit(LEVELS), lanes, 100e-12, 0.1e-12,
+        stop_condition=lambda _t, v: v["b"] > 0.25,
+        stop_margin=3,
+    )
+    for k in range(lanes):
+        scalar = transient(
+            rc_circuit(float(LEVELS[k])), 100e-12, 0.1e-12,
+            stop_condition=lambda _t, v: v["b"] > 0.25,
+            stop_margin=3,
+        )
+        assert len(results[k].times) == len(scalar.times)
+        assert np.array_equal(
+            results[k].node("b").values, scalar.node("b").values
+        )
+    # The fastest-charging lane must actually have stopped early.
+    assert results[2].times[-1] < 50e-12
+    # A lane that never crosses runs to t_stop.
+    never = transient_batch(
+        rc_circuit(LEVELS), lanes, 20e-12, 0.1e-12,
+        stop_condition=lambda _t, v: v["b"] > 2.0,
+        stop_margin=3,
+    )
+    assert never[0].times[-1] == pytest.approx(20e-12)
+
+
+def test_transient_batch_argument_validation():
+    with pytest.raises(ValueError):
+        transient_batch(rc_circuit(LEVELS), 3, -1.0, 1e-12)
+    with pytest.raises(ValueError):
+        transient_batch(rc_circuit(LEVELS), 3, 1e-12, 0.0)
