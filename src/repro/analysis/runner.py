@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from .. import perf
+from ..errors import StudyTaskError
 from ..opt import DesignSpace, ExhaustiveOptimizer, make_policy
 from .experiments import (
     CAPACITIES_BYTES,
@@ -176,6 +177,29 @@ def _execute_task(session, space, task, engine, keep_landscape):
     return result, time.perf_counter() - start
 
 
+def _task_failure(task, exc):
+    """Wrap a worker exception so the error names the matrix cell.
+
+    A raw exception out of a pool future says nothing about *which* of
+    the 20 searches raised; re-raising as :class:`StudyTaskError` (with
+    the original as ``__cause__``) keeps the traceback and adds the
+    label.
+    """
+    return StudyTaskError(
+        "study task %s failed: %s: %s"
+        % (task.label, type(exc).__name__, exc),
+        task_label=task.label,
+    )
+
+
+def _cancel_pending(futures):
+    """Best-effort cancel of not-yet-started futures after a failure, so
+    one bad task fails the study promptly instead of running out the
+    rest of the matrix first."""
+    for future in futures:
+        future.cancel()
+
+
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
@@ -232,8 +256,11 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     timings = {}
     if executor == "serial":
         for task in tasks:
-            result, seconds = _execute_task(session, space, task, engine,
-                                            keep_landscape)
+            try:
+                result, seconds = _execute_task(session, space, task,
+                                                engine, keep_landscape)
+            except Exception as exc:
+                raise _task_failure(task, exc) from exc
             results[task.key] = result
             timings[task.key] = TaskTiming(task, seconds,
                                            result.n_evaluated, 0)
@@ -245,7 +272,11 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
                 for task in tasks
             }
             for future, task in futures.items():
-                result, seconds = future.result()
+                try:
+                    result, seconds = future.result()
+                except Exception as exc:
+                    _cancel_pending(futures)
+                    raise _task_failure(task, exc) from exc
                 results[task.key] = result
                 timings[task.key] = TaskTiming(task, seconds,
                                                result.n_evaluated, 0)
@@ -256,13 +287,17 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
             initargs=(cache_path, session.voltage_mode, space,
                       margin_memos),
         ) as pool:
-            futures = [
+            futures = {
                 pool.submit(_run_task_in_worker, task, engine,
-                            keep_landscape)
+                            keep_landscape): task
                 for task in tasks
-            ]
-            for future in futures:
-                task, result, seconds, pid, snapshot = future.result()
+            }
+            for future, submitted in futures.items():
+                try:
+                    task, result, seconds, pid, snapshot = future.result()
+                except Exception as exc:
+                    _cancel_pending(futures)
+                    raise _task_failure(submitted, exc) from exc
                 results[task.key] = result
                 timings[task.key] = TaskTiming(task, seconds,
                                                result.n_evaluated, pid)

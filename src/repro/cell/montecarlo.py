@@ -153,6 +153,13 @@ def _collect_batched(base_cell, n_samples, variation, seed, vdd, read_bias,
     """Batched engine: every sample solved in one vectorized pass."""
     cell = batched_cell(base_cell, sample_shift_matrix(n_samples, variation,
                                                        seed))
+    return _margins_batched(cell, n_samples, vdd, read_bias, hold_bias,
+                            metrics, wm_resolution, snm_points)
+
+
+def _margins_batched(cell, n_samples, vdd, read_bias, hold_bias, metrics,
+                     wm_resolution, snm_points):
+    """Extract every requested margin from an already-batched cell."""
     collected = {name: np.asarray([]) for name in metrics}
     if "hsnm" in collected:
         with perf.timed("montecarlo.batched.hsnm"):
@@ -203,6 +210,61 @@ def run_cell_montecarlo(base_cell, n_samples=200, variation=None, seed=0,
     for name, values in collected.items():
         result.metrics[name] = MetricSamples(name, np.asarray(values))
     return result
+
+
+def run_cell_montecarlo_multi(base_cell, specs, variation=None, vdd=None,
+                              read_bias=None, hold_bias=None,
+                              metrics=("hsnm", "rsnm"), wm_resolution=0.002,
+                              snm_points=61):
+    """Coalesce several Monte Carlo draws into *one* batched solve.
+
+    ``specs`` is a sequence of ``(n_samples, seed)`` pairs — e.g. the
+    compatible requests a service batch collected.  Each spec's shift
+    matrix comes from its own seeded generator (exactly what
+    :func:`run_cell_montecarlo` would draw), the matrices are stacked,
+    and every margin is extracted in a single vectorized pass over the
+    combined sample axis.  Returns one :class:`MonteCarloResult` per
+    spec, in order.
+
+    Bit-identity: the batched solvers are lane-independent — converged
+    lanes freeze and per-lane brackets march on their own (see
+    :func:`repro.cell.write.flip_wordline_voltage_batch`), so a sample's
+    trajectory does not depend on which other samples share the batch.
+    Each returned result is therefore bitwise equal to a separate
+    ``run_cell_montecarlo(..., engine="batched")`` call with that spec's
+    ``n_samples`` and ``seed`` (and those are in turn bit-identical to
+    the scalar loop engine).
+    """
+    vdd = CellBias().vdd if vdd is None else vdd
+    hold_bias = hold_bias or CellBias.hold(vdd)
+    read_bias = read_bias or CellBias.read(vdd)
+    matrices = [
+        sample_shift_matrix(int(n_samples), variation, seed)
+        for n_samples, seed in specs
+    ]
+    if not matrices:
+        return []
+    total = sum(matrix.shape[0] for matrix in matrices)
+    cell = batched_cell(base_cell, np.vstack(matrices))
+    perf.count("montecarlo.samples", total)
+    perf.count("montecarlo.coalesced_runs", len(matrices))
+    with perf.timed("montecarlo.run.multi"):
+        collected = _margins_batched(
+            cell, total, vdd, read_bias, hold_bias, metrics,
+            wm_resolution, snm_points,
+        )
+    results = []
+    offset = 0
+    for matrix in matrices:
+        n_samples = matrix.shape[0]
+        result = MonteCarloResult(n_samples=n_samples)
+        for name, values in collected.items():
+            result.metrics[name] = MetricSamples(
+                name, np.asarray(values)[offset:offset + n_samples].copy()
+            )
+        results.append(result)
+        offset += n_samples
+    return results
 
 
 def required_margin_fraction(result, k=3.0, vdd=None):

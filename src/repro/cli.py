@@ -11,10 +11,16 @@ Usage::
     python -m repro.cli headline --profile
     python -m repro.cli montecarlo --samples 2000 --metrics hsnm,rsnm,wm
     python -m repro.cli all
+    python -m repro.cli serve --port 8787
 
 The first run characterizes the device/cell/periphery stack with the
 built-in simulator (a few minutes) and caches the results; later runs
 are fast.
+
+``serve`` starts the optimization service (:mod:`repro.service`): an
+asyncio HTTP server exposing /v1/optimize, /v1/evaluate and
+/v1/montecarlo with dynamic request batching, a result cache, and
+/metrics telemetry — see ``docs/SERVICE.md``.
 
 ``--workers N`` fans the optimization matrix (table4 / fig7 / headline)
 over a worker pool (see :mod:`repro.analysis.runner`); ``--profile``
@@ -160,7 +166,54 @@ def run_experiment(name, session, options=None):
     raise ValueError("unknown experiment %r" % (name,))
 
 
+def run_serve(argv):
+    """The ``serve`` subcommand: run the optimization service."""
+    import asyncio
+
+    from .service.server import ServiceConfig, serve_forever
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve /v1/optimize, /v1/evaluate and /v1/montecarlo "
+                    "over HTTP with dynamic request batching "
+                    "(see docs/SERVICE.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="worker pool type: thread shares one warm "
+                             "session; process forks warm workers")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size (0 = cpu count)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="flush a request group at this many items")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="max time a request waits for batch-mates "
+                             "(0 disables batching)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="in-flight bound; beyond it requests get 429")
+    parser.add_argument("--cache", default=".repro_cache.json",
+                        help="characterization cache path ('' disables)")
+    parser.add_argument("--voltage-mode", choices=("measured", "paper"),
+                        default="paper")
+    args = parser.parse_args(argv)
+    config = ServiceConfig(
+        host=args.host, port=args.port, executor=args.executor,
+        workers=args.workers, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_pending=args.max_pending,
+        cache_path=args.cache, voltage_mode=args.voltage_mode,
+    )
+    asyncio.run(serve_forever(config))
+    return 0
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the DAC'16 SRAM EDP co-optimization paper.",

@@ -53,6 +53,33 @@ class CalibrationError(ReproError):
     """A calibration target could not be met within tolerance."""
 
 
+class StudyTaskError(ReproError):
+    """One task of a parallel study matrix failed.
+
+    Carries the task's human-readable label (e.g. ``16KB/HVT/M2``) so a
+    failure deep inside a worker process still names the matrix cell
+    that caused it; the original exception rides along as ``__cause__``.
+    """
+
+    def __init__(self, message, task_label=None):
+        super().__init__(message)
+        self.task_label = task_label
+
+
+class ServiceError(ReproError):
+    """The optimization service rejected or failed a request.
+
+    ``status`` is the HTTP status code the server responded with (or
+    would respond with); ``retry_after`` carries the server's
+    backpressure hint in seconds when the status is 429.
+    """
+
+    def __init__(self, message, status=500, retry_after=None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
 class LookupError_(ReproError):
     """A look-up table query fell outside the characterized grid.
 

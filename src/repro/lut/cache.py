@@ -19,6 +19,16 @@ bytes written.  Deferral is crash-safe: the exit flush runs from a
 ``finally`` even when a compute raises, so everything computed before
 the failure is persisted, and the rewrite itself stays atomic
 (write-to-temp then ``os.replace``).
+
+Thread safety: every public operation holds one re-entrant lock, so a
+cache shared across a thread pool (the optimization service's thread
+executor shares one warm :class:`~repro.analysis.experiments.Session`)
+never interleaves a ``put`` with a ``flush`` or double-computes a key.
+:meth:`get_or_compute` holds the lock *across* the compute — the first
+caller characterizes, every concurrent caller for any key waits and
+then reads the stored value.  Characterization computes are idempotent
+and read-mostly after warm-up, so serializing cold computes is the
+right trade against running the same multi-second simulation twice.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from contextlib import contextmanager
 
 from .. import perf
@@ -39,29 +50,38 @@ class CharacterizationCache:
         self._data = {}
         self._dirty = False
         self._defer_depth = 0
+        self._lock = threading.RLock()
         if path is not None and os.path.exists(path):
             with open(path) as handle:
                 self._data = json.load(handle)
 
     def get(self, key):
-        return self._data.get(key)
+        with self._lock:
+            return self._data.get(key)
 
     def __contains__(self, key):
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def put(self, key, value):
-        self._data[key] = value
-        self._dirty = True
-        if self._defer_depth == 0:
-            self.flush()
+        with self._lock:
+            self._data[key] = value
+            self._dirty = True
+            if self._defer_depth == 0:
+                self.flush()
 
     def get_or_compute(self, key, compute):
-        """Return the cached value for ``key`` or compute-and-store it."""
-        if key in self._data:
-            return self._data[key]
-        value = compute()
-        self.put(key, value)
-        return value
+        """Return the cached value for ``key`` or compute-and-store it.
+
+        The lock is held across the compute, so concurrent callers of
+        the same key run ``compute`` exactly once.
+        """
+        with self._lock:
+            if key in self._data:
+                return self._data[key]
+            value = compute()
+            self.put(key, value)
+            return value
 
     @contextmanager
     def deferred(self):
@@ -70,48 +90,55 @@ class CharacterizationCache:
         Nestable; only the outermost exit writes.  The flush runs even
         when the block raises, so partial progress survives a crash.
         """
-        self._defer_depth += 1
+        with self._lock:
+            self._defer_depth += 1
         try:
             yield self
         finally:
-            self._defer_depth -= 1
-            if self._defer_depth == 0:
-                self.flush()
+            with self._lock:
+                self._defer_depth -= 1
+                if self._defer_depth == 0:
+                    self.flush()
 
     def __enter__(self):
-        self._defer_depth += 1
+        with self._lock:
+            self._defer_depth += 1
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self._defer_depth -= 1
-        if self._defer_depth == 0:
-            self.flush()
+        with self._lock:
+            self._defer_depth -= 1
+            if self._defer_depth == 0:
+                self.flush()
         return False
 
     def flush(self):
         """Write the store to disk now (no-op when clean or memory-only)."""
-        if self.path is None or not self._dirty:
-            return
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        # Atomic replace so a crash mid-write cannot corrupt the cache.
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self._data, handle)
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-        self._dirty = False
+        with self._lock:
+            if self.path is None or not self._dirty:
+                return
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            # Atomic replace so a crash mid-write cannot corrupt the cache.
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(self._data, handle)
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
+            self._dirty = False
         perf.count("cache.flushes")
 
     def clear(self):
-        self._data = {}
-        self._dirty = True
-        if self._defer_depth == 0:
-            self.flush()
+        with self._lock:
+            self._data = {}
+            self._dirty = True
+            if self._defer_depth == 0:
+                self.flush()
 
     def __len__(self):
-        return len(self._data)
+        with self._lock:
+            return len(self._data)

@@ -15,6 +15,7 @@ study still accounts for every task.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -88,10 +89,36 @@ class PerfRegistry:
                 stat = self.timers[name] = TimerStat(name)
             stat.count += data["count"]
             stat.total += data["total"]
-            stat.min = min(stat.min, data["min"])
-            stat.max = max(stat.max, data["max"])
+            if data["count"] > 0:
+                # A zero-count timer carries a placeholder min (inf in a
+                # live registry, 0.0 after a JSON round trip); folding
+                # either into a real minimum would corrupt it.
+                stat.min = min(stat.min, data["min"])
+                stat.max = max(stat.max, data["max"])
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
+
+    def to_json(self):
+        """Serialize a snapshot as strict JSON (crosses process/HTTP
+        boundaries; a worker's registry travels to the parent's
+        ``/metrics`` endpoint this way).
+
+        Zero-count timers store ``min`` as 0.0 because ``inf`` is not
+        representable in strict JSON; :meth:`merge` ignores the min/max
+        of zero-count entries, so the round trip is lossless.
+        """
+        snapshot = self.snapshot()
+        for data in snapshot["timers"].values():
+            if data["count"] == 0:
+                data["min"] = 0.0
+        return json.dumps(snapshot, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        """Rebuild a registry from :meth:`to_json` output."""
+        registry = cls()
+        registry.merge(json.loads(text))
+        return registry
 
     def reset(self):
         self.timers.clear()
@@ -107,9 +134,12 @@ class PerfRegistry:
                             "max_ms"))
             for name in sorted(self.timers):
                 s = self.timers[name]
+                # Zero-count entries (a merged snapshot may carry them)
+                # render as zeros instead of inf/nan.
+                mean = s.total / s.count if s.count else 0.0
                 lines.append(
                     "%-36s %7d %10.2f %10.3f %10.3f"
-                    % (name, s.count, s.total * 1e3, s.mean * 1e3,
+                    % (name, s.count, s.total * 1e3, mean * 1e3,
                        s.max * 1e3)
                 )
         if self.counters:

@@ -1,0 +1,135 @@
+"""Synchronous client for the optimization service (stdlib only).
+
+A thin convenience wrapper over :mod:`http.client` with one persistent
+keep-alive connection, JSON encode/decode, and one method per endpoint::
+
+    with ServiceClient(port=8787) as client:
+        best = client.optimize(4096, flavor="hvt", method="M2")
+        print(best["design"], best["metrics"]["edp"])
+
+Non-2xx answers raise :class:`repro.errors.ServiceError` carrying the
+HTTP status (and ``retry_after`` for 429s); pass ``check=False`` to
+:meth:`ServiceClient.request` to get the raw ``(status, payload,
+headers)`` instead — the tests exercise backpressure that way.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from ..errors import ServiceError
+
+
+class ServiceClient:
+    """One keep-alive HTTP connection to a running service."""
+
+    def __init__(self, host="127.0.0.1", port=8787, timeout=300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def request(self, method, path, body=None, check=True):
+        """One round trip; returns ``(status, payload, headers)``.
+
+        ``check=True`` raises :class:`ServiceError` on any non-2xx
+        status.  A stale keep-alive connection (server restarted,
+        idle timeout) is retried once on a fresh connection.
+        """
+        encoded = None
+        headers = {}
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=encoded, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": "undecodable response body"}
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        if check and not 200 <= response.status < 300:
+            retry_after = response_headers.get("retry-after")
+            raise ServiceError(
+                "%s %s failed: HTTP %d: %s"
+                % (method, path, response.status,
+                   payload.get("error", raw[:200])),
+                status=response.status,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return response.status, payload, response_headers
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self):
+        return self.request("GET", "/healthz")[1]
+
+    def metrics(self):
+        return self.request("GET", "/metrics")[1]
+
+    def optimize(self, capacity_bytes, flavor="hvt", method="M2",
+                 engine="vectorized"):
+        """Min-EDP design for one capacity; returns the result payload."""
+        return self.request("POST", "/v1/optimize", {
+            "capacity_bytes": capacity_bytes,
+            "flavor": flavor,
+            "method": method,
+            "engine": engine,
+        })[1]
+
+    def evaluate(self, design, flavor="hvt"):
+        """Metrics/margins of one explicit design point.
+
+        ``design`` maps the :class:`~repro.array.model.DesignPoint`
+        fields (n_r, n_c, n_pre, n_wr, v_ddc, v_wl, optional
+        v_ssc/v_bl).
+        """
+        return self.request("POST", "/v1/evaluate", {
+            "flavor": flavor,
+            "design": dict(design),
+        })[1]
+
+    def montecarlo(self, n, flavor="hvt", seed=0, metrics=("hsnm", "rsnm"),
+                   engine="batched", include_samples=False):
+        """Cell margin distributions from an n-sample Monte Carlo."""
+        return self.request("POST", "/v1/montecarlo", {
+            "flavor": flavor,
+            "n": n,
+            "seed": seed,
+            "metrics": list(metrics),
+            "engine": engine,
+            "include_samples": include_samples,
+        })[1]

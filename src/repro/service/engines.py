@@ -1,0 +1,290 @@
+"""Batch-job execution against the optimization engines.
+
+One *job* is a plain-data dict a :class:`~repro.service.batching.BatchQueue`
+flush produced: a ``kind`` (optimize / evaluate / montecarlo), the
+group's shared fields, and the batched ``items``.  Jobs cross the
+executor boundary as-is — picklable both ways — and come back as one
+JSON-able payload per item, so the event loop never touches numpy.
+
+Worker pools reuse the study runner's machinery
+(:func:`repro.analysis.runner._worker_init`): each process builds one
+session from the warm characterization cache in its initializer and is
+seeded with the parent's margin memos (:func:`warm_margin_memos`), so
+no worker ever recomputes a butterfly the parent already ran.  The
+thread executor skips all that and shares the parent's session
+directly.
+
+Per-item failures (an infeasible design space, a bad capacity) are
+*data*, not exceptions — ``{"ok": False, "status": 422, ...}`` — so one
+bad request cannot poison the rest of its batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import perf
+from ..analysis import runner as study_runner
+from ..array.model import DesignPoint
+from ..cell.montecarlo import (
+    run_cell_montecarlo,
+    run_cell_montecarlo_multi,
+)
+from ..cell.sram6t import SRAM6TCell
+from ..errors import ReproError
+from ..opt import DesignSpace, ExhaustiveOptimizer, make_policy
+
+#: The paper's yield floor as a fraction of Vdd (delta = 0.35 * Vdd).
+YIELD_FLOOR_FRACTION = 0.35
+
+
+def _ok(result):
+    return {"ok": True, "result": result}
+
+
+def _failed(status, message):
+    return {"ok": False, "status": status, "error": message}
+
+
+def _finite(value):
+    """Floats for JSON: non-finite values become None (strict JSON has
+    no Infinity/NaN)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _design_fields(design):
+    return {
+        "n_r": int(design.n_r),
+        "n_c": int(design.n_c),
+        "n_pre": int(design.n_pre),
+        "n_wr": int(design.n_wr),
+        "v_ddc": float(design.v_ddc),
+        "v_ssc": float(design.v_ssc),
+        "v_wl": float(design.v_wl),
+        "v_bl": float(design.v_bl),
+    }
+
+
+def _metric_fields(metrics):
+    return {
+        "edp": _finite(metrics.edp),
+        "d_array": _finite(metrics.d_array),
+        "d_rd": _finite(metrics.d_rd),
+        "d_wr": _finite(metrics.d_wr),
+        "e_total": _finite(metrics.e_total),
+        "e_sw": _finite(metrics.e_sw),
+        "e_leak": _finite(metrics.e_leak),
+        "rail_arrival_slack": _finite(metrics.rail_arrival_slack),
+    }
+
+
+def _margin_fields(margins):
+    hsnm, rsnm, wm = margins
+    return {"hsnm": _finite(hsnm), "rsnm": _finite(rsnm),
+            "wm": _finite(wm)}
+
+
+# ---------------------------------------------------------------------------
+# Per-kind group execution
+# ---------------------------------------------------------------------------
+
+def _optimize_group(session, job):
+    flavor = job["flavor"]
+    optimizer = ExhaustiveOptimizer(
+        session.model(flavor), DesignSpace(), session.constraint(flavor)
+    )
+    policy = make_policy(job["method"], session.yield_levels(flavor))
+    payloads = []
+    for item in job["items"]:
+        capacity_bytes = item["capacity_bytes"]
+        perf.count("service.engine.optimize_searches")
+        try:
+            result = optimizer.optimize(
+                capacity_bytes * 8, policy, engine=job["engine"]
+            )
+        except ReproError as exc:
+            payloads.append(_failed(422, str(exc)))
+            continue
+        payloads.append(_ok({
+            "capacity_bytes": capacity_bytes,
+            "capacity_bits": result.capacity_bits,
+            "flavor": flavor,
+            "method": job["method"],
+            "engine": job["engine"],
+            "design": _design_fields(result.design),
+            "metrics": _metric_fields(result.metrics),
+            "margins": _margin_fields(result.margins),
+            "n_evaluated": int(result.n_evaluated),
+        }))
+    return payloads
+
+
+def _evaluate_group(session, job):
+    flavor = job["flavor"]
+    model = session.model(flavor)
+    constraint = session.constraint(flavor)
+    payloads = []
+    for item in job["items"]:
+        design = DesignPoint(
+            n_r=item["n_r"], n_c=item["n_c"],
+            n_pre=item["n_pre"], n_wr=item["n_wr"],
+            v_ddc=item["v_ddc"], v_ssc=item["v_ssc"],
+            v_wl=item["v_wl"], v_bl=item["v_bl"],
+        )
+        capacity_bits = design.n_r * design.n_c
+        perf.count("service.engine.evaluations")
+        try:
+            metrics = model.evaluate(capacity_bits, design)
+            margins = constraint.margins(
+                design.v_ddc, design.v_ssc, design.v_wl, design.v_bl
+            )
+            yield_ok = bool(constraint.satisfied(
+                design.v_ddc, design.v_ssc, design.v_wl, design.v_bl
+            ))
+        except ReproError as exc:
+            payloads.append(_failed(422, str(exc)))
+            continue
+        payloads.append(_ok({
+            "capacity_bits": capacity_bits,
+            "flavor": flavor,
+            "design": _design_fields(design),
+            "metrics": _metric_fields(metrics),
+            "margins": _margin_fields(margins),
+            "yield_ok": yield_ok,
+        }))
+    return payloads
+
+
+def _montecarlo_payload(result, item, flavor, engine, metrics, floor):
+    summary = {}
+    for name in metrics:
+        samples = result.metric(name)
+        summary[name] = {
+            "mean": samples.mean,
+            "sigma": samples.sigma,
+            "mu_minus_3sigma": samples.mu_minus_k_sigma(3.0),
+            "yield_at_floor": samples.yield_at(floor),
+        }
+    payload = {
+        "flavor": flavor,
+        "engine": engine,
+        "n": result.n_samples,
+        "seed": item["seed"],
+        "floor": floor,
+        "metrics": summary,
+    }
+    if len(metrics) > 1:
+        payload["joint_yield_at_floor"] = result.worst_case_yield(floor)
+    if item.get("include_samples"):
+        payload["samples"] = {
+            name: [float(v) for v in result.metric(name).values]
+            for name in metrics
+        }
+    return payload
+
+
+def _montecarlo_group(session, job):
+    flavor = job["flavor"]
+    engine = job["engine"]
+    metrics = tuple(job["metrics"])
+    cell = SRAM6TCell.from_library(session.library, flavor)
+    vdd = session.library.vdd
+    floor = YIELD_FLOOR_FRACTION * vdd
+    items = job["items"]
+    specs = [(item["n"], item["seed"]) for item in items]
+    results = None
+    if engine == "batched" and len(specs) > 1:
+        # The whole batch in one vectorized solve; per-request results
+        # stay bit-identical to separate calls (lane-independent
+        # solvers).  A characterization failure anywhere in the merged
+        # batch falls back to per-item calls so one pathological draw
+        # cannot take down its batch-mates.
+        try:
+            results = run_cell_montecarlo_multi(
+                cell, specs, vdd=vdd, metrics=metrics
+            )
+            perf.count("service.engine.mc_coalesced_batches")
+        except ReproError:
+            results = None
+    payloads = []
+    if results is not None:
+        for item, result in zip(items, results):
+            payloads.append(_ok(_montecarlo_payload(
+                result, item, flavor, engine, metrics, floor
+            )))
+        perf.count("service.engine.mc_runs", len(items))
+        return payloads
+    for item in items:
+        try:
+            result = run_cell_montecarlo(
+                cell, n_samples=item["n"], seed=item["seed"], vdd=vdd,
+                metrics=metrics, engine=engine,
+            )
+        except ReproError as exc:
+            payloads.append(_failed(422, str(exc)))
+            continue
+        payloads.append(_ok(_montecarlo_payload(
+            result, item, flavor, engine, metrics, floor
+        )))
+    perf.count("service.engine.mc_runs", len(items))
+    return payloads
+
+
+_EXECUTORS = {
+    "optimize": _optimize_group,
+    "evaluate": _evaluate_group,
+    "montecarlo": _montecarlo_group,
+}
+
+
+def execute_job(session, job):
+    """Run one batch job against a session; one payload per item."""
+    executor = _EXECUTORS.get(job["kind"])
+    if executor is None:
+        raise ValueError("unknown job kind %r" % (job["kind"],))
+    with perf.timed("service.job.%s" % job["kind"]):
+        return executor(session, job)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing (reuses the study runner's worker machinery)
+# ---------------------------------------------------------------------------
+
+#: The process-pool initializer: the study runner's, verbatim — one
+#: session per worker from the warm cache, margin memos pre-seeded.
+worker_init = study_runner._worker_init
+
+
+def warm_margin_memos(session, space=None, flavors=("lvt", "hvt"),
+                      methods=("M1", "M2")):
+    """Feasibility margins for every flavor x method, computed once in
+    the parent and shipped to every worker (the same pre-warm
+    :func:`repro.analysis.runner.run_study` does)."""
+    space = space or DesignSpace()
+    memos = {}
+    with perf.timed("service.warm_margins"):
+        for flavor in flavors:
+            constraint = session.constraint(flavor)
+            levels = session.yield_levels(flavor)
+            for method in methods:
+                policy = make_policy(method, levels)
+                constraint.satisfied_grid(
+                    policy.v_ddc,
+                    [float(v) for v in policy.v_ssc_candidates(space)],
+                    policy.v_wl, policy.v_bl,
+                )
+            memos[flavor] = constraint.export_margin_memo()
+    return memos
+
+
+def run_job_in_worker(job):
+    """Process-pool entry: execute against the worker's session and
+    return ``(payloads, perf_snapshot)`` — the snapshot is this job's
+    telemetry delta, merged into the server's ``/metrics``."""
+    session = study_runner._WORKER_STATE["session"]
+    payloads = execute_job(session, job)
+    registry = perf.get_registry()
+    snapshot = registry.snapshot()
+    registry.reset()
+    return payloads, snapshot

@@ -1,0 +1,408 @@
+"""The asyncio optimization server.
+
+Request lifecycle::
+
+    connection -> parse (http.py) -> normalize (api.py)
+        -> result cache (cache.py)            hit? answer immediately
+        -> singleflight (cache.py)            identical in flight? join it
+        -> dynamic batcher (batching.py)      coalesce compatible requests
+        -> worker pool (engines.py)           one dispatch per batch
+        -> cache fill + response
+
+Endpoints:
+
+* ``POST /v1/optimize``    — min-EDP design for one capacity/flavor/method
+* ``POST /v1/evaluate``    — metrics/margins of one explicit design point
+* ``POST /v1/montecarlo``  — cell margin distributions
+* ``GET  /healthz``        — liveness + drain state
+* ``GET  /metrics``        — counters, latency/batch histograms, cache
+  stats, and engine perf merged from every worker
+
+Backpressure: when queued-plus-executing items reach ``max_pending``
+the server answers ``429`` with a ``Retry-After`` header instead of
+letting latency grow without bound.  ``drain()`` (SIGTERM in the CLI)
+stops accepting, finishes everything in flight, and shuts the pool
+down — in-flight callers get their answers, new ones get ``503``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .api import PARSERS, BadRequest, parse_request
+from .batching import BatchQueue, QueueFull
+from .cache import ResultCache, Singleflight
+from .engines import (
+    execute_job,
+    run_job_in_worker,
+    warm_margin_memos,
+    worker_init,
+)
+from .http import ProtocolError, read_request, write_response
+from .metrics import ServiceMetrics
+from ..analysis.experiments import DEFAULT_CACHE_PATH, Session
+from ..opt import DesignSpace
+
+
+@dataclass
+class ServiceConfig:
+    """Tunable knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787              # 0 = ephemeral (tests)
+    executor: str = "thread"      # "thread" shares one session; "process"
+                                  # forks warm workers (CPU-bound scale)
+    workers: int = 0              # 0 = os.cpu_count()
+    max_batch: int = 8            # flush a group at this many items
+    max_wait_ms: float = 5.0      # ... or this long after its first item
+    max_pending: int = 64         # queued+executing bound (429 beyond)
+    cache_entries: int = 256      # result-cache LRU capacity
+    cache_ttl: float = 300.0      # result-cache TTL [s]; None = no expiry
+    cache_path: str = DEFAULT_CACHE_PATH
+    voltage_mode: str = "paper"
+
+    def resolved_workers(self):
+        return self.workers or os.cpu_count() or 1
+
+
+def _job_from_group(group_key, items):
+    """Rebuild the plain-data job a worker executes from a batch."""
+    kind = group_key[0]
+    if kind == "optimize":
+        _, flavor, method, engine = group_key
+        return {"kind": kind, "flavor": flavor, "method": method,
+                "engine": engine, "items": items}
+    if kind == "evaluate":
+        return {"kind": kind, "flavor": group_key[1], "items": items}
+    if kind == "montecarlo":
+        _, flavor, metrics, engine = group_key
+        return {"kind": kind, "flavor": flavor, "metrics": list(metrics),
+                "engine": engine, "items": items}
+    raise ValueError("unknown batch group kind %r" % (kind,))
+
+
+class OptimizationServer:
+    """One service instance: sockets, batcher, pool, cache, metrics."""
+
+    def __init__(self, config=None, session=None):
+        self.config = config or ServiceConfig()
+        self.session = session      # may be pre-built (tests/bench)
+        self.metrics = ServiceMetrics()
+        self._cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl=self.config.cache_ttl,
+        )
+        self._flight = Singleflight()
+        self._batcher = None
+        self._pool = None
+        self._server = None
+        self._writers = set()
+        self._conn_tasks = set()
+        self._draining = False
+        self._started_at = None
+        self.port = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Build the pool + batcher and start listening.
+
+        Blocking setup (session build, margin warm-up) runs before the
+        socket opens, so a request can never observe a half-built
+        server.
+        """
+        config = self.config
+        if config.executor not in ("thread", "process"):
+            raise ValueError(
+                "executor must be 'thread' or 'process', got %r"
+                % (config.executor,)
+            )
+        if self.session is None:
+            self.session = Session.create(
+                cache_path=config.cache_path or None,
+                voltage_mode=config.voltage_mode,
+            )
+        workers = config.resolved_workers()
+        if config.executor == "process":
+            memos = warm_margin_memos(self.session)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=worker_init,
+                initargs=(config.cache_path or None, config.voltage_mode,
+                          DesignSpace(), memos),
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-service"
+            )
+        self._batcher = BatchQueue(
+            self._dispatch,
+            max_batch=config.max_batch,
+            max_wait=config.max_wait_ms / 1e3,
+            max_pending=config.max_pending,
+            on_batch=self.metrics.observe_batch,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        return self
+
+    async def drain(self):
+        """Graceful shutdown: stop accepting, finish in-flight work."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._batcher is not None:
+            await self._batcher.drain()
+        # In-flight responses are resolved by now; close lingering
+        # keep-alive connections so their handler tasks finish.
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        # Let handler tasks observe the close and finish, so loop
+        # teardown never cancels one mid-await (noisy otherwise).
+        if self._conn_tasks:
+            await asyncio.wait(set(self._conn_tasks), timeout=5)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, group_key, items):
+        job = _job_from_group(group_key, items)
+        loop = asyncio.get_running_loop()
+        if self.config.executor == "process":
+            payloads, snapshot = await loop.run_in_executor(
+                self._pool, run_job_in_worker, job
+            )
+            self.metrics.merge_worker_snapshot(snapshot)
+        else:
+            payloads = await loop.run_in_executor(
+                self._pool, execute_job, self.session, job
+            )
+        return payloads
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    await write_response(writer, exc.status,
+                                         {"error": str(exc)},
+                                         keep_alive=False)
+                    break
+                if request is None:
+                    break
+                start = time.perf_counter()
+                status, payload, headers = await self._route(request)
+                self.metrics.observe_request(
+                    request.path, status, time.perf_counter() - start
+                )
+                keep = request.keep_alive and not self._draining
+                await write_response(writer, status, payload, headers,
+                                     keep_alive=keep)
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, request):
+        """``(status, payload, extra_headers)`` for one request."""
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                return 405, {"error": "use GET"}, {"Allow": "GET"}
+            return 200, self._health_payload(), {}
+        if path == "/metrics":
+            if request.method != "GET":
+                return 405, {"error": "use GET"}, {"Allow": "GET"}
+            return 200, self._metrics_payload(), {}
+        if path in PARSERS:
+            if request.method != "POST":
+                return 405, {"error": "use POST"}, {"Allow": "POST"}
+            if self._draining:
+                return 503, {"error": "server is draining"}, {}
+            try:
+                return await self._handle_api(path, request)
+            except BadRequest as exc:
+                return 400, {"error": str(exc)}, {}
+            except ProtocolError as exc:
+                return exc.status, {"error": str(exc)}, {}
+            except QueueFull as exc:
+                return 429, {"error": str(exc)}, {
+                    "Retry-After": "%d" % max(int(exc.retry_after), 1)
+                }
+            except Exception as exc:
+                return 500, {"error": "%s: %s"
+                             % (type(exc).__name__, exc)}, {}
+        return 404, {"error": "unknown path %r" % path}, {}
+
+    async def _handle_api(self, route, request):
+        req = parse_request(route, request.json())
+        key = req.key()
+        hit, item = self._cache.get(key)
+        if hit:
+            return self._item_response(item, cached=True)
+        future, leader = self._flight.join(key)
+        if not leader:
+            # An identical request is already computing; share its
+            # outcome (including a QueueFull, which _route maps to 429).
+            item = await future
+            return self._item_response(item, cached=False, coalesced=True)
+        try:
+            batch_future = self._batcher.enqueue(req.group_key(),
+                                                 req.item())
+            item = await batch_future
+        except BaseException as exc:
+            self._flight.reject(key, exc)
+            # Mark retrieved so a flight with no followers does not log
+            # an "exception was never retrieved" warning at GC.
+            future.exception()
+            raise
+        if item["ok"]:
+            self._cache.put(key, item)
+        self._flight.resolve(key, item)
+        return self._item_response(item, cached=False)
+
+    def _item_response(self, item, cached, coalesced=False):
+        if item["ok"]:
+            payload = dict(item["result"])
+            payload["meta"] = {"cached": cached, "coalesced": coalesced}
+            return 200, payload, {}
+        return item["status"], {"error": item["error"]}, {}
+
+    # -- introspection payloads --------------------------------------------
+
+    def _health_payload(self):
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(
+                time.monotonic() - (self._started_at or time.monotonic()),
+                3,
+            ),
+            "pending": self._batcher.pending if self._batcher else 0,
+            "executor": self.config.executor,
+            "workers": self.config.resolved_workers(),
+        }
+
+    def _metrics_payload(self):
+        return self.metrics.render(extra={
+            "cache": self._cache.stats(),
+            "singleflight": self._flight.stats(),
+            "batching": {
+                "pending": self._batcher.pending if self._batcher else 0,
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "max_pending": self.config.max_pending,
+            },
+        })
+
+
+async def serve_forever(config, session=None):
+    """CLI entry: start, serve until SIGTERM/SIGINT, drain, return."""
+    server = OptimizationServer(config, session=session)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    print("repro service listening on http://%s:%d  "
+          "(executor=%s workers=%d batch<=%d wait<=%.1fms)"
+          % (config.host, server.port, config.executor,
+             config.resolved_workers(), config.max_batch,
+             config.max_wait_ms))
+    await stop.wait()
+    print("draining...")
+    await server.drain()
+    print("drained; %d requests served." % server.metrics.total_requests)
+    return server
+
+
+class ServerThread:
+    """Run a server on a background thread (tests, benchmarks, smoke).
+
+    ::
+
+        with ServerThread(ServiceConfig(port=0), session=session) as srv:
+            client = ServiceClient(port=srv.port)
+            ...
+
+    Entering starts the loop thread and blocks until the socket is
+    listening (re-raising any startup failure); exiting requests a
+    drain and joins the thread.
+    """
+
+    def __init__(self, config=None, session=None):
+        self.config = config or ServiceConfig(port=0)
+        self._session = session
+        self.server = None
+        self.port = None
+        self._thread = None
+        self._loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._error = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service-loop")
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            self._thread.join()
+            raise self._error
+        self.port = self.server.port
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    def _run(self):
+        async def body():
+            self.server = OptimizationServer(self.config,
+                                             session=self._session)
+            try:
+                await self.server.start()
+            except Exception as exc:
+                self._error = exc
+                self._ready.set()
+                return
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.drain()
+
+        asyncio.run(body())
+
+    def stop(self):
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=120)
+        self._loop = None

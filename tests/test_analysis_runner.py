@@ -8,9 +8,21 @@ from repro.analysis.runner import (
     run_study,
     study_matrix,
 )
+from repro.errors import ReproError, StudyTaskError
+from repro.opt import DesignSpace
 
 #: Small matrix so the suite stays fast (2 x 2 x 2 = 8 tasks).
 CAPACITIES = (128, 256)
+
+
+class PoisonedSpace(DesignSpace):
+    """Fails only the 256 B searches — module-level so the process pool
+    can pickle it by reference."""
+
+    def row_counts(self, capacity_bits):
+        if capacity_bits == 256 * 8:
+            raise RuntimeError("injected mid-study fault")
+        return super().row_counts(capacity_bits)
 
 
 def _edp_map(sweep):
@@ -91,6 +103,39 @@ def test_unknown_executor_rejected(paper_session):
     with pytest.raises(ValueError):
         run_study(session=paper_session, capacities=CAPACITIES,
                   workers=2, executor="carrier-pigeon")
+
+
+@pytest.mark.parametrize("executor,workers", [
+    ("serial", 1),
+    ("thread", 2),
+    ("process", 2),
+])
+def test_worker_failure_surfaces_task_label(paper_session, executor,
+                                            workers):
+    """A task raising mid-study must fail the run promptly (no
+    deadlock), name the matrix cell that died, and keep the original
+    exception as the cause — on every executor."""
+    with pytest.raises(StudyTaskError) as excinfo:
+        run_study(session=paper_session, capacities=CAPACITIES,
+                  workers=workers, executor=executor,
+                  space=PoisonedSpace())
+    error = excinfo.value
+    assert isinstance(error, ReproError)
+    assert error.task_label == "256B/LVT/M1"
+    assert "256B/LVT/M1" in str(error)
+    assert "injected mid-study fault" in str(error)
+    assert isinstance(error.__cause__, RuntimeError)
+
+
+def test_runner_usable_after_failure(paper_session):
+    """A failed parallel study shuts its pool down cleanly; the same
+    session immediately runs a healthy study afterwards."""
+    with pytest.raises(StudyTaskError):
+        run_study(session=paper_session, capacities=CAPACITIES,
+                  workers=2, executor="thread", space=PoisonedSpace())
+    run = run_study(session=paper_session, capacities=CAPACITIES,
+                    workers=2, executor="thread")
+    assert len(run.sweep.results) == len(study_matrix(CAPACITIES))
 
 
 def test_engine_parity_through_runner(paper_session):

@@ -143,3 +143,60 @@ def test_undeferred_put_still_writes_immediately(tmp_path):
     cache = CharacterizationCache(path)
     cache.put("k", "v")
     assert CharacterizationCache(path).get("k") == "v"
+
+
+def test_get_or_compute_thread_hammer(tmp_path):
+    """Many threads racing get_or_compute on one key must compute it
+    exactly once (the service's thread pool shares one session cache)."""
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    calls = []
+    gate = threading.Barrier(8)
+
+    def compute():
+        calls.append(threading.get_ident())
+        return 42
+
+    def worker(_):
+        gate.wait()  # maximize contention: all threads enter together
+        return cache.get_or_compute("answer", compute)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(worker, range(8)))
+    assert results == [42] * 8
+    assert len(calls) == 1
+    assert CharacterizationCache(path).get("answer") == 42
+
+
+def test_concurrent_distinct_keys_all_land(tmp_path):
+    from concurrent.futures import ThreadPoolExecutor
+
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+
+    def worker(k):
+        return cache.get_or_compute("k%d" % k, lambda: k * 10)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(worker, range(32)))
+    assert results == [k * 10 for k in range(32)]
+    reloaded = CharacterizationCache(path)
+    assert len(reloaded) == 32
+    assert all(reloaded.get("k%d" % k) == k * 10 for k in range(32))
+
+
+def test_deferred_hammer_flushes_once_consistent(tmp_path):
+    """Threaded puts inside one deferred batch stay consistent and land
+    on the single outer flush."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    with cache.deferred():
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda k: cache.put("k%d" % k, k), range(64)))
+        assert not os.path.exists(path)
+    assert len(CharacterizationCache(path)) == 64

@@ -100,3 +100,33 @@ def test_flip_voltage_batch_matches_scalar_over_bl_levels(hvt_cell, library):
         for level in v_bl
     ]
     assert np.array_equal(batched, np.asarray(scalar))
+
+
+def test_multi_coalesced_runs_bit_identical_to_separate(hvt_cell, library):
+    """The service's cross-request coalescing: several (n, seed) draws
+    merged into one batched solve must equal separate runs bitwise."""
+    from repro.cell.montecarlo import run_cell_montecarlo_multi
+
+    specs = [(3, 0), (2, 7), (4, 11)]
+    kwargs = dict(vdd=library.vdd, metrics=("hsnm", "rsnm", "wm"),
+                  wm_resolution=0.01, snm_points=21)
+    merged = run_cell_montecarlo_multi(hvt_cell, specs, **kwargs)
+    assert len(merged) == len(specs)
+    for (n, seed), result in zip(specs, merged):
+        separate = run_cell_montecarlo(hvt_cell, n_samples=n, seed=seed,
+                                       engine="batched", **kwargs)
+        assert result.n_samples == n
+        for name in kwargs["metrics"]:
+            assert np.array_equal(result.metric(name).values,
+                                  separate.metric(name).values)
+
+
+def test_multi_single_spec_matches_plain_run(hvt_cell, library):
+    from repro.cell.montecarlo import run_cell_montecarlo_multi
+
+    kwargs = dict(vdd=library.vdd, metrics=("hsnm",), snm_points=21)
+    (only,) = run_cell_montecarlo_multi(hvt_cell, [(3, 5)], **kwargs)
+    plain = run_cell_montecarlo(hvt_cell, n_samples=3, seed=5,
+                                engine="batched", **kwargs)
+    assert np.array_equal(only.metric("hsnm").values,
+                          plain.metric("hsnm").values)

@@ -85,6 +85,71 @@ def test_global_registry_helpers():
     assert reg.timers["test.helper.timer"].count >= 1
 
 
+def test_to_json_from_json_round_trip():
+    reg = PerfRegistry()
+    with reg.timer("t"):
+        pass
+    reg.count("c", 7)
+    clone = PerfRegistry.from_json(reg.to_json())
+    assert clone.counters == {"c": 7}
+    assert clone.timers["t"].count == 1
+    assert clone.timers["t"].total == reg.timers["t"].total
+    assert clone.timers["t"].min == reg.timers["t"].min
+    assert clone.timers["t"].max == reg.timers["t"].max
+
+
+def test_to_json_is_strict_json():
+    """A zero-count timer's placeholder min is inf in a live registry;
+    the wire format must still be strict JSON (no Infinity token)."""
+    import json
+
+    reg = PerfRegistry()
+    reg.merge({"timers": {"idle": {"count": 0, "total": 0.0,
+                                   "min": float("inf"), "max": 0.0}},
+               "counters": {}})
+    text = reg.to_json()
+    assert "Infinity" not in text
+    data = json.loads(text)  # strict decode must not raise
+    assert data["timers"]["idle"]["min"] == 0.0
+
+
+def test_merge_ignores_zero_count_min_max():
+    reg = PerfRegistry()
+    reg.add_time("t", 0.5)
+    reg.merge({"timers": {"t": {"count": 0, "total": 0.0,
+                                "min": 0.0, "max": 0.0}},
+               "counters": {}})
+    assert reg.timers["t"].min == 0.5
+    assert reg.timers["t"].max == 0.5
+    assert reg.timers["t"].count == 1
+
+
+def test_report_renders_zero_count_timer():
+    reg = PerfRegistry.from_json(
+        '{"counters": {}, "timers": {"idle": {"count": 0, "max": 0.0, '
+        '"min": 0.0, "total": 0.0}}}'
+    )
+    text = reg.report()
+    assert "idle" in text
+    assert "inf" not in text and "nan" not in text
+
+
+def test_worker_snapshot_hand_off():
+    """The process-boundary pattern the service uses: a worker's delta
+    travels as JSON text and folds into the parent's registry."""
+    worker = PerfRegistry()
+    with worker.timer("engine.solve"):
+        pass
+    worker.count("engine.items", 3)
+    wire = worker.to_json()
+
+    parent = PerfRegistry()
+    parent.count("engine.items", 1)
+    parent.merge(PerfRegistry.from_json(wire).snapshot())
+    assert parent.counters["engine.items"] == 4
+    assert parent.timers["engine.solve"].count == 1
+
+
 def test_optimizer_records_telemetry(paper_session):
     from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
 

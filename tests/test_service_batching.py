@@ -1,0 +1,177 @@
+"""Dynamic batcher behavior (repro.service.batching)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import BatchQueue, QueueFull
+
+
+class Recorder:
+    """A dispatch stub that records every batch it executes."""
+
+    def __init__(self, delay=0.0, fail_on=None):
+        self.batches = []
+        self.delay = delay
+        self.fail_on = fail_on      # group_key that should raise
+
+    async def __call__(self, group_key, items):
+        self.batches.append((group_key, list(items)))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail_on is not None and group_key == self.fail_on:
+            raise RuntimeError("engine exploded")
+        return ["r:%s" % item for item in items]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_max_batch_triggers_immediate_flush():
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=3, max_wait=60.0)
+        futures = [queue.enqueue(("g",), i) for i in range(3)]
+        results = await asyncio.gather(*futures)
+        return dispatch.batches, results
+
+    batches, results = run(scenario())
+    # One batch of three, flushed by size, long before the 60 s timer.
+    assert batches == [(("g",), [0, 1, 2])]
+    assert results == ["r:0", "r:1", "r:2"]
+
+
+def test_max_wait_flushes_partial_batch():
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=100, max_wait=0.01)
+        futures = [queue.enqueue(("g",), i) for i in range(2)]
+        results = await asyncio.gather(*futures)
+        return dispatch.batches, results, queue.pending
+
+    batches, results, pending = run(scenario())
+    assert batches == [(("g",), [0, 1])]
+    assert results == ["r:0", "r:1"]
+    assert pending == 0
+
+
+def test_groups_never_mix():
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=10, max_wait=0.01)
+        fa = [queue.enqueue(("a",), i) for i in range(2)]
+        fb = [queue.enqueue(("b",), i) for i in range(2)]
+        await asyncio.gather(*fa, *fb)
+        return sorted(dispatch.batches)
+
+    batches = run(scenario())
+    assert batches == [(("a",), [0, 1]), (("b",), [0, 1])]
+
+
+def test_zero_wait_disables_batching():
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=100, max_wait=0.0)
+        first = queue.enqueue(("g",), 0)
+        await first
+        second = queue.enqueue(("g",), 1)
+        await second
+        return dispatch.batches
+
+    # Each request flushes on its own soon-call: two single-item batches.
+    assert run(scenario()) == [(("g",), [0]), (("g",), [1])]
+
+
+def test_backpressure_raises_queue_full():
+    async def scenario():
+        dispatch = Recorder(delay=0.05)
+        queue = BatchQueue(dispatch, max_batch=1, max_wait=0.0,
+                           max_pending=2)
+        first = queue.enqueue(("g",), 0)
+        second = queue.enqueue(("g",), 1)
+        with pytest.raises(QueueFull) as excinfo:
+            queue.enqueue(("g",), 2)
+        assert excinfo.value.retry_after >= 0
+        results = await asyncio.gather(first, second)
+        # Capacity freed: accepted again.
+        third = await queue.enqueue(("g",), 3)
+        return results, third
+
+    results, third = run(scenario())
+    assert results == ["r:0", "r:1"]
+    assert third == "r:3"
+
+
+def test_dispatch_failure_rejects_only_its_batch():
+    async def scenario():
+        dispatch = Recorder(fail_on=("bad",))
+        queue = BatchQueue(dispatch, max_batch=2, max_wait=0.01)
+        good = [queue.enqueue(("good",), i) for i in range(2)]
+        bad = [queue.enqueue(("bad",), i) for i in range(2)]
+        good_results = await asyncio.gather(*good)
+        bad_results = await asyncio.gather(*bad, return_exceptions=True)
+        return good_results, bad_results, queue.pending
+
+    good_results, bad_results, pending = run(scenario())
+    assert good_results == ["r:0", "r:1"]
+    assert all(isinstance(r, RuntimeError) for r in bad_results)
+    assert pending == 0
+
+
+def test_result_count_mismatch_rejects_batch():
+    async def bad_dispatch(group_key, items):
+        return ["only-one"]
+
+    async def scenario():
+        queue = BatchQueue(bad_dispatch, max_batch=2, max_wait=0.01)
+        futures = [queue.enqueue(("g",), i) for i in range(2)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_drain_flushes_queued_items_and_closes():
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=100, max_wait=60.0)
+        futures = [queue.enqueue(("g",), i) for i in range(3)]
+        await queue.drain()
+        results = await asyncio.gather(*futures)
+        with pytest.raises(RuntimeError, match="draining"):
+            queue.enqueue(("g",), 99)
+        return dispatch.batches, results
+
+    batches, results = run(scenario())
+    # Drain flushed the partial batch without waiting out the timer.
+    assert batches == [(("g",), [0, 1, 2])]
+    assert results == ["r:0", "r:1", "r:2"]
+
+
+def test_on_batch_callback_sees_kind_and_size():
+    seen = []
+
+    async def scenario():
+        dispatch = Recorder()
+        queue = BatchQueue(dispatch, max_batch=2, max_wait=0.01,
+                           on_batch=lambda kind, size:
+                           seen.append((kind, size)))
+        await asyncio.gather(*[
+            queue.enqueue(("montecarlo", "hvt"), i) for i in range(2)
+        ])
+        return seen
+
+    assert run(scenario()) == [("montecarlo", 2)]
+
+
+def test_constructor_validation():
+    async def noop(group_key, items):
+        return items
+
+    with pytest.raises(ValueError):
+        BatchQueue(noop, max_batch=0)
+    with pytest.raises(ValueError):
+        BatchQueue(noop, max_wait=-1.0)

@@ -1,0 +1,299 @@
+"""End-to-end tests of the optimization service (repro.service).
+
+A real server on an ephemeral port, driven by the real client over
+localhost.  The acceptance-critical properties live here:
+
+* two concurrent identical optimize requests cost exactly one engine
+  invocation (singleflight);
+* a coalesced Monte Carlo batch is bit-identical to serial
+  one-at-a-time calls against the engine directly;
+* /metrics accounts for requests, batches, cache hits, and engine perf.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import perf
+from repro.cell.montecarlo import run_cell_montecarlo
+from repro.cell.sram6t import SRAM6TCell
+from repro.errors import ServiceError
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def service(paper_session):
+    """One shared thread-executor server for the module."""
+    config = ServiceConfig(port=0, executor="thread", workers=2,
+                           max_wait_ms=5.0)
+    with ServerThread(config, session=paper_session) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(port=service.port) as c:
+        yield c
+
+
+def counter_value(name):
+    return perf.get_registry().snapshot()["counters"].get(name, 0)
+
+
+# ---------------------------------------------------------------------------
+# Basic endpoints
+# ---------------------------------------------------------------------------
+
+def test_healthz(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["executor"] == "thread"
+    assert health["uptime_seconds"] >= 0
+
+
+def test_unknown_path_is_404(client):
+    status, payload, _ = client.request("GET", "/nope", check=False)
+    assert status == 404
+    assert "unknown path" in payload["error"]
+
+
+def test_wrong_method_is_405(client):
+    status, _, headers = client.request("GET", "/v1/optimize", check=False)
+    assert status == 405
+    assert headers.get("allow") == "POST"
+    status, _, headers = client.request("POST", "/healthz", body={},
+                                        check=False)
+    assert status == 405
+    assert headers.get("allow") == "GET"
+
+
+def test_invalid_body_is_400(client):
+    status, payload, _ = client.request(
+        "POST", "/v1/optimize", body={"capacity_bytes": 100},
+        check=False)
+    assert status == 400
+    assert "power of two" in payload["error"]
+    status, payload, _ = client.request("POST", "/v1/evaluate", body={},
+                                        check=False)
+    assert status == 400
+    assert "design" in payload["error"]
+
+
+def test_malformed_json_is_400(service):
+    raw = (b"POST /v1/optimize HTTP/1.1\r\n"
+           b"Content-Length: 9\r\n\r\nnot json!")
+    with socket.create_connection(("127.0.0.1", service.port),
+                                  timeout=30) as sock:
+        sock.sendall(raw)
+        response = sock.recv(65536).decode("latin-1")
+    assert response.startswith("HTTP/1.1 400 ")
+    body = json.loads(response.split("\r\n\r\n", 1)[1])
+    assert "JSON" in body["error"]
+
+
+def test_client_error_raises_service_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.optimize(100)
+    assert excinfo.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Optimize / evaluate correctness and caching
+# ---------------------------------------------------------------------------
+
+def test_optimize_matches_direct_engine(client, paper_session):
+    from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+
+    served = client.optimize(1024, flavor="hvt", method="M2")
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt"),
+    )
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    direct = optimizer.optimize(1024 * 8, policy, engine="vectorized")
+    assert served["design"]["n_r"] == direct.design.n_r
+    assert served["design"]["n_c"] == direct.design.n_c
+    assert served["design"]["v_ddc"] == direct.design.v_ddc
+    assert served["design"]["v_wl"] == direct.design.v_wl
+    assert served["metrics"]["edp"] == pytest.approx(direct.metrics.edp,
+                                                     rel=0, abs=0)
+    assert served["n_evaluated"] == direct.n_evaluated
+
+
+def test_repeat_request_hits_result_cache(client):
+    first = client.optimize(4096, flavor="hvt", method="M1")
+    second = client.optimize(4096, flavor="hvt", method="M1")
+    assert first["meta"]["cached"] is False
+    assert second["meta"]["cached"] is True
+    first.pop("meta")
+    second.pop("meta")
+    assert first == second
+
+
+def test_field_order_shares_cache_key(client):
+    # Canonicalization: same request spelled differently is one key.
+    a = client.request("POST", "/v1/optimize", {
+        "capacity_bytes": 16384, "flavor": "hvt", "method": "M2",
+    })[1]
+    b = client.request("POST", "/v1/optimize", {
+        "method": "M2", "engine": "vectorized", "flavor": "hvt",
+        "capacity_bytes": 16384,
+    })[1]
+    assert a["meta"]["cached"] is False
+    assert b["meta"]["cached"] is True
+
+
+def test_evaluate_matches_direct_model(client, paper_session):
+    design = {"n_r": 64, "n_c": 32, "n_pre": 2, "n_wr": 2,
+              "v_ddc": 0.60, "v_ssc": 0.0, "v_wl": 0.55, "v_bl": 0.0}
+    served = client.evaluate(design, flavor="lvt")
+    model = paper_session.model("lvt")
+    from repro.array.model import DesignPoint
+    direct = model.evaluate(64 * 32, DesignPoint(**design))
+    assert served["metrics"]["edp"] == direct.edp
+    assert served["metrics"]["e_total"] == direct.e_total
+    assert served["metrics"]["d_array"] == direct.d_array
+    margins = paper_session.constraint("lvt").margins(
+        design["v_ddc"], design["v_ssc"], design["v_wl"], design["v_bl"])
+    assert served["margins"]["hsnm"] == float(margins[0])
+
+
+# ---------------------------------------------------------------------------
+# Singleflight: N identical concurrent requests -> one engine invocation
+# ---------------------------------------------------------------------------
+
+def test_concurrent_identical_optimize_runs_engine_once(service):
+    before = counter_value("service.engine.optimize_searches")
+
+    def call():
+        with ServiceClient(port=service.port) as c:
+            return c.optimize(256, flavor="lvt", method="M1")
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(lambda _: call(), range(2)))
+
+    after = counter_value("service.engine.optimize_searches")
+    assert after - before == 1
+    assert results[0]["design"] == results[1]["design"]
+    assert results[0]["metrics"] == results[1]["metrics"]
+    # At least one of the two answers was computed (not a cache hit),
+    # and neither triggered a second search.
+    assert any(not r["meta"]["cached"] for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Monte Carlo: coalesced batches are bit-identical to serial calls
+# ---------------------------------------------------------------------------
+
+def test_coalesced_montecarlo_is_bit_identical_to_serial(paper_session):
+    # A dedicated server with a generous batch window so the three
+    # concurrent draws coalesce into one vectorized solve.
+    config = ServiceConfig(port=0, executor="thread", workers=2,
+                           max_wait_ms=250.0, max_batch=8)
+    specs = [(6, 11), (4, 7), (5, 0)]
+    with ServerThread(config, session=paper_session) as running:
+        before = counter_value("service.engine.mc_coalesced_batches")
+
+        def call(spec):
+            n, seed = spec
+            with ServiceClient(port=running.port) as c:
+                return c.montecarlo(n, flavor="hvt", seed=seed,
+                                    metrics=("hsnm",),
+                                    include_samples=True)
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            served = list(pool.map(call, specs))
+        after = counter_value("service.engine.mc_coalesced_batches")
+
+    assert after - before >= 1, "batch window missed: no coalesced solve"
+    cell = SRAM6TCell.from_library(paper_session.library, "hvt")
+    vdd = paper_session.library.vdd
+    for (n, seed), payload in zip(specs, served):
+        direct = run_cell_montecarlo(
+            cell, n_samples=n, seed=seed, vdd=vdd, metrics=("hsnm",),
+            engine="batched",
+        )
+        expected = [float(v) for v in direct.metric("hsnm").values]
+        assert payload["samples"]["hsnm"] == expected   # bitwise equal
+        assert payload["metrics"]["hsnm"]["mean"] == pytest.approx(
+            direct.metric("hsnm").mean)
+        assert payload["n"] == n and payload["seed"] == seed
+
+
+def test_montecarlo_summary_fields(client):
+    payload = client.montecarlo(8, flavor="hvt", seed=3,
+                                metrics=("hsnm", "rsnm"))
+    assert set(payload["metrics"]) == {"hsnm", "rsnm"}
+    for stats in payload["metrics"].values():
+        assert set(stats) == {"mean", "sigma", "mu_minus_3sigma",
+                              "yield_at_floor"}
+    assert 0.0 <= payload["joint_yield_at_floor"] <= 1.0
+    assert "samples" not in payload
+
+
+# ---------------------------------------------------------------------------
+# Backpressure and drain
+# ---------------------------------------------------------------------------
+
+def test_backpressure_answers_429_with_retry_after(paper_session):
+    config = ServiceConfig(port=0, executor="thread", workers=1,
+                           max_pending=0)
+    with ServerThread(config, session=paper_session) as running:
+        with ServiceClient(port=running.port) as c:
+            status, payload, headers = c.request(
+                "POST", "/v1/optimize", {"capacity_bytes": 128},
+                check=False)
+            assert status == 429
+            assert "capacity" in payload["error"]
+            assert int(headers["retry-after"]) >= 1
+            # GET endpoints stay available under pressure.
+            assert c.healthz()["status"] == "ok"
+
+
+def test_drained_server_refuses_connections(paper_session):
+    config = ServiceConfig(port=0, executor="thread", workers=1)
+    with ServerThread(config, session=paper_session) as running:
+        port = running.port
+        with ServiceClient(port=port) as c:
+            assert c.healthz()["status"] == "ok"
+    with pytest.raises((ConnectionError, OSError)):
+        socket.create_connection(("127.0.0.1", port), timeout=2).close()
+
+
+# ---------------------------------------------------------------------------
+# Metrics endpoint
+# ---------------------------------------------------------------------------
+
+def test_metrics_accounts_for_traffic(client):
+    client.optimize(128, flavor="hvt", method="M2")
+    client.optimize(128, flavor="hvt", method="M2")   # cache hit
+    client.request("GET", "/nope", check=False)       # a 404
+    metrics = client.metrics()
+
+    requests = metrics["requests"]
+    assert requests["total"] >= 3
+    assert requests["by_route"].get("/v1/optimize", 0) >= 2
+    assert requests["by_class"].get("2xx", 0) >= 2
+    assert requests["errors_by_route"].get("/nope", 0) >= 1
+
+    latency = metrics["latency_ms"]["/v1/optimize"]
+    assert latency["count"] >= 2
+    assert latency["p50"] <= latency["p99"]
+    assert "le_inf" in latency["buckets"]
+
+    assert metrics["batch_sizes"]["optimize"]["count"] >= 1
+    assert metrics["cache"]["hits"] >= 1
+    assert metrics["singleflight"]["flights"] >= 1
+    assert metrics["batching"]["max_batch"] == 8
+
+    # Engine perf merged into the payload (thread executor records in
+    # the server process; "workers" holds process-pool deltas).
+    server_perf = metrics["perf"]["server"]
+    assert server_perf["counters"].get("service.engine.optimize_searches",
+                                       0) >= 1
+    assert "service.job.optimize" in server_perf["timers"]
+    assert "counters" in metrics["perf"]["workers"]
