@@ -28,6 +28,14 @@ Subpackages
     and yield constraints.
 ``repro.analysis``
     Experiment drivers regenerating every figure and table.
+``repro.service``
+    An HTTP optimization service with dynamic batching and caching.
+``repro.jobs``
+    Durable job queue + workers: checkpointed, crash-resumable study
+    sweeps (SQLite-backed, lease-based claiming).
+``repro.store``
+    Content-addressed experiment store with provenance; deduplicates
+    results across the study runner, job workers, service, and CLI.
 
 Quick start
 -----------
@@ -38,6 +46,6 @@ Quick start
 >>> print(sweep.report())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

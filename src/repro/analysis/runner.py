@@ -177,6 +177,19 @@ def _execute_task(session, space, task, engine, keep_landscape):
     return result, time.perf_counter() - start
 
 
+def execute_study_task(session, space, task, engine="vectorized",
+                       keep_landscape=False):
+    """Run one study-matrix cell; returns ``(result, seconds)``.
+
+    This is the single execution path shared by :func:`run_study` and
+    the durable job worker (:mod:`repro.jobs.worker`) — both produce
+    identical :class:`OptimizationResult` values for the same inputs,
+    which is what makes checkpointed resume bit-identical.
+    """
+    return _execute_task(session, space or DesignSpace(), task, engine,
+                         keep_landscape)
+
+
 def _task_failure(task, exc):
     """Wrap a worker exception so the error names the matrix cell.
 

@@ -11,7 +11,11 @@ Usage::
     python -m repro.cli headline --profile
     python -m repro.cli montecarlo --samples 2000 --metrics hsnm,rsnm,wm
     python -m repro.cli all
-    python -m repro.cli serve --port 8787
+    python -m repro.cli serve --port 8787 --jobs jobs.db
+    python -m repro.cli jobs submit --queue jobs.db --capacities 128,1024
+    python -m repro.cli jobs work --queue jobs.db
+    python -m repro.cli jobs watch job-abc123 --queue jobs.db
+    python -m repro.cli store ls --store jobs.db
 
 The first run characterizes the device/cell/periphery stack with the
 built-in simulator (a few minutes) and caches the results; later runs
@@ -20,7 +24,13 @@ are fast.
 ``serve`` starts the optimization service (:mod:`repro.service`): an
 asyncio HTTP server exposing /v1/optimize, /v1/evaluate and
 /v1/montecarlo with dynamic request batching, a result cache, and
-/metrics telemetry — see ``docs/SERVICE.md``.
+/metrics telemetry — see ``docs/SERVICE.md``.  With ``--jobs PATH`` it
+also exposes the durable jobs API (/v1/jobs) with a background worker
+pool.
+
+``jobs`` and ``store`` drive the durable queue and the
+content-addressed experiment store directly (submit/status/watch/
+cancel/work and ls/show/gc) — see ``docs/JOBS.md``.
 
 ``--workers N`` fans the optimization matrix (table4 / fig7 / headline)
 over a worker pool (see :mod:`repro.analysis.runner`); ``--profile``
@@ -30,6 +40,7 @@ prints the :mod:`repro.perf` telemetry report after the run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import perf
@@ -198,22 +209,258 @@ def run_serve(argv):
                         help="characterization cache path ('' disables)")
     parser.add_argument("--voltage-mode", choices=("measured", "paper"),
                         default="paper")
+    parser.add_argument("--jobs", default=None, metavar="PATH",
+                        help="enable the durable jobs API backed by this "
+                             "SQLite file (see docs/JOBS.md)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="experiment store path (default: the --jobs "
+                             "file; fronts /v1/optimize with "
+                             "cross-process dedup)")
+    parser.add_argument("--job-workers", type=int, default=1,
+                        help="background job worker threads")
+    parser.add_argument("--job-lease", type=float, default=30.0,
+                        help="job claim lease / heartbeat horizon [s]")
     args = parser.parse_args(argv)
     config = ServiceConfig(
         host=args.host, port=args.port, executor=args.executor,
         workers=args.workers, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_pending=args.max_pending,
         cache_path=args.cache, voltage_mode=args.voltage_mode,
+        jobs_path=args.jobs, store_path=args.store,
+        job_workers=args.job_workers, job_lease_seconds=args.job_lease,
     )
     asyncio.run(serve_forever(config))
+    return 0
+
+
+def _parse_csv(text, cast=str):
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def run_jobs(argv):
+    """The ``jobs`` subcommand: drive the durable queue from the shell."""
+    import json as json_module
+    import time as time_module
+
+    from .jobs import JobQueue, load_sweep_results
+    from .store import ExperimentStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="Submit, inspect and execute durable study sweeps "
+                    "(see docs/JOBS.md).",
+    )
+    parser.add_argument("action",
+                        choices=("submit", "status", "watch", "cancel",
+                                 "work"))
+    parser.add_argument("job_id", nargs="?", default=None,
+                        help="job id (status/watch/cancel)")
+    parser.add_argument("--queue", default="jobs.db",
+                        help="queue SQLite path (default: jobs.db)")
+    parser.add_argument("--store", default=None,
+                        help="experiment store path (default: the queue "
+                             "file)")
+    parser.add_argument("--capacities", default=None,
+                        help="submit: comma-separated capacities in bytes")
+    parser.add_argument("--flavors", default=None,
+                        help="submit: comma-separated subset of lvt,hvt")
+    parser.add_argument("--methods", default=None,
+                        help="submit: comma-separated subset of M1,M2")
+    parser.add_argument("--engine", choices=("vectorized", "loop"),
+                        default="vectorized")
+    parser.add_argument("--voltage-mode", choices=("measured", "paper"),
+                        default="paper")
+    parser.add_argument("--cache", default=".repro_cache.json",
+                        help="characterization cache for the executing "
+                             "worker")
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--max-attempts", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=3600.0,
+                        help="watch: give up after this long [s]")
+    parser.add_argument("--once", action="store_true",
+                        help="work: run one job and exit")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="work: exit after this many jobs")
+    # Intermixed parsing so `jobs watch --queue x <job-id>` works (plain
+    # parse_args cannot match an optional positional after options).
+    args = parser.parse_intermixed_args(argv)
+
+    if args.action == "work":
+        from .jobs.worker import main as worker_main
+
+        worker_argv = ["--queue", args.queue, "--cache", args.cache]
+        if args.store:
+            worker_argv += ["--store", args.store]
+        if args.once:
+            worker_argv += ["--once"]
+        if args.max_jobs is not None:
+            worker_argv += ["--max-jobs", str(args.max_jobs)]
+        return worker_main(worker_argv)
+
+    queue = JobQueue(args.queue)
+    if args.action == "submit":
+        spec = {"engine": args.engine, "voltage_mode": args.voltage_mode,
+                "cache_path": args.cache or None}
+        if args.capacities:
+            spec["capacities"] = _parse_csv(args.capacities, int)
+        if args.flavors:
+            spec["flavors"] = _parse_csv(args.flavors)
+        if args.methods:
+            spec["methods"] = _parse_csv(args.methods)
+        from .jobs.worker import normalize_study_spec
+
+        spec = normalize_study_spec(spec)
+        job_id = queue.submit("study", spec, priority=args.priority,
+                              max_attempts=args.max_attempts)
+        print("submitted %s: %d-cell study sweep"
+              % (job_id, len(spec["capacities"]) * len(spec["flavors"])
+                 * len(spec["methods"])))
+        print("run it with: python -m repro.cli jobs work --queue %s"
+              % args.queue)
+        return 0
+    if args.action == "status":
+        if args.job_id:
+            print(json_module.dumps(queue.get(args.job_id).to_payload(),
+                                    indent=2, sort_keys=True))
+            return 0
+        counts = queue.counts()
+        print("queue %s: %s" % (args.queue, "  ".join(
+            "%s=%d" % (state, counts[state]) for state in counts)))
+        for job in queue.list_jobs(limit=20):
+            progress = job.progress or {}
+            print("  %-16s %-9s attempt %d/%d  %s/%s cells  %s"
+                  % (job.id, job.state, job.attempts, job.max_attempts,
+                     progress.get("completed", "-"),
+                     progress.get("total", "-"), job.error or ""))
+        return 0
+    if args.action == "cancel":
+        if not args.job_id:
+            parser.error("cancel needs a job id")
+        if queue.cancel(args.job_id):
+            print("cancelled %s" % args.job_id)
+            return 0
+        print("%s is already terminal (%s)"
+              % (args.job_id, queue.get(args.job_id).state))
+        return 1
+    # watch
+    if not args.job_id:
+        parser.error("watch needs a job id")
+    deadline = time_module.monotonic() + args.timeout
+    last = None
+    while True:
+        job = queue.get(args.job_id)
+        progress = job.progress or {}
+        line = "%s  %s/%s cells  (attempt %d)" % (
+            job.state, progress.get("completed", 0),
+            progress.get("total", "?"), job.attempts)
+        if line != last:
+            print(line, flush=True)
+            last = line
+        if job.terminal:
+            break
+        if time_module.monotonic() >= deadline:
+            print("timed out after %.0f s" % args.timeout)
+            return 1
+        time_module.sleep(0.5)
+    if job.state == "done" and job.result_key:
+        store = ExperimentStore(args.store or args.queue)
+        sweep = load_sweep_results(store, job.result_key)
+        print()
+        # A job may sweep any sub-matrix, so render cell by cell rather
+        # than through the full-matrix Table 4 report.
+        for (capacity, flavor, method) in sorted(sweep.results):
+            result = sweep.results[(capacity, flavor, method)]
+            design = result.design
+            print("  %6dB %-3s %-2s  %3dx%-3d pre=%d wr=%d  "
+                  "Vddc=%.2f Vwl=%.2f  EDP=%.3e"
+                  % (capacity, flavor.upper(), method, design.n_r,
+                     design.n_c, design.n_pre, design.n_wr,
+                     design.v_ddc, design.v_wl, result.metrics.edp))
+        return 0
+    if job.state != "done":
+        print("job ended %s: %s" % (job.state, job.error or ""))
+        return 1
+    return 0
+
+
+def run_store(argv):
+    """The ``store`` subcommand: inspect the experiment store."""
+    import json as json_module
+    import time
+
+    from .store import ExperimentStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="List, show and garbage-collect stored experiment "
+                    "results (see docs/JOBS.md).",
+    )
+    parser.add_argument("action", choices=("ls", "show", "gc"))
+    parser.add_argument("key", nargs="?", default=None,
+                        help="result key (show)")
+    parser.add_argument("--store", default="jobs.db",
+                        help="store SQLite path (default: jobs.db)")
+    parser.add_argument("--kind", default=None,
+                        help="filter by kind (cell, sweep)")
+    parser.add_argument("--limit", type=int, default=50)
+    parser.add_argument("--older-than", type=float, default=None,
+                        metavar="SECONDS",
+                        help="gc: only entries not read for this long")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="gc: list victims without deleting")
+    # Intermixed parsing so `store show --store x <key>` works (plain
+    # parse_args cannot match an optional positional after options).
+    args = parser.parse_intermixed_args(argv)
+
+    store = ExperimentStore(args.store)
+    if args.action == "ls":
+        stats = store.stats()
+        print("store %s: %d entries" % (args.store, stats["total"]))
+        for kind, entry in stats["by_kind"].items():
+            print("  %-6s %4d entries  %8d payload bytes"
+                  % (kind, entry["count"], entry["payload_bytes"]))
+        for row in store.ls(kind=args.kind, limit=args.limit):
+            print("  %s  %7d B  used %s" % (
+                row["key"], row["payload_bytes"],
+                time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.localtime(row["last_used_at"]))))
+        return 0
+    if args.action == "show":
+        if not args.key:
+            parser.error("show needs a result key")
+        payload = store.get(args.key, touch=False)
+        if payload is None:
+            print("no entry %r" % args.key)
+            return 1
+        print(json_module.dumps(
+            {"key": args.key, "payload": payload,
+             "provenance": store.provenance(args.key)},
+            indent=2, sort_keys=True))
+        return 0
+    victims = store.gc(older_than_seconds=args.older_than,
+                       kind=args.kind, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print("%s %d entr%s" % (verb, len(victims),
+                            "y" if len(victims) == 1 else "ies"))
+    for key in victims:
+        print("  %s" % key)
     return 0
 
 
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "serve":
-        return run_serve(argv[1:])
+    try:
+        if argv and argv[0] == "serve":
+            return run_serve(argv[1:])
+        if argv and argv[0] == "jobs":
+            return run_jobs(argv[1:])
+        if argv and argv[0] == "store":
+            return run_store(argv[1:])
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        os.close(sys.stdout.fileno())
+        return 0
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the DAC'16 SRAM EDP co-optimization paper.",

@@ -80,6 +80,19 @@ class ServiceError(ReproError):
         self.retry_after = retry_after
 
 
+class JobError(ReproError):
+    """A durable-queue job could not be submitted, found, or executed.
+
+    Raised for unknown job ids, invalid job specs, and malformed or
+    missing store records.  ``job_id`` names the offending job when one
+    is known.
+    """
+
+    def __init__(self, message, job_id=None):
+        super().__init__(message)
+        self.job_id = job_id
+
+
 class LookupError_(ReproError):
     """A look-up table query fell outside the characterized grid.
 

@@ -12,7 +12,10 @@ characterization code stores grids and sampled arrays as lists).
 Writes are batched: :meth:`put` marks the store dirty and rewrites the
 file immediately *unless* the cache is inside a ``with cache.deferred():``
 block (or used as a context manager itself), in which case all inserts
-of the block land in a single atomic rewrite on exit.  Cold-start
+of the block land in a single atomic rewrite on exit.  As a final
+safety net, every file-backed cache is also flushed at interpreter
+exit (``atexit``), so a process that dies without unwinding its
+``deferred()`` block still persists what it computed.  Cold-start
 characterization runs many ``get_or_compute`` calls, so without
 deferral the JSON file would be serialized once per insert — O(n^2)
 bytes written.  Deferral is crash-safe: the exit flush runs from a
@@ -33,13 +36,33 @@ right trade against running the same multi-second simulation twice.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import tempfile
 import threading
+import weakref
 from contextlib import contextmanager
 
 from .. import perf
+
+#: Every live file-backed cache, flushed once more at interpreter exit
+#: so dirty entries survive a process that never leaves its
+#: ``deferred()`` block the orderly way (sys.exit, an unhandled
+#: exception in a worker's main, ...).  A weak set: caches die with
+#: their owners; registration never extends a lifetime.
+_LIVE_CACHES = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_all_at_exit():
+    for cache in list(_LIVE_CACHES):
+        try:
+            cache.flush()
+        except Exception:
+            # Exit-time best effort: a read-only filesystem or a
+            # half-torn-down interpreter must not mask the real exit.
+            pass
 
 
 class CharacterizationCache:
@@ -54,6 +77,8 @@ class CharacterizationCache:
         if path is not None and os.path.exists(path):
             with open(path) as handle:
                 self._data = json.load(handle)
+        if path is not None:
+            _LIVE_CACHES.add(self)
 
     def get(self, key):
         with self._lock:

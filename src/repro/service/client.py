@@ -17,17 +17,32 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
+import uuid
 
 from ..errors import ServiceError
 
 
 class ServiceClient:
-    """One keep-alive HTTP connection to a running service."""
+    """One keep-alive HTTP connection to a running service.
 
-    def __init__(self, host="127.0.0.1", port=8787, timeout=300.0):
+    Backpressure handling: when the server answers ``429`` (its pending
+    queue is full) and ``check=True``, the client sleeps and retries up
+    to ``max_retries`` times, honoring the server's ``Retry-After`` hint
+    but never waiting less than exponential backoff from
+    ``backoff_base`` nor more than ``backoff_cap`` per attempt.  With
+    ``check=False`` the raw 429 is returned untouched (the
+    backpressure tests rely on that).
+    """
+
+    def __init__(self, host="127.0.0.1", port=8787, timeout=300.0,
+                 max_retries=2, backoff_base=0.05, backoff_cap=5.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._conn = None
 
     # -- plumbing ----------------------------------------------------------
@@ -51,15 +66,45 @@ class ServiceClient:
         self.close()
         return False
 
-    def request(self, method, path, body=None, check=True):
-        """One round trip; returns ``(status, payload, headers)``.
+    def request(self, method, path, body=None, check=True,
+                request_id=None):
+        """One logical round trip; returns ``(status, payload, headers)``.
 
         ``check=True`` raises :class:`ServiceError` on any non-2xx
-        status.  A stale keep-alive connection (server restarted,
-        idle timeout) is retried once on a fresh connection.
+        status, after retrying 429s with Retry-After-aware backoff.  A
+        stale keep-alive connection (server restarted, idle timeout) is
+        retried once on a fresh connection.  ``request_id`` is sent as
+        ``X-Request-Id``; the server echoes it (or its own) back.
         """
+        budget = self.max_retries if check else 0
+        for backoff_attempt in range(budget + 1):
+            status, payload, response_headers = self._roundtrip(
+                method, path, body, request_id)
+            if status != 429 or backoff_attempt >= budget:
+                break
+            retry_after = response_headers.get("retry-after")
+            delay = min(
+                max(float(retry_after) if retry_after else 0.0,
+                    self.backoff_base * 2 ** backoff_attempt),
+                self.backoff_cap,
+            )
+            time.sleep(delay)
+        if check and not 200 <= status < 300:
+            retry_after = response_headers.get("retry-after")
+            raise ServiceError(
+                "%s %s failed: HTTP %d: %s"
+                % (method, path, status,
+                   payload.get("error", "(no error body)")),
+                status=status,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return status, payload, response_headers
+
+    def _roundtrip(self, method, path, body, request_id):
+        """One wire round trip (no status policy, no 429 retries)."""
         encoded = None
-        headers = {}
+        headers = {"X-Request-Id": request_id or
+                   "cli-%s" % uuid.uuid4().hex[:12]}
         if body is not None:
             encoded = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -81,15 +126,6 @@ class ServiceClient:
         response_headers = {
             name.lower(): value for name, value in response.getheaders()
         }
-        if check and not 200 <= response.status < 300:
-            retry_after = response_headers.get("retry-after")
-            raise ServiceError(
-                "%s %s failed: HTTP %d: %s"
-                % (method, path, response.status,
-                   payload.get("error", raw[:200])),
-                status=response.status,
-                retry_after=float(retry_after) if retry_after else None,
-            )
         return response.status, payload, response_headers
 
     # -- endpoints ---------------------------------------------------------
@@ -121,6 +157,42 @@ class ServiceClient:
             "flavor": flavor,
             "design": dict(design),
         })[1]
+
+    def submit_job(self, spec=None, kind="study", priority=0,
+                   max_attempts=3):
+        """Submit a durable study sweep; returns the 202 job payload."""
+        return self.request("POST", "/v1/jobs", {
+            "kind": kind,
+            "spec": dict(spec or {}),
+            "priority": priority,
+            "max_attempts": max_attempts,
+        })[1]
+
+    def job(self, job_id):
+        """Status/progress of one job (plus results once done)."""
+        return self.request("GET", "/v1/jobs/%s" % job_id)[1]
+
+    def jobs(self):
+        """All jobs (newest first) plus per-state counts."""
+        return self.request("GET", "/v1/jobs")[1]
+
+    def cancel_job(self, job_id):
+        """Cancel a queued/running job; raises ServiceError(409) once
+        the job is terminal."""
+        return self.request("DELETE", "/v1/jobs/%s" % job_id)[1]
+
+    def wait_for_job(self, job_id, timeout=600.0, interval=0.25):
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "failed", "cancelled"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "job %s still %r after %.0f s"
+                    % (job_id, payload["state"], timeout), status=504)
+            time.sleep(interval)
 
     def montecarlo(self, n, flavor="hvt", seed=0, metrics=("hsnm", "rsnm"),
                    engine="batched", include_samples=False):

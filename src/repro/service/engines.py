@@ -33,6 +33,7 @@ from ..cell.montecarlo import (
 from ..cell.sram6t import SRAM6TCell
 from ..errors import ReproError
 from ..opt import DesignSpace, ExhaustiveOptimizer, make_policy
+from ..store import payload_json_safe, result_to_payload
 
 #: The paper's yield floor as a fraction of Vdd (delta = 0.35 * Vdd).
 YIELD_FLOOR_FRACTION = 0.35
@@ -106,17 +107,18 @@ def _optimize_group(session, job):
         except ReproError as exc:
             payloads.append(_failed(422, str(exc)))
             continue
-        payloads.append(_ok({
-            "capacity_bytes": capacity_bytes,
-            "capacity_bits": result.capacity_bits,
-            "flavor": flavor,
-            "method": job["method"],
-            "engine": job["engine"],
-            "design": _design_fields(result.design),
-            "metrics": _metric_fields(result.metrics),
-            "margins": _margin_fields(result.margins),
-            "n_evaluated": int(result.n_evaluated),
-        }))
+        # The response body is the experiment store's canonical cell
+        # payload (json-safe copy), so a served answer, a study cell,
+        # and a durable-job cell all deduplicate under one store key.
+        # The exact-float original rides along for the server to
+        # persist; it never reaches the wire.
+        stored = result_to_payload(result)
+        response = payload_json_safe(stored)
+        response.pop("landscape", None)
+        response["engine"] = job["engine"]
+        entry = _ok(response)
+        entry["store_payload"] = stored
+        payloads.append(entry)
     return payloads
 
 

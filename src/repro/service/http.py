@@ -21,8 +21,11 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 STATUS_TEXT = {
     200: "OK",
+    201: "Created",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",

@@ -14,9 +14,21 @@ Endpoints:
 * ``POST /v1/optimize``    — min-EDP design for one capacity/flavor/method
 * ``POST /v1/evaluate``    — metrics/margins of one explicit design point
 * ``POST /v1/montecarlo``  — cell margin distributions
+* ``POST /v1/jobs``        — submit a durable study sweep (202 Accepted)
+* ``GET  /v1/jobs``        — list jobs + per-state counts
+* ``GET  /v1/jobs/{id}``   — job status/progress (+ results when done)
+* ``DELETE /v1/jobs/{id}`` — cancel (409 once terminal)
 * ``GET  /healthz``        — liveness + drain state
 * ``GET  /metrics``        — counters, latency/batch histograms, cache
   stats, and engine perf merged from every worker
+
+The jobs endpoints exist when the config names a ``jobs_path``; results
+are checkpointed per cell to the shared experiment store
+(:mod:`repro.store`), which also fronts ``/v1/optimize`` so the service,
+job workers, the study runner, and the CLI never repeat a search any of
+them has finished.  Every response carries an ``X-Request-Id`` header
+(echoing the caller's, or freshly minted) that also tags the
+``repro.service`` dispatch logs.
 
 Backpressure: when queued-plus-executing items reach ``max_pending``
 the server answers ``429`` with a ``Retry-After`` header instead of
@@ -29,10 +41,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import os
 import signal
 import threading
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -48,7 +62,18 @@ from .engines import (
 from .http import ProtocolError, read_request, write_response
 from .metrics import ServiceMetrics
 from ..analysis.experiments import DEFAULT_CACHE_PATH, Session
+from ..errors import JobError
+from ..jobs import JobQueue
+from ..jobs.worker import SessionProvider, normalize_study_spec, run_worker
 from ..opt import DesignSpace
+from ..store import (
+    ExperimentStore,
+    make_provenance,
+    payload_json_safe,
+    study_cell_key,
+)
+
+logger = logging.getLogger("repro.service")
 
 
 @dataclass
@@ -67,9 +92,18 @@ class ServiceConfig:
     cache_ttl: float = 300.0      # result-cache TTL [s]; None = no expiry
     cache_path: str = DEFAULT_CACHE_PATH
     voltage_mode: str = "paper"
+    jobs_path: str = None         # durable queue SQLite; None = no jobs API
+    store_path: str = None        # experiment store; None = share jobs_path
+    job_workers: int = 1          # background job worker threads
+    job_lease_seconds: float = 30.0
+    job_poll_ms: float = 200.0    # idle poll of the job workers
 
     def resolved_workers(self):
         return self.workers or os.cpu_count() or 1
+
+    def resolved_store_path(self):
+        """The store location, when any store is configured at all."""
+        return self.store_path or self.jobs_path
 
 
 def _job_from_group(group_key, items):
@@ -108,6 +142,10 @@ class OptimizationServer:
         self._draining = False
         self._started_at = None
         self.port = None
+        self.jobs = None            # JobQueue when jobs_path is set
+        self.store = None           # ExperimentStore when configured
+        self._job_threads = []
+        self._job_stop = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -149,12 +187,48 @@ class OptimizationServer:
             max_pending=config.max_pending,
             on_batch=self.metrics.observe_batch,
         )
+        self._start_jobs()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
         return self
+
+    def _start_jobs(self):
+        """Open the queue/store and start the background worker pool.
+
+        The workers share the server's warm session through a seeded
+        :class:`SessionProvider`, so a submitted sweep starts computing
+        immediately — no per-job characterization.
+        """
+        config = self.config
+        store_path = config.resolved_store_path()
+        if store_path:
+            self.store = ExperimentStore(store_path)
+        if not config.jobs_path:
+            return
+        self.jobs = JobQueue(config.jobs_path)
+        provider = SessionProvider(
+            default_cache_path=config.cache_path or None)
+        provider.seed(self.session, cache_path=config.cache_path or None)
+        self._job_stop = threading.Event()
+        for index in range(max(0, config.job_workers)):
+            worker_id = "svc-%d-w%d" % (os.getpid(), index)
+            thread = threading.Thread(
+                target=run_worker,
+                kwargs=dict(
+                    queue_path=config.jobs_path, store_path=store_path,
+                    worker_id=worker_id,
+                    lease_seconds=config.job_lease_seconds,
+                    poll_interval=config.job_poll_ms / 1e3,
+                    stop=self._job_stop, sessions=provider,
+                    default_cache_path=config.cache_path or None,
+                ),
+                name="repro-job-%s" % worker_id, daemon=True,
+            )
+            thread.start()
+            self._job_threads.append(thread)
 
     async def drain(self):
         """Graceful shutdown: stop accepting, finish in-flight work."""
@@ -173,12 +247,26 @@ class OptimizationServer:
         # teardown never cancels one mid-await (noisy otherwise).
         if self._conn_tasks:
             await asyncio.wait(set(self._conn_tasks), timeout=5)
+        if self._job_stop is not None:
+            # Job workers notice the stop flag at the next cell/poll
+            # boundary; an unfinished sweep keeps its checkpoints and is
+            # re-queued when its lease expires.
+            self._job_stop.set()
+            loop = asyncio.get_running_loop()
+            for thread in self._job_threads:
+                await loop.run_in_executor(None, thread.join, 60)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 
     # -- dispatch ----------------------------------------------------------
 
     async def _dispatch(self, group_key, items):
+        # Correlation ids ride along with the batch items; strip them
+        # before the job crosses the executor boundary.
+        request_ids = [item.pop("_request_id", None) for item in items]
+        logger.debug("dispatch %s batch of %d rid=%s", group_key[0],
+                     len(items),
+                     ",".join(rid or "-" for rid in request_ids))
         job = _job_from_group(group_key, items)
         loop = asyncio.get_running_loop()
         if self.config.executor == "process":
@@ -210,10 +298,21 @@ class OptimizationServer:
                 if request is None:
                     break
                 start = time.perf_counter()
-                status, payload, headers = await self._route(request)
-                self.metrics.observe_request(
-                    request.path, status, time.perf_counter() - start
-                )
+                # Callers may supply their own correlation id; otherwise
+                # one is minted here.  Either way it is echoed back and
+                # threaded through the dispatch logs.
+                request_id = (request.headers.get("x-request-id")
+                              or "req-%s" % uuid.uuid4().hex[:12])
+                status, payload, headers = await self._route(request,
+                                                             request_id)
+                elapsed = time.perf_counter() - start
+                headers = dict(headers or {})
+                headers["X-Request-Id"] = request_id
+                self.metrics.observe_request(request.path, status,
+                                             elapsed)
+                logger.debug("%s %s -> %d (%.1f ms) rid=%s",
+                             request.method, request.path, status,
+                             elapsed * 1e3, request_id)
                 keep = request.keep_alive and not self._draining
                 await write_response(writer, status, payload, headers,
                                      keep_alive=keep)
@@ -229,7 +328,7 @@ class OptimizationServer:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _route(self, request):
+    async def _route(self, request, request_id=None):
         """``(status, payload, extra_headers)`` for one request."""
         path = request.path
         if path == "/healthz":
@@ -240,13 +339,21 @@ class OptimizationServer:
             if request.method != "GET":
                 return 405, {"error": "use GET"}, {"Allow": "GET"}
             return 200, self._metrics_payload(), {}
+        if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+            try:
+                return await self._handle_jobs(path, request, request_id)
+            except ProtocolError as exc:
+                return exc.status, {"error": str(exc)}, {}
+            except Exception as exc:
+                return 500, {"error": "%s: %s"
+                             % (type(exc).__name__, exc)}, {}
         if path in PARSERS:
             if request.method != "POST":
                 return 405, {"error": "use POST"}, {"Allow": "POST"}
             if self._draining:
                 return 503, {"error": "server is draining"}, {}
             try:
-                return await self._handle_api(path, request)
+                return await self._handle_api(path, request, request_id)
             except BadRequest as exc:
                 return 400, {"error": str(exc)}, {}
             except ProtocolError as exc:
@@ -260,12 +367,28 @@ class OptimizationServer:
                              % (type(exc).__name__, exc)}, {}
         return 404, {"error": "unknown path %r" % path}, {}
 
-    async def _handle_api(self, route, request):
+    async def _handle_api(self, route, request, request_id=None):
         req = parse_request(route, request.json())
         key = req.key()
         hit, item = self._cache.get(key)
         if hit:
             return self._item_response(item, cached=True)
+        store_key = self._store_key(route, req)
+        if store_key is not None:
+            stored = await asyncio.get_running_loop().run_in_executor(
+                None, self.store.get, store_key)
+            if stored is not None:
+                # Someone — a job worker, a past service run, the study
+                # runner — already computed this exact search; serve it
+                # from the experiment store and warm the in-memory
+                # cache on the way out.
+                response = payload_json_safe(stored)
+                response.pop("landscape", None)
+                response["engine"] = req.engine
+                item = {"ok": True, "result": response}
+                self._cache.put(key, item)
+                return self._item_response(item, cached=True,
+                                           stored=True)
         future, leader = self._flight.join(key)
         if not leader:
             # An identical request is already computing; share its
@@ -273,8 +396,10 @@ class OptimizationServer:
             item = await future
             return self._item_response(item, cached=False, coalesced=True)
         try:
+            item_fields = req.item()
+            item_fields["_request_id"] = request_id
             batch_future = self._batcher.enqueue(req.group_key(),
-                                                 req.item())
+                                                 item_fields)
             item = await batch_future
         except BaseException as exc:
             self._flight.reject(key, exc)
@@ -282,22 +407,149 @@ class OptimizationServer:
             # an "exception was never retrieved" warning at GC.
             future.exception()
             raise
+        store_payload = item.pop("store_payload", None)
         if item["ok"]:
+            if store_key is not None and store_payload is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.store.put, store_key, store_payload,
+                    make_provenance(
+                        inputs={"route": route, "request_id": request_id,
+                                "capacity_bytes": req.capacity_bytes,
+                                "flavor": req.flavor,
+                                "method": req.method,
+                                "engine": req.engine},
+                        worker="service",
+                    ))
             self._cache.put(key, item)
         self._flight.resolve(key, item)
         return self._item_response(item, cached=False)
 
-    def _item_response(self, item, cached, coalesced=False):
+    def _store_key(self, route, req):
+        """The experiment-store key of a request, when it has one.
+
+        Only ``/v1/optimize`` answers are store-addressable: their
+        identity is exactly one study-matrix cell, so the service
+        deduplicates against job workers, the study runner, and the CLI.
+        """
+        if self.store is None or route != "/v1/optimize":
+            return None
+        return study_cell_key(self.session, DesignSpace(),
+                              req.capacity_bytes, req.flavor, req.method,
+                              req.engine)
+
+    def _item_response(self, item, cached, coalesced=False, stored=False):
         if item["ok"]:
             payload = dict(item["result"])
-            payload["meta"] = {"cached": cached, "coalesced": coalesced}
+            payload["meta"] = {"cached": cached, "coalesced": coalesced,
+                               "stored": stored}
             return 200, payload, {}
         return item["status"], {"error": item["error"]}, {}
+
+    # -- jobs API ----------------------------------------------------------
+
+    async def _handle_jobs(self, path, request, request_id=None):
+        if self.jobs is None:
+            return 404, {"error": "jobs are not enabled on this server "
+                                  "(start it with a jobs path, e.g. "
+                                  "repro serve --jobs jobs.db)"}, {}
+        loop = asyncio.get_running_loop()
+        if path == "/v1/jobs":
+            if request.method == "POST":
+                if self._draining:
+                    return 503, {"error": "server is draining"}, {}
+                return await self._submit_job(request, request_id)
+            if request.method == "GET":
+                jobs = await loop.run_in_executor(
+                    None, self.jobs.list_jobs, None, 100)
+                counts = await loop.run_in_executor(None,
+                                                    self.jobs.counts)
+                return 200, {"jobs": [job.to_payload() for job in jobs],
+                             "counts": counts}, {}
+            return 405, {"error": "use GET or POST"}, \
+                {"Allow": "GET, POST"}
+        job_id = path[len("/v1/jobs/"):]
+        if request.method == "GET":
+            try:
+                job = await loop.run_in_executor(None, self.jobs.get,
+                                                 job_id)
+            except JobError as exc:
+                return 404, {"error": str(exc)}, {}
+            payload = job.to_payload()
+            if (job.state == "done" and job.result_key
+                    and self.store is not None):
+                result = await loop.run_in_executor(
+                    None, self._sweep_payload, job.result_key)
+                if result is not None:
+                    payload["result"] = result
+            return 200, payload, {}
+        if request.method == "DELETE":
+            try:
+                cancelled = await loop.run_in_executor(
+                    None, self.jobs.cancel, job_id)
+                job = await loop.run_in_executor(None, self.jobs.get,
+                                                 job_id)
+            except JobError as exc:
+                return 404, {"error": str(exc)}, {}
+            if cancelled:
+                logger.debug("job %s cancelled rid=%s", job_id,
+                             request_id)
+                return 200, job.to_payload(), {}
+            return 409, {"error": "job %s is already %s"
+                                  % (job_id, job.state),
+                         "job": job.to_payload()}, {}
+        return 405, {"error": "use GET or DELETE"}, \
+            {"Allow": "GET, DELETE"}
+
+    async def _submit_job(self, request, request_id=None):
+        body = request.json()
+        if not isinstance(body, dict):
+            return 400, {"error": "request body must be a JSON "
+                                  "object"}, {}
+        kind = body.get("kind", "study")
+        if kind != "study":
+            return 400, {"error": "unknown job kind %r" % (kind,)}, {}
+        try:
+            spec = normalize_study_spec(body.get("spec") or {})
+        except JobError as exc:
+            return 400, {"error": str(exc)}, {}
+        priority = body.get("priority", 0)
+        max_attempts = body.get("max_attempts", 3)
+        for name, value in (("priority", priority),
+                            ("max_attempts", max_attempts)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                return 400, {"error": "%s must be an integer" % name}, {}
+        if max_attempts < 1:
+            return 400, {"error": "max_attempts must be >= 1"}, {}
+        loop = asyncio.get_running_loop()
+        job_id = await loop.run_in_executor(
+            None, lambda: self.jobs.submit(kind, spec, priority,
+                                           max_attempts))
+        job = await loop.run_in_executor(None, self.jobs.get, job_id)
+        logger.debug("job %s submitted (%d cells) rid=%s", job_id,
+                     len(spec["capacities"]) * len(spec["flavors"])
+                     * len(spec["methods"]), request_id)
+        return 202, job.to_payload(), \
+            {"Location": "/v1/jobs/%s" % job_id}
+
+    def _sweep_payload(self, result_key):
+        """The JSON view of a finished sweep (spec + per-cell results)."""
+        record = self.store.get(result_key)
+        if record is None:
+            return None
+        cells = []
+        for key in record.get("cells", []):
+            cell = self.store.get(key)
+            if cell is not None:
+                cell = payload_json_safe(cell)
+                cell.pop("landscape", None)
+                cells.append(cell)
+        return {"key": result_key, "spec": record.get("spec"),
+                "cells": cells}
 
     # -- introspection payloads --------------------------------------------
 
     def _health_payload(self):
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
             "uptime_seconds": round(
                 time.monotonic() - (self._started_at or time.monotonic()),
@@ -307,9 +559,12 @@ class OptimizationServer:
             "executor": self.config.executor,
             "workers": self.config.resolved_workers(),
         }
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs.counts()
+        return payload
 
     def _metrics_payload(self):
-        return self.metrics.render(extra={
+        extra = {
             "cache": self._cache.stats(),
             "singleflight": self._flight.stats(),
             "batching": {
@@ -318,7 +573,16 @@ class OptimizationServer:
                 "max_wait_ms": self.config.max_wait_ms,
                 "max_pending": self.config.max_pending,
             },
-        })
+        }
+        if self.jobs is not None:
+            extra["jobs"] = {
+                "counts": self.jobs.counts(),
+                "workers": len(self._job_threads),
+                "lease_seconds": self.config.job_lease_seconds,
+            }
+        if self.store is not None:
+            extra["store"] = self.store.stats()
+        return self.metrics.render(extra=extra)
 
 
 async def serve_forever(config, session=None):

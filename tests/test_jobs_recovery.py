@@ -1,0 +1,33 @@
+"""Crash recovery, end to end: SIGKILL a worker subprocess mid-sweep,
+restart, and verify the resumed run skips checkpointed cells and lands
+bit-identical results.
+
+The heavy lifting (spawn / kill / resume / compare) lives in
+``repro.jobs.smoke`` — the same script CI runs — so this test just
+drives it against the repo's warm characterization cache and asserts
+its verdict.
+"""
+
+import os
+import subprocess
+import sys
+
+from .conftest import CACHE_PATH
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def test_sigkill_resume_is_bit_identical(paper_session):
+    """``paper_session`` is requested only to guarantee the shared
+    characterization cache is fully populated before the subprocess
+    workers (which share it read-only) start."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.jobs.smoke", "--cache", CACHE_PATH],
+        env=env, capture_output=True, text=True, timeout=1200,
+    )
+    tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-25:])
+    assert proc.returncode == 0, tail
+    assert "smoke passed" in proc.stdout, tail

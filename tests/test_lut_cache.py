@@ -188,6 +188,49 @@ def test_concurrent_distinct_keys_all_land(tmp_path):
     assert all(reloaded.get("k%d" % k) == k * 10 for k in range(32))
 
 
+def test_atexit_flushes_abandoned_deferred_block(tmp_path):
+    """A process that exits inside a deferred() block (sys.exit from a
+    worker's main, say) still persists its dirty entries: the atexit
+    hook flushes every live file-backed cache."""
+    import subprocess
+    import sys
+
+    path = str(tmp_path / "cache.json")
+    script = (
+        "import sys\n"
+        "from repro.lut import CharacterizationCache\n"
+        "cache = CharacterizationCache(%r)\n"
+        "cache.__enter__()          # open a deferred batch...\n"
+        "cache.put('computed', 123)\n"
+        "sys.exit(0)                # ...and never close it\n" % path
+    )
+    subprocess.run([sys.executable, "-c", script], check=True,
+                   timeout=120)
+    assert CharacterizationCache(path).get("computed") == 123
+
+
+def test_atexit_keeps_weak_references_only(tmp_path):
+    """Registration must not leak caches: a dropped cache disappears
+    from the exit-flush set."""
+    import gc
+
+    from repro.lut.cache import _LIVE_CACHES
+
+    path = str(tmp_path / "cache.json")
+    cache = CharacterizationCache(path)
+    assert cache in _LIVE_CACHES
+    del cache
+    gc.collect()
+    assert all(c.path != path for c in _LIVE_CACHES)
+
+
+def test_memory_only_cache_is_not_registered_for_exit_flush():
+    from repro.lut.cache import _LIVE_CACHES
+
+    cache = CharacterizationCache()
+    assert cache not in _LIVE_CACHES
+
+
 def test_deferred_hammer_flushes_once_consistent(tmp_path):
     """Threaded puts inside one deferred batch stay consistent and land
     on the single outer flush."""
