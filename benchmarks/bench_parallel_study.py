@@ -8,7 +8,10 @@ PRs can track the search-performance trajectory:
 
 * ``single.*`` — one 16KB/HVT/M2 exhaustive search per engine, the
   configuration the acceptance gate tracks;
-* ``matrix.*`` — the full 20-cell study, serial and parallel.
+* ``matrix.*`` — the full 20-cell study, serial and parallel;
+* ``arena.*`` — shared-memory session transport: publish once, attach
+  zero-copy, versus the warm-cache ``Session.create`` a process worker
+  would otherwise pay.
 """
 
 from __future__ import annotations
@@ -18,8 +21,10 @@ import os
 import platform
 import time
 
+from repro.analysis.experiments import Session
 from repro.analysis.runner import run_study
 from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+from repro.shm import SessionArena
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_search.json")
@@ -44,12 +49,43 @@ def _time_engine(paper_session, engine, repeats=3):
     return best
 
 
+def _time_arena(paper_session, repeats=5):
+    """Publish/attach/rebuild wall times for the session arena [s]."""
+    publish = attach = float("inf")
+    nbytes = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        arena = SessionArena.publish(paper_session)
+        publish = min(publish, time.perf_counter() - start)
+        nbytes = arena.nbytes
+        try:
+            start = time.perf_counter()
+            attached = SessionArena.attach(arena.name)
+            attached.to_session()
+            attach = min(attach, time.perf_counter() - start)
+            attached.close()
+        finally:
+            arena.dispose()
+    # The alternative a process worker pays without the arena: rebuild
+    # the session from the (warm) on-disk characterization cache.
+    create = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        Session.create(cache_path=paper_session.cache.path,
+                       voltage_mode=paper_session.voltage_mode)
+        create = min(create, time.perf_counter() - start)
+    return publish, attach, create, nbytes
+
+
 def bench_parallel_study_matrix(paper_session, report_writer):
     cpus = os.cpu_count() or 1
     workers = min(REQUESTED_WORKERS, max(cpus, 1))
 
     single_loop = _time_engine(paper_session, "loop")
     single_vec = _time_engine(paper_session, "vectorized")
+    single_fused = _time_engine(paper_session, "fused")
+    arena_publish, arena_attach, warm_create, arena_nbytes = (
+        _time_arena(paper_session))
 
     serial = run_study(session=paper_session, workers=1)
     parallel = run_study(session=paper_session, workers=workers,
@@ -68,7 +104,19 @@ def bench_parallel_study_matrix(paper_session, report_writer):
             "config": "16KB/hvt/M2",
             "loop_seconds": single_loop,
             "vectorized_seconds": single_vec,
+            "fused_seconds": single_fused,
             "vectorization_speedup": single_loop / single_vec,
+            # Both engines are compute-bound on identical arithmetic, so
+            # this hovers near 1.0 on one core; the fused engine's win
+            # is the single-dispatch call shape, not raw arithmetic.
+            "fused_vs_vectorized": single_vec / single_fused,
+        },
+        "arena": {
+            "nbytes": arena_nbytes,
+            "publish_seconds": arena_publish,
+            "attach_seconds": arena_attach,
+            "warm_create_seconds": warm_create,
+            "attach_speedup_vs_create": warm_create / arena_attach,
         },
         "matrix": {
             "tasks": len(serial.timings),
@@ -89,8 +137,14 @@ def bench_parallel_study_matrix(paper_session, report_writer):
 
     lines = [
         "Search-performance baseline (written to BENCH_search.json)",
-        "single 16KB/HVT/M2: loop %.1f ms, vectorized %.1f ms (%.1fx)"
-        % (single_loop * 1e3, single_vec * 1e3, single_loop / single_vec),
+        "single 16KB/HVT/M2: loop %.1f ms, vectorized %.1f ms (%.1fx), "
+        "fused %.1f ms (%.2fx vs vectorized)"
+        % (single_loop * 1e3, single_vec * 1e3, single_loop / single_vec,
+           single_fused * 1e3, single_vec / single_fused),
+        "session arena (%.1f KB): publish %.2f ms, attach+rebuild "
+        "%.2f ms vs warm Session.create %.1f ms (%.0fx)"
+        % (arena_nbytes / 1024.0, arena_publish * 1e3, arena_attach * 1e3,
+           warm_create * 1e3, warm_create / arena_attach),
         "full matrix (%d tasks): serial %.2f s, parallel %.2f s "
         "(%d workers, %.2fx)"
         % (len(serial.timings), serial.total_seconds,
@@ -107,5 +161,12 @@ def bench_parallel_study_matrix(paper_session, report_writer):
     # The vectorized engine carries the acceptance gate everywhere; the
     # parallel-speedup gate only exists where parallel hardware does.
     assert single_loop / single_vec >= 3.0
+    # The fused engine must never cost meaningfully more than the
+    # vectorized one it subsumes (both are bound by the same arithmetic).
+    assert single_fused <= single_vec * 1.5
+    # Attaching the arena must at least keep pace with rebuilding from
+    # the on-disk cache (its real win is deduplicating the LUT memory
+    # across workers, so a small timing margin is enough here).
+    assert arena_attach < warm_create * 1.25
     if cpus >= 2 and parallel.workers >= 2:
         assert speedup > 1.5

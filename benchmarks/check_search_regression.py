@@ -1,0 +1,104 @@
+"""CI gate: fail when the fused search engine regresses against the
+committed ``BENCH_search.json`` baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_search_regression.py
+
+The gate re-times the baseline's tracked configuration (one 16KB/HVT/M2
+exhaustive search) on the current machine, then normalizes the measured
+fused time by the vectorized engine's machine factor — the ratio of
+the vectorized time measured *now* to the vectorized time recorded in
+the baseline.  Because both engines execute the same arithmetic, that
+factor cancels out hardware differences between the committed baseline
+and the CI runner, leaving only genuine code regressions.
+
+Exit codes: 0 = pass (or graceful skip), 1 = fused regression beyond
+the threshold.  Skips cleanly when the baseline is missing or predates
+the fused engine (no ``single.fused_seconds`` field).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+#: Fail the gate when the normalized fused time regresses beyond this.
+THRESHOLD = 0.25
+
+#: Repetitions per engine; best-of keeps scheduler noise out.
+REPEATS = 5
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_search.json")
+CACHE_PATH = os.path.join(_HERE, "..", ".repro_cache.json")
+
+
+def _skip(message):
+    print("search-regression gate: SKIP — %s" % message)
+    return 0
+
+
+def _time_engine(session, engine):
+    from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+
+    optimizer = ExhaustiveOptimizer(
+        session.model("hvt"), DesignSpace(), session.constraint("hvt")
+    )
+    policy = make_policy("M2", session.yield_levels("hvt"))
+    optimizer.optimize(16384 * 8, policy, engine=engine)  # warm-up
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        optimizer.optimize(16384 * 8, policy, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main():
+    try:
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return _skip("no readable baseline at %s (%s)"
+                     % (BASELINE_PATH, exc))
+    single = baseline.get("single", {})
+    base_fused = single.get("fused_seconds")
+    base_vec = single.get("vectorized_seconds")
+    if not base_fused or not base_vec:
+        return _skip("baseline predates the fused engine "
+                     "(no single.fused_seconds)")
+
+    from repro.analysis.experiments import Session
+
+    session = Session.create(cache_path=CACHE_PATH, voltage_mode="paper")
+    now_vec = _time_engine(session, "vectorized")
+    now_fused = _time_engine(session, "fused")
+
+    # Hardware normalization: how much faster/slower this machine runs
+    # the identical vectorized arithmetic than the baseline machine did.
+    machine_factor = now_vec / base_vec
+    expected_fused = base_fused * machine_factor
+    regression = now_fused / expected_fused - 1.0
+
+    print("search-regression gate (%s)" % single.get("config", "?"))
+    print("  baseline : vectorized %.2f ms, fused %.2f ms"
+          % (base_vec * 1e3, base_fused * 1e3))
+    print("  measured : vectorized %.2f ms, fused %.2f ms"
+          % (now_vec * 1e3, now_fused * 1e3))
+    print("  machine factor %.2fx -> expected fused %.2f ms, "
+          "regression %+.1f%% (threshold +%.0f%%)"
+          % (machine_factor, expected_fused * 1e3,
+             regression * 100.0, THRESHOLD * 100.0))
+
+    if regression > THRESHOLD:
+        print("search-regression gate: FAIL")
+        return 1
+    print("search-regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,12 @@ state — the characterization LUTs and the memoized yield margins — so
 the matrix parallelizes embarrassingly:
 
 * ``executor="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
-  whose workers each build one :class:`Session` from the (warm)
-  characterization cache in their initializer, then reuse it for every
-  task they pull.  The parent pre-computes the yield margins for the
+  whose workers map the parent's shared-memory session arena
+  (:class:`repro.shm.SessionArena`) in their initializer and rebuild
+  their session as zero-copy views over its LUT grids — no pickling,
+  no re-characterization; if the arena cannot be published or mapped
+  they fall back to building from the (warm) characterization cache.
+  The parent pre-computes the yield margins for the
   whole V_SSC candidate axis once and ships the memo to every worker
   (:meth:`YieldConstraint.seed_margin_memo`), so no process ever re-runs
   a butterfly the study already ran.
@@ -37,6 +40,7 @@ from dataclasses import dataclass, field
 from .. import perf
 from ..errors import StudyTaskError
 from ..opt import DesignSpace, ExhaustiveOptimizer, make_policy
+from ..shm import SessionArena
 from .experiments import (
     CAPACITIES_BYTES,
     DEFAULT_CACHE_PATH,
@@ -107,6 +111,9 @@ class StudyRunResult:
     total_seconds: float = 0.0
     workers: int = 1
     executor: str = "serial"
+    #: Why an ``executor="auto"`` request was downgraded (e.g. a
+    #: single-CPU host), or None when the requested executor ran.
+    fallback_reason: str = None
 
     @property
     def task_seconds(self):
@@ -128,6 +135,8 @@ class StudyRunResult:
                100.0 * self.task_seconds
                / (self.total_seconds * max(self.workers, 1) or 1.0))
         )
+        if self.fallback_reason:
+            text += "\nexecutor fallback: %s" % self.fallback_reason
         return text
 
 
@@ -138,13 +147,34 @@ class StudyRunResult:
 _WORKER_STATE = {}
 
 
-def _worker_init(cache_path, voltage_mode, space, margin_memos):
-    """Build one shared read-only session per worker process."""
+def _worker_init(cache_path, voltage_mode, space, margin_memos,
+                 arena_name=None):
+    """Build one shared read-only session per worker process.
+
+    With ``arena_name`` the worker maps the parent's published
+    :class:`SessionArena` and rebuilds its session directly over the
+    shared LUT grids (zero copies, zero characterization).  Any attach
+    failure falls back to the cache-backed cold build — the arena is a
+    fast path, never a correctness dependency.
+    """
     # Fork-started workers inherit the parent's telemetry registry;
     # clear it so the first task's snapshot is this worker's delta only.
     perf.get_registry().reset()
-    session = Session.create(cache_path=cache_path,
-                             voltage_mode=voltage_mode)
+    session = None
+    if arena_name:
+        try:
+            with perf.timed("arena.attach"):
+                arena = SessionArena.attach(arena_name)
+                session = arena.to_session()
+        except Exception:
+            session = None
+        else:
+            # The session's LUTs are views into the mapping; keep the
+            # arena alive for the worker's lifetime.
+            _WORKER_STATE["arena"] = arena
+    if session is None:
+        session = Session.create(cache_path=cache_path,
+                                 voltage_mode=voltage_mode)
     for flavor, memo in margin_memos.items():
         session.constraint(flavor).seed_margin_memo(memo)
     _WORKER_STATE["session"] = session
@@ -241,8 +271,18 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(int(workers), 1)
+    fallback_reason = None
     if executor == "auto":
         executor = "process" if workers > 1 else "serial"
+        if executor == "process" and (os.cpu_count() or 1) == 1:
+            # A pool on a single hardware thread serializes on the same
+            # core and still pays worker start-up; run in-process.
+            # Explicit executor="process" requests are honored as-is.
+            executor = "serial"
+            fallback_reason = (
+                "auto executor fell back to serial: os.cpu_count() == 1 "
+                "(%d workers requested)" % workers
+            )
     if workers == 1:
         executor = "serial"
     tasks = study_matrix(capacities, flavors, methods)
@@ -294,27 +334,43 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
                 timings[task.key] = TaskTiming(task, seconds,
                                                result.n_evaluated, 0)
     elif executor == "process":
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(cache_path, session.voltage_mode, space,
-                      margin_memos),
-        ) as pool:
-            futures = {
-                pool.submit(_run_task_in_worker, task, engine,
-                            keep_landscape): task
-                for task in tasks
-            }
-            for future, submitted in futures.items():
-                try:
-                    task, result, seconds, pid, snapshot = future.result()
-                except Exception as exc:
-                    _cancel_pending(futures)
-                    raise _task_failure(submitted, exc) from exc
-                results[task.key] = result
-                timings[task.key] = TaskTiming(task, seconds,
-                                               result.n_evaluated, pid)
-                perf.get_registry().merge(snapshot)
+        # Publish the parent's session once; workers map it zero-copy.
+        # Publishing is best-effort — on failure the workers cold-build
+        # from the cache exactly as before.
+        arena = None
+        try:
+            with perf.timed("arena.publish"):
+                arena = SessionArena.publish(session, margin_memos)
+        except Exception:
+            arena = None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(cache_path, session.voltage_mode, space,
+                          margin_memos,
+                          arena.name if arena is not None else None),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_task_in_worker, task, engine,
+                                keep_landscape): task
+                    for task in tasks
+                }
+                for future, submitted in futures.items():
+                    try:
+                        task, result, seconds, pid, snapshot = \
+                            future.result()
+                    except Exception as exc:
+                        _cancel_pending(futures)
+                        raise _task_failure(submitted, exc) from exc
+                    results[task.key] = result
+                    timings[task.key] = TaskTiming(task, seconds,
+                                                   result.n_evaluated,
+                                                   pid)
+                    perf.get_registry().merge(snapshot)
+        finally:
+            if arena is not None:
+                arena.dispose()
     else:
         raise ValueError(
             "unknown executor %r (expected 'auto', 'serial', 'thread', "
@@ -333,4 +389,5 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
         total_seconds=total_seconds,
         workers=workers if executor != "serial" else 1,
         executor=executor,
+        fallback_reason=fallback_reason,
     )

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Fin count of the CVDD/CVSS rail multiplexer drivers.
 RAIL_DRIVER_FINS = 20
 
@@ -78,6 +80,13 @@ def c_col(geometry, caps, org, n_wr):
     The ``2 W N_wr`` term is the transmission gates of the W selected
     write paths (two gates each).
     """
+    if org.is_broadcast:
+        mux = (
+            org.n_c * geometry.c_width
+            + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
+            + 2.0 * org.word_bits * n_wr * (caps.c_gn + caps.c_gp)
+        )
+        return np.where(org.has_column_mux, mux, 0.0)
     if not org.has_column_mux:
         return 0.0 * n_wr if hasattr(n_wr, "shape") else 0.0
     return (
@@ -101,6 +110,12 @@ def c_bl(geometry, caps, org, n_pre, n_wr):
         org.n_r * (geometry.c_height + caps.c_dn)
         + (n_pre + 1.0) * caps.c_dp
     )
+    if org.is_broadcast:
+        return np.where(
+            org.has_column_mux,
+            common + 2.0 * n_wr * (caps.c_dn + caps.c_dp),
+            common + n_wr * (caps.c_dn + caps.c_dp) + caps.c_dp,
+        )
     if org.has_column_mux:
         return common + 2.0 * n_wr * (caps.c_dn + caps.c_dp)
     return common + n_wr * (caps.c_dn + caps.c_dp) + caps.c_dp

@@ -15,28 +15,53 @@ default.
 
 from __future__ import annotations
 
+import numpy as np
+
+
+def _col_driver_energy(char, org):
+    """The column-driver share: the first-three-stage energy where a
+    column mux exists, exactly 0.0 where it does not (Table 3's case
+    split, elementwise for broadcast organizations)."""
+    if org.is_broadcast:
+        return np.where(org.has_column_mux,
+                        char.driver.first_three_energy, 0.0)
+    return char.driver.first_three_energy if org.has_column_mux else 0.0
+
 
 def read_energy(char, org, config, components):
-    """``E_sw,rd`` of Table 3 [J]."""
+    """``E_sw,rd`` of Table 3 [J].
+
+    The Table-3 terms are summed grouped by broadcast rank — the
+    organization-only terms, the fin-grid terms, and the V_SSC-rank
+    assist-rail term each combine at their own (small) shape before the
+    full-rank bitline term joins, so a broadcast search pays only two
+    additions at the full ``(R, S, P, W)`` shape instead of eight.  All
+    three search engines share this summation, so they stay
+    bit-identical to each other.
+    """
     assist = config.assist_energy_factor
     if config.count_all_columns:
         bl_mult, sense_mult = org.n_c, config.word_bits
     else:
         bl_mult, sense_mult = 1.0, 1.0
-    total = (
+    org_terms = (
         char.decoder.energy(org.row_address_bits)
         + char.driver.first_three_energy
         + components.energy("WL_rd")
-        + bl_mult * components.energy("BL_rd")
         + char.decoder.energy(org.column_address_bits)
-        + (char.driver.first_three_energy if org.has_column_mux else 0.0)
-        + components.energy("COL")
+        + _col_driver_energy(char, org)
         + sense_mult * char.sense.energy
-        + bl_mult * components.energy("PRE_rd")
         + assist * components.energy("CVDD")
-        + assist * components.energy("CVSS")
     )
-    return total
+    grid_terms = (
+        components.energy("COL")
+        + bl_mult * components.energy("PRE_rd")
+    )
+    rail_terms = assist * components.energy("CVSS")
+    return (
+        org_terms + grid_terms + rail_terms
+        + bl_mult * components.energy("BL_rd")
+    )
 
 
 def write_energy(char, org, config, components, v_wl, v_bl=0.0):
@@ -67,7 +92,7 @@ def write_energy(char, org, config, components, v_wl, v_bl=0.0):
         + char.driver.first_three_energy
         + wl_assist * components.energy("WL_wr")
         + char.decoder.energy(org.column_address_bits)
-        + (char.driver.first_three_energy if org.has_column_mux else 0.0)
+        + _col_driver_energy(char, org)
         + components.energy("COL")
         + word_mult * bl_assist * components.energy("BL_wr")
         + word_mult * e_cell_write

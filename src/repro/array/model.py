@@ -15,14 +15,14 @@ space in well under the paper's two minutes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .components import compute_components
+from .components import ComponentSet, compute_components
 from .config import ArrayConfig
 from .energy import read_energy, total_energy, write_energy
-from .organization import ArrayOrganization
+from .organization import ArrayOrganization, BroadcastOrganization
 from .timing import read_delay, write_delay
 
 
@@ -56,32 +56,9 @@ class DesignPoint:
         return text
 
 
-@dataclass
-class ArrayMetrics:
-    """Evaluated delay/energy/EDP of one design point (or fin grid)."""
-
-    design: DesignPoint
-    d_rd: object
-    d_wr: object
-    d_array: object
-    e_sw_rd: object
-    e_sw_wr: object
-    e_sw: object
-    e_leak: object
-    e_total: object
-    edp: object
-    components: object = None
-    read_parts: dict = field(default_factory=dict)
-    write_parts: dict = field(default_factory=dict)
-    #: Slack [s] of the paper's rail-arrival requirement: the assisted
-    #: CVDD/CVSS rails must settle before the WL reaches 50% of Vdd
-    #: (Section 4; the 20-fin rail drivers are sized for n_c = 1024 to
-    #: guarantee this).  Positive = requirement met.
-    rail_arrival_slack: object = None
-
-    #: Cell-matrix footprint (width, height) [m] and its aspect ratio.
-    footprint: tuple = None
-    aspect_ratio: float = None
+class MetricsView:
+    """Derived quantities shared by :class:`ArrayMetrics` and the
+    blocked executor's :class:`BlockedBroadcastMetrics` facade."""
 
     @property
     def rails_timely(self):
@@ -117,8 +94,138 @@ class ArrayMetrics:
         return self.e_leak / self.e_total
 
 
+@dataclass
+class ArrayMetrics(MetricsView):
+    """Evaluated delay/energy/EDP of one design point (or fin grid)."""
+
+    design: DesignPoint
+    d_rd: object
+    d_wr: object
+    d_array: object
+    e_sw_rd: object
+    e_sw_wr: object
+    e_sw: object
+    e_leak: object
+    e_total: object
+    edp: object
+    components: object = None
+    read_parts: dict = field(default_factory=dict)
+    write_parts: dict = field(default_factory=dict)
+    #: Slack [s] of the paper's rail-arrival requirement: the assisted
+    #: CVDD/CVSS rails must settle before the WL reaches 50% of Vdd
+    #: (Section 4; the 20-fin rail drivers are sized for n_c = 1024 to
+    #: guarantee this).  Positive = requirement met.
+    rail_arrival_slack: object = None
+
+    #: Cell-matrix footprint (width, height) [m] and its aspect ratio.
+    footprint: tuple = None
+    aspect_ratio: float = None
+
+
+#: ArrayMetrics fields the blocked executor stacks lazily on access.
+_LAZY_STACK_FIELDS = frozenset((
+    "d_rd", "d_wr", "d_array", "e_sw_rd", "e_sw_wr", "e_sw", "e_leak",
+    "e_total", "edp", "rail_arrival_slack", "aspect_ratio",
+))
+
+
+class BlockedBroadcastMetrics(MetricsView):
+    """Full-broadcast metrics assembled from per-row-count slices.
+
+    The blocked executor evaluates one cache-resident row slice at a
+    time and keeps the slices as-is: every :class:`ArrayMetrics` field
+    (including ``edp`` / ``d_array`` / ``e_total``) is stacked into the
+    full ``(R, S, P, W)`` array only when actually accessed.  The fused
+    search engine never triggers the stack — it reduces the per-row
+    slices directly through :attr:`row_blocks` while they are still
+    cache-resident — so a search materializes no full-rank temporaries
+    at all.  Stacked fields are lifted to the 4-D broadcast rank
+    (missing middle axes become length-1), matching the shapes of the
+    unblocked 4-D path.
+    """
+
+    #: Consumers that care (the fused reduction) can branch on this
+    #: instead of isinstance checks.
+    is_blocked = True
+
+    def __init__(self, design, row_metrics):
+        self.design = design
+        self.row_blocks = tuple(row_metrics)
+        self._rows = self.row_blocks
+
+    @staticmethod
+    def _stack(values):
+        stacked = np.stack([np.asarray(v, dtype=float) for v in values])
+        while stacked.ndim < 4:
+            stacked = stacked[:, np.newaxis]
+        return stacked
+
+    def __getattr__(self, name):
+        if name.startswith("_") or name == "row_blocks":
+            raise AttributeError(name)
+        if name in _LAZY_STACK_FIELDS:
+            value = self._stack([getattr(m, name) for m in self._rows])
+            setattr(self, name, value)
+            return value
+        raise AttributeError(name)
+
+    @property
+    def components(self):
+        cached = self.__dict__.get("_components")
+        if cached is None:
+            rows = self._rows
+            cached = ComponentSet(
+                delays={
+                    k: self._stack([m.components.delays[k] for m in rows])
+                    for k in rows[0].components.delays
+                },
+                energies={
+                    k: self._stack([m.components.energies[k] for m in rows])
+                    for k in rows[0].components.energies
+                },
+                capacitances={
+                    k: self._stack(
+                        [m.components.capacitances[k] for m in rows]
+                    )
+                    for k in rows[0].components.capacitances
+                },
+            )
+            self.__dict__["_components"] = cached
+        return cached
+
+    def _stacked_parts(self, attr):
+        rows = self._rows
+        return {
+            k: self._stack([getattr(m, attr)[k] for m in rows])
+            for k in getattr(rows[0], attr)
+        }
+
+    @property
+    def read_parts(self):
+        return self._stacked_parts("read_parts")
+
+    @property
+    def write_parts(self):
+        return self._stacked_parts("write_parts")
+
+    @property
+    def footprint(self):
+        widths = self._stack([m.footprint[0] for m in self._rows])
+        heights = self._stack([m.footprint[1] for m in self._rows])
+        return (widths, heights)
+
+
 class SRAMArrayModel:
     """Evaluate array metrics for one characterized cell flavor."""
+
+    #: Full-broadcast element count above which a stacked-row-axis
+    #: evaluation switches to the blocked executor.  32768 float64
+    #: elements = 256 KiB per temporary — past that, the ~15 full-rank
+    #: passes of an Eq.(2)-(5) evaluation stream every operand through
+    #: a cache level too small to hold it, and evaluating one
+    #: cache-resident row slice at a time is measurably faster.  Purely
+    #: a performance knob: both executors produce bit-identical values.
+    broadcast_block_elements = 32768
 
     def __init__(self, characterization, config=None):
         self.char = characterization
@@ -136,20 +243,103 @@ class SRAMArrayModel:
         ``design.n_pre`` / ``design.n_wr`` / ``design.v_ssc`` may be
         numpy arrays; every metric field then carries the broadcast
         shape (``(S, P, W)`` when a V_SSC axis rides along a fin grid).
+        ``design.n_r`` / ``design.n_c`` may *also* be integer arrays
+        (conventionally ``(R, 1, 1, 1)``): the fused search engine then
+        evaluates every row count of a capacity in this one call, with
+        every Table-1/2/3 case split applied elementwise.  Large
+        stacked-row-axis evaluations run through the blocked executor
+        (see :attr:`broadcast_block_elements`) — one call, identical
+        values, bounded working set.
         """
-        org = ArrayOrganization(
-            n_r=design.n_r, n_c=design.n_c,
-            word_bits=self.config.word_bits,
-        )
-        if org.capacity_bits != capacity_bits:
-            raise ValueError(
-                "design %dx%d does not match capacity %d bits"
-                % (design.n_r, design.n_c, capacity_bits)
+        if np.ndim(design.n_r) > 0 or np.ndim(design.n_c) > 0:
+            org = BroadcastOrganization(
+                n_r=design.n_r, n_c=design.n_c,
+                word_bits=self.config.word_bits,
             )
+            if np.any(org.capacity_bits != capacity_bits):
+                raise ValueError(
+                    "broadcast design does not match capacity %d bits"
+                    % (capacity_bits,)
+                )
+            if self._should_block(design, org):
+                return self._evaluate_blocked(capacity_bits, design, org)
+        else:
+            org = ArrayOrganization(
+                n_r=design.n_r, n_c=design.n_c,
+                word_bits=self.config.word_bits,
+            )
+            if org.capacity_bits != capacity_bits:
+                raise ValueError(
+                    "design %dx%d does not match capacity %d bits"
+                    % (design.n_r, design.n_c, capacity_bits)
+                )
+        return self._evaluate_core(capacity_bits, design, org)
+
+    def _should_block(self, design, org):
+        """Use the blocked executor when the organizations vary only
+        along a leading stacked axis and the full broadcast is too big
+        for the cache-resident fast path."""
+        shape_r = np.shape(org.n_r)
+        if len(shape_r) < 2 or shape_r[0] < 2:
+            return False
+        if any(extent != 1 for extent in shape_r[1:]):
+            return False
+        if np.shape(org.n_c) != shape_r:
+            return False
+        # The remaining design axes must not vary along the row axis.
+        for value in (design.v_ssc, design.n_pre, design.n_wr):
+            shape = np.shape(value)
+            if len(shape) >= len(shape_r) and shape[0] != 1:
+                return False
+        try:
+            full_shape = np.broadcast_shapes(
+                shape_r, np.shape(design.v_ssc),
+                np.shape(design.n_pre), np.shape(design.n_wr),
+            )
+        except ValueError:
+            return False
+        return int(np.prod(full_shape)) > self.broadcast_block_elements
+
+    def _evaluate_blocked(self, capacity_bits, design, org):
+        """One evaluation, executed one row-count slice at a time.
+
+        Each slice re-enters the scalar-organization path — the exact
+        arithmetic of a per-``n_r`` call — with the organization-
+        independent Table-2 precursors computed once and shared, so the
+        result is bit-identical to the unblocked 4-D broadcast while
+        every temporary stays cache-sized."""
+        n_r_flat = np.asarray(org.n_r).reshape(-1)
+        n_c_flat = np.asarray(org.n_c).reshape(-1)
+        v_ssc = design.v_ssc
+        if np.ndim(v_ssc) >= 2 and np.shape(v_ssc)[0] == 1:
+            # Drop the length-1 row axis: (1, S, 1, 1) -> (S, 1, 1).
+            row_v_ssc = np.asarray(v_ssc).reshape(np.shape(v_ssc)[1:])
+        else:
+            row_v_ssc = v_ssc
+        shared = {}
+        row_metrics = []
+        for index in range(n_r_flat.size):
+            row_design = replace(
+                design,
+                n_r=int(n_r_flat[index]), n_c=int(n_c_flat[index]),
+                v_ssc=row_v_ssc,
+            )
+            row_org = ArrayOrganization(
+                n_r=row_design.n_r, n_c=row_design.n_c,
+                word_bits=self.config.word_bits,
+            )
+            row_metrics.append(self._evaluate_core(
+                capacity_bits, row_design, row_org, shared
+            ))
+        return BlockedBroadcastMetrics(design=design,
+                                       row_metrics=row_metrics)
+
+    def _evaluate_core(self, capacity_bits, design, org, shared=None):
         components = compute_components(
             self.char, org, self.config,
             design.n_pre, design.n_wr,
             design.v_ddc, design.v_ssc, design.v_wl, design.v_bl,
+            shared=shared,
         )
         read_parts, write_parts = {}, {}
         d_rd = read_delay(self.char, org, components, read_parts)

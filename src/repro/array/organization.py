@@ -11,11 +11,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import DesignSpaceError
 from ..units import is_power_of_two, log2_int
 
 #: Word width used throughout the paper's evaluation [bits].
 DEFAULT_WORD_BITS = 64
+
+
+def _log2_int_array(values, name):
+    """Elementwise :func:`log2_int` with power-of-two validation."""
+    values = np.asarray(values)
+    bits = np.round(np.log2(np.maximum(values, 1))).astype(np.int64)
+    if np.any(values <= 0) or np.any(np.int64(2) ** bits != values):
+        raise DesignSpaceError(
+            "%s must be powers of two, got %r" % (name, values)
+        )
+    return bits
 
 
 @dataclass(frozen=True)
@@ -25,6 +38,9 @@ class ArrayOrganization:
     n_r: int
     n_c: int
     word_bits: int = DEFAULT_WORD_BITS
+
+    #: Scalar organization: one (n_r, n_c) pair per instance.
+    is_broadcast = False
 
     def __post_init__(self):
         for name, value in (("n_r", self.n_r), ("n_c", self.n_c)):
@@ -83,3 +99,70 @@ class ArrayOrganization:
 
     def __str__(self):
         return "%dx%d (W=%d)" % (self.n_r, self.n_c, self.word_bits)
+
+
+class BroadcastOrganization:
+    """A stacked axis of organizations sharing one word width.
+
+    ``n_r`` / ``n_c`` are integer arrays (conventionally shaped
+    ``(R, 1, 1, 1)`` so they broadcast as the leading axis over a
+    ``(S, P, W)`` search grid); every property mirrors
+    :class:`ArrayOrganization` but returns arrays of the same shape.
+    The fused search engine uses this to evaluate one policy's *entire*
+    row-count axis in a single :meth:`SRAMArrayModel.evaluate` call.
+
+    Consumers branch on ``is_broadcast`` where the scalar class uses a
+    Python ``if`` over ``has_column_mux`` — the array path computes
+    both case expressions with the scalar path's exact arithmetic and
+    selects with :func:`numpy.where`, which keeps fused results
+    bit-identical to the per-organization loop.
+    """
+
+    is_broadcast = True
+
+    def __init__(self, n_r, n_c, word_bits=DEFAULT_WORD_BITS):
+        self.n_r = np.asarray(n_r)
+        self.n_c = np.asarray(n_c)
+        self.word_bits = word_bits
+        if not is_power_of_two(word_bits):
+            raise DesignSpaceError(
+                "word_bits must be a power of two, got %r" % (word_bits,)
+            )
+        self._row_bits = _log2_int_array(self.n_r, "n_r")
+        self._col_bits = _log2_int_array(self.n_c, "n_c")
+        # The derived arrays are tiny but consumed by every Table-1/2/3
+        # case split; precomputing them keeps repeated property reads
+        # out of the broadcast hot path.
+        self._mux_mask = self.n_c > self.word_bits
+        self._col_address_bits = np.where(
+            self._mux_mask,
+            self._col_bits - log2_int(self.word_bits),
+            0,
+        )
+
+    @property
+    def capacity_bits(self):
+        """Total bits M = n_r * n_c (elementwise)."""
+        return self.n_r * self.n_c
+
+    @property
+    def has_column_mux(self):
+        """Boolean mask: True where n_c > W."""
+        return self._mux_mask
+
+    @property
+    def row_address_bits(self):
+        """log2(n_r) — the row-decoder input width (integer array)."""
+        return self._row_bits
+
+    @property
+    def column_address_bits(self):
+        """log2(n_c / W) where a mux exists, 0 elsewhere."""
+        return self._col_address_bits
+
+    @property
+    def words_per_row(self):
+        return np.maximum(self.n_c // self.word_bits, 1)
+
+    def __str__(self):
+        return "<%d organizations (W=%d)>" % (self.n_r.size, self.word_bits)

@@ -24,7 +24,19 @@ def read_delay(char, org, components, parts=None):
         + components.delay("WL_rd")
         + components.delay("BL_rd")
     )
-    if org.has_column_mux:
+    if org.is_broadcast:
+        # Both case expressions with the scalar arithmetic, selected by
+        # the mux mask: the no-mux column path must be *exactly* 0.0
+        # (the mux expression at zero address bits still carries the
+        # driver's first-three-stage delay).
+        col_path = np.where(
+            org.has_column_mux,
+            char.decoder.delay(org.column_address_bits)
+            + char.driver.first_three_delay
+            + components.delay("COL"),
+            0.0,
+        )
+    elif org.has_column_mux:
         col_path = (
             char.decoder.delay(org.column_address_bits)
             + char.driver.first_three_delay
@@ -57,7 +69,16 @@ def write_delay(char, org, components, v_wl, parts=None, v_bl=0.0):
         + char.driver.first_three_delay
         + components.delay("WL_wr")
     )
-    if org.has_column_mux:
+    if org.is_broadcast:
+        col_path = np.where(
+            org.has_column_mux,
+            char.decoder.delay(org.column_address_bits)
+            + char.driver.first_three_delay
+            + components.delay("COL")
+            + components.delay("BL_wr"),
+            components.delay("BL_wr"),
+        )
+    elif org.has_column_mux:
         col_path = (
             char.decoder.delay(org.column_address_bits)
             + char.driver.first_three_delay

@@ -192,10 +192,14 @@ def run_serve(argv):
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8787,
                         help="listen port (0 = ephemeral)")
-    parser.add_argument("--executor", choices=("thread", "process"),
+    parser.add_argument("--executor",
+                        choices=("auto", "thread", "process"),
                         default="thread",
                         help="worker pool type: thread shares one warm "
-                             "session; process forks warm workers")
+                             "session; process forks workers that map "
+                             "the session's shared-memory arena; auto "
+                             "picks process on multi-core hosts and "
+                             "thread on single-CPU ones")
     parser.add_argument("--workers", type=int, default=0,
                         help="pool size (0 = cpu count)")
     parser.add_argument("--max-batch", type=int, default=8,
@@ -221,8 +225,18 @@ def run_serve(argv):
     parser.add_argument("--job-lease", type=float, default=30.0,
                         help="job claim lease / heartbeat horizon [s]")
     args = parser.parse_args(argv)
+    executor = args.executor
+    if executor == "auto":
+        # Explicit --executor process is always honored; auto avoids
+        # forking a pool that would serialize on a single core.
+        if (os.cpu_count() or 1) > 1:
+            executor = "process"
+        else:
+            executor = "thread"
+            print("single-CPU host: --executor auto selected the "
+                  "shared-session thread pool")
     config = ServiceConfig(
-        host=args.host, port=args.port, executor=args.executor,
+        host=args.host, port=args.port, executor=executor,
         workers=args.workers, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_pending=args.max_pending,
         cache_path=args.cache, voltage_mode=args.voltage_mode,
@@ -266,7 +280,8 @@ def run_jobs(argv):
                         help="submit: comma-separated subset of lvt,hvt")
     parser.add_argument("--methods", default=None,
                         help="submit: comma-separated subset of M1,M2")
-    parser.add_argument("--engine", choices=("vectorized", "loop"),
+    parser.add_argument("--engine",
+                        choices=("fused", "vectorized", "loop"),
                         default="vectorized")
     parser.add_argument("--voltage-mode", choices=("measured", "paper"),
                         default="paper")
@@ -281,6 +296,9 @@ def run_jobs(argv):
                         help="work: run one job and exit")
     parser.add_argument("--max-jobs", type=int, default=None,
                         help="work: exit after this many jobs")
+    parser.add_argument("--arena", default=None, metavar="NAME",
+                        help="work: attach the named shared-memory "
+                             "session arena (zero-copy warm start)")
     # Intermixed parsing so `jobs watch --queue x <job-id>` works (plain
     # parse_args cannot match an optional positional after options).
     args = parser.parse_intermixed_args(argv)
@@ -295,6 +313,8 @@ def run_jobs(argv):
             worker_argv += ["--once"]
         if args.max_jobs is not None:
             worker_argv += ["--max-jobs", str(args.max_jobs)]
+        if args.arena:
+            worker_argv += ["--arena", args.arena]
         return worker_main(worker_argv)
 
     queue = JobQueue(args.queue)
@@ -484,12 +504,14 @@ def main(argv=None):
                         default="auto",
                         help="pool type for --workers > 1")
     parser.add_argument("--engine",
-                        choices=("vectorized", "batched", "loop"),
+                        choices=("fused", "vectorized", "batched",
+                                 "loop"),
                         default="vectorized",
-                        help="search/cell engine (loop = the reference "
-                             "point-by-point implementation; batched = "
-                             "the vectorized cell engine, montecarlo "
-                             "default)")
+                        help="search/cell engine (fused = the whole "
+                             "4-D space in one broadcast call; loop = "
+                             "the reference point-by-point "
+                             "implementation; batched = the vectorized "
+                             "cell engine, montecarlo default)")
     parser.add_argument("--samples", type=int, default=200,
                         help="montecarlo: number of Monte Carlo samples")
     parser.add_argument("--seed", type=int, default=0,

@@ -5,8 +5,16 @@ With V_DDC / V_WL pre-set by the voltage policy, the free variables are
 paper reports under two minutes on a 2011-era server; the vectorized
 grid evaluation here takes milliseconds per configuration).
 
-Two search engines share one result path:
+Three search engines share one result path:
 
+* ``engine="fused"`` — one policy's *entire* feasible
+  ``n_r x V_SSC x N_pre x N_wr`` space in a single 4-D broadcast call
+  of the array model: the row-count axis (with its paired
+  ``n_c = capacity // n_r``) rides along as ``(R, 1, 1, 1)``, V_SSC as
+  ``(1, S, 1, 1)``, over the ``(P, W)`` fin grid.  The per-slice
+  reductions (one landscape point per ``(n_r, V_SSC)``) are pure
+  ``argmin`` / ``unravel_index`` array ops, so a whole search is one
+  ``model.evaluate`` call plus reductions.
 * ``engine="vectorized"`` (default) — the whole feasible
   ``V_SSC x N_pre x N_wr`` space of one row count is evaluated in a
   single broadcast call of the array model (``v_ssc`` rides along as a
@@ -19,7 +27,7 @@ Two search engines share one result path:
   kept as the bit-exact reference the equivalence tests compare
   against.
 
-Both engines perform the same elementwise arithmetic in the same order,
+All engines perform the same elementwise arithmetic in the same order,
 so they return bit-identical results (designs, EDP, evaluation counts,
 and landscapes).
 """
@@ -52,12 +60,14 @@ class ExhaustiveOptimizer:
         """
         if engine == "vectorized":
             search = self._search_vectorized
+        elif engine == "fused":
+            search = self._search_fused
         elif engine == "loop":
             search = self._search_loop
         else:
             raise ValueError(
-                "unknown engine %r (expected 'vectorized' or 'loop')"
-                % (engine,)
+                "unknown engine %r (expected 'fused', 'vectorized' or "
+                "'loop')" % (engine,)
             )
         with perf.timed("optimizer.search.%s" % engine):
             best, landscape, n_evaluated = search(
@@ -130,6 +140,11 @@ class ExhaustiveOptimizer:
         )
         v_ssc_axis = feasible.reshape(-1, 1, 1)
         full_shape = (feasible.size,) + n_pre_grid.shape
+        # One flat EDP buffer reused across row counts: broadcasting the
+        # metrics into it replaces the per-row broadcast_to + reshape
+        # (which copied an array per n_r).
+        edp_buf = np.empty(full_shape)
+        flat = edp_buf.reshape(feasible.size, -1)
         for n_r in self.space.row_counts(capacity_bits):
             design = DesignPoint(
                 n_r=n_r, n_c=capacity_bits // n_r,
@@ -139,10 +154,9 @@ class ExhaustiveOptimizer:
             )
             metrics = self.model.evaluate(capacity_bits, design)
             n_evaluated += feasible.size * n_pre_grid.size
-            edp = np.broadcast_to(metrics.edp, full_shape)
+            np.copyto(edp_buf, metrics.edp)
             d_array = np.broadcast_to(metrics.d_array, full_shape)
             e_total = np.broadcast_to(metrics.e_total, full_shape)
-            flat = edp.reshape(feasible.size, -1)
             slice_argmins = flat.argmin(axis=1)
             for s in range(feasible.size):
                 arg = int(slice_argmins[s])
@@ -151,7 +165,7 @@ class ExhaustiveOptimizer:
                     n_r=n_r, v_ssc=float(feasible[s]),
                     n_pre=int(n_pre_grid[i, j]),
                     n_wr=int(n_wr_grid[i, j]),
-                    edp=float(edp[s, i, j]),
+                    edp=float(edp_buf[s, i, j]),
                     d_array=float(d_array[s, i, j]),
                     e_total=float(e_total[s, i, j]),
                 )
@@ -159,6 +173,104 @@ class ExhaustiveOptimizer:
                     landscape.append(slice_best)
                 if best is None or slice_best.edp < best.edp:
                     best = slice_best
+        return best, landscape, n_evaluated
+
+    def _search_fused(self, capacity_bits, policy, keep_landscape):
+        """The whole feasible space in one 4-D broadcast: axes
+        ``(R, S, P, W)`` = (row counts, feasible V_SSC, N_pre, N_wr),
+        reduced with pure array ops.
+
+        The per-slice bests (one per ``(n_r, V_SSC)``) come from a
+        single reshaped ``argmin`` over the fin grid; the global best is
+        the argmin over those in C order, which reproduces the loop
+        engines' r-major/s-minor strict-``<`` improvement scan exactly.
+        """
+        feasible = self._feasible_v_ssc(policy)
+        landscape = []
+        if feasible.size == 0:
+            return None, landscape, 0
+        rows = np.asarray(self.space.row_counts(capacity_bits),
+                          dtype=np.int64)
+        n_pre_grid, n_wr_grid = np.meshgrid(
+            self.space.n_pre_values, self.space.n_wr_values, indexing="ij"
+        )
+        n_rows, n_slices = rows.size, feasible.size
+        grid_shape = n_pre_grid.shape
+        slice_shape = (n_slices,) + grid_shape
+        full_shape = (n_rows,) + slice_shape
+        # The fin axes go in *thin* — (P, 1) and (1, W) instead of the
+        # materialized (P, W) meshgrids — so every Table-1/2 intermediate
+        # keeps its minimal broadcast rank and only the final Eq.(2)-(5)
+        # combines run at full rank.  Broadcasting never changes a
+        # per-element value, so the results stay bit-identical.
+        design = DesignPoint(
+            n_r=rows.reshape(-1, 1, 1, 1),
+            n_c=(capacity_bits // rows).reshape(-1, 1, 1, 1),
+            n_pre=np.asarray(self.space.n_pre_values).reshape(-1, 1),
+            n_wr=np.asarray(self.space.n_wr_values).reshape(1, -1),
+            v_ddc=policy.v_ddc, v_ssc=feasible.reshape(1, -1, 1, 1),
+            v_wl=policy.v_wl, v_bl=policy.v_bl,
+        )
+        metrics = self.model.evaluate(capacity_bits, design)
+        n_evaluated = n_rows * n_slices * n_pre_grid.size
+        row_blocks = getattr(metrics, "row_blocks", None)
+        if row_blocks is not None:
+            # Blocked executor: reduce each cache-sized row slice
+            # directly — the full (R, S, P, W) arrays are never built.
+            args_parts, edp_parts = [], []
+            for row in row_blocks:
+                flat = np.ascontiguousarray(
+                    np.broadcast_to(row.edp, slice_shape)
+                ).reshape(n_slices, -1)
+                args = flat.argmin(axis=1)
+                args_parts.append(args)
+                edp_parts.append(np.take_along_axis(
+                    flat, args.reshape(-1, 1), axis=1
+                ).ravel())
+            cell_args = np.concatenate(args_parts)
+            slice_edp = np.concatenate(edp_parts)
+
+            def metric_at(name, r, s, i, j):
+                value = np.broadcast_to(
+                    getattr(row_blocks[r], name), slice_shape
+                )
+                return float(value[s, i, j])
+        else:
+            edp = np.ascontiguousarray(
+                np.broadcast_to(metrics.edp, full_shape)
+            )
+            flat = edp.reshape(n_rows * n_slices, -1)
+            cell_args = flat.argmin(axis=1)
+            slice_edp = np.take_along_axis(
+                flat, cell_args.reshape(-1, 1), axis=1
+            ).ravel()
+
+            def metric_at(name, r, s, i, j):
+                value = np.broadcast_to(getattr(metrics, name), full_shape)
+                return float(value[r, s, i, j])
+        best_slice = int(slice_edp.argmin())
+        i_idx, j_idx = np.unravel_index(cell_args, grid_shape)
+        slice_ids = np.arange(n_rows * n_slices)
+        r_idx = slice_ids // n_slices
+        s_idx = slice_ids % n_slices
+
+        def point(k):
+            r, s = int(r_idx[k]), int(s_idx[k])
+            i, j = int(i_idx[k]), int(j_idx[k])
+            return LandscapePoint(
+                n_r=int(rows[r]), v_ssc=float(feasible[s]),
+                n_pre=int(n_pre_grid[i, j]),
+                n_wr=int(n_wr_grid[i, j]),
+                edp=float(slice_edp[k]),
+                d_array=metric_at("d_array", r, s, i, j),
+                e_total=metric_at("e_total", r, s, i, j),
+            )
+
+        if keep_landscape:
+            landscape = [point(k) for k in range(n_rows * n_slices)]
+            best = landscape[best_slice]
+        else:
+            best = point(best_slice)
         return best, landscape, n_evaluated
 
     def _search_loop(self, capacity_bits, policy, keep_landscape):

@@ -24,7 +24,9 @@ row gates).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import DesignSpaceError
 from .driver import scaled_gate
@@ -40,6 +42,11 @@ class DecoderModel:
     nands: dict
     #: Input capacitance of the driver the decoder output feeds [F].
     driver_input_cap: float
+    #: Memo of scalar delay/energy per address width.  The model is
+    #: immutable and both are pure functions of the width, so search
+    #: engines hitting the same handful of widths millions of times pay
+    #: the buffer-chain derivation once per width per instance.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def _final_gate(self, address_bits):
         """The per-output AND gate model (fan-in ceil(k/2))."""
@@ -72,11 +79,48 @@ class DecoderModel:
             size *= taper
         return delay, energy, n_stages
 
+    def _map_bits_memo(self, tag, func, address_bits):
+        """Array-path memo keyed by the widths' raw bytes: broadcast
+        searches hand the same small address-bit arrays to every
+        delay/energy call, so the mapped result is cached alongside the
+        scalar memo (callers never mutate these operand arrays)."""
+        bits = np.asarray(address_bits)
+        key = (tag, bits.shape, bits.tobytes())
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = self._memo[key] = self._map_bits(func, bits)
+        return hit
+
+    def _map_bits(self, func, address_bits):
+        """Evaluate a scalar-integer method over an integer array by
+        looking up each distinct width through the scalar path — the
+        address-bit axis has only a handful of distinct values, and
+        reusing the scalar arithmetic keeps array results bit-identical
+        to per-organization calls."""
+        bits = np.asarray(address_bits)
+        flat = bits.ravel()
+        table = {int(b): func(int(b)) for b in np.unique(flat)}
+        out = np.fromiter((table[int(b)] for b in flat), dtype=float,
+                          count=flat.size)
+        return out.reshape(bits.shape)
+
     def delay(self, address_bits):
         """Propagation delay [s] for a ``2**address_bits``-output decoder.
 
         Zero for a degenerate decoder (one output, no addressing).
+        ``address_bits`` may be an integer array; the result then has
+        the same shape (each distinct width goes through the scalar
+        path, so array and scalar calls are bit-identical).
         """
+        if np.ndim(address_bits) > 0:
+            return self._map_bits_memo("delay", self.delay, address_bits)
+        key = ("delay", float(address_bits))
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = self._memo[key] = self._delay_uncached(address_bits)
+        return hit
+
+    def _delay_uncached(self, address_bits):
         if address_bits <= 0:
             return 0.0
         n_outputs = 2 ** address_bits
@@ -100,8 +144,18 @@ class DecoderModel:
 
         Counts, on average: half the address buffers, one predecode
         group (NAND2 + buffered line) per toggling bit pair, and the
-        deactivating + activating final gates.
+        deactivating + activating final gates.  Accepts integer arrays
+        like :meth:`delay`.
         """
+        if np.ndim(address_bits) > 0:
+            return self._map_bits_memo("energy", self.energy, address_bits)
+        key = ("energy", float(address_bits))
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = self._memo[key] = self._energy_uncached(address_bits)
+        return hit
+
+    def _energy_uncached(self, address_bits):
         if address_bits <= 0:
             return 0.0
         n_outputs = 2 ** address_bits

@@ -51,9 +51,24 @@ class SuperbufferModel:
         """Load the superbuffer presents to the row-decoder output [F]."""
         return self.unit_inverter.c_input * STAGE_FINS[0]
 
+    def _memo(self, key, compute):
+        """Per-instance memo for the stage-chain derivations: the model
+        is immutable and the search engines read these properties on
+        every evaluation, so the gate scaling runs once per instance."""
+        cache = self.__dict__.get("_stage_memo")
+        if cache is None:
+            object.__setattr__(self, "_stage_memo", {})
+            cache = self._stage_memo
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]
+
     @property
     def first_three_delay(self):
         """``D_row_drv``: delay of stages 1-3 [s]."""
+        return self._memo("delay", self._first_three_delay)
+
+    def _first_three_delay(self):
         total = 0.0
         for this_fins, next_fins in zip(STAGE_FINS[:-1], STAGE_FINS[1:]):
             stage = scaled_gate(self.unit_inverter, this_fins)
@@ -67,6 +82,9 @@ class SuperbufferModel:
         Each stage dissipates its internal energy plus the charging of
         the next stage's gate.
         """
+        return self._memo("energy", self._first_three_energy)
+
+    def _first_three_energy(self):
         total = 0.0
         for this_fins, next_fins in zip(STAGE_FINS[:-1], STAGE_FINS[1:]):
             stage = scaled_gate(self.unit_inverter, this_fins)

@@ -25,7 +25,7 @@ from ..errors import ReproError
 
 FLAVORS = ("lvt", "hvt")
 METHODS = ("M1", "M2")
-SEARCH_ENGINES = ("vectorized", "loop")
+SEARCH_ENGINES = ("fused", "vectorized", "loop")
 CELL_ENGINES = ("batched", "loop")
 MC_METRICS = ("hsnm", "rsnm", "wm")
 

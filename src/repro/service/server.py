@@ -66,6 +66,7 @@ from ..errors import JobError
 from ..jobs import JobQueue
 from ..jobs.worker import SessionProvider, normalize_study_spec, run_worker
 from ..opt import DesignSpace
+from ..shm import SessionArena
 from ..store import (
     ExperimentStore,
     make_provenance,
@@ -136,6 +137,7 @@ class OptimizationServer:
         self._flight = Singleflight()
         self._batcher = None
         self._pool = None
+        self._arena = None          # SessionArena for process workers
         self._server = None
         self._writers = set()
         self._conn_tasks = set()
@@ -170,11 +172,20 @@ class OptimizationServer:
         workers = config.resolved_workers()
         if config.executor == "process":
             memos = warm_margin_memos(self.session)
+            # Publish the warm session once; each forked worker maps it
+            # zero-copy instead of re-reading the characterization
+            # cache.  Best-effort: on failure workers cold-build.
+            try:
+                self._arena = SessionArena.publish(self.session, memos)
+            except Exception:
+                self._arena = None
             self._pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=worker_init,
                 initargs=(config.cache_path or None, config.voltage_mode,
-                          DesignSpace(), memos),
+                          DesignSpace(), memos,
+                          self._arena.name if self._arena is not None
+                          else None),
             )
         else:
             self._pool = ThreadPoolExecutor(
@@ -257,6 +268,9 @@ class OptimizationServer:
                 await loop.run_in_executor(None, thread.join, 60)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._arena is not None:
+            self._arena.dispose()
+            self._arena = None
 
     # -- dispatch ----------------------------------------------------------
 

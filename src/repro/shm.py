@@ -1,0 +1,432 @@
+"""Zero-copy shared-memory session arenas for parallel workers.
+
+A process-pool worker needs the same expensive read-only state as its
+parent: the characterization LUT grids and the memoized yield margins.
+Shipping them by pickle re-copies every array per worker, and a cold
+:meth:`Session.create` re-reads (or worse, re-runs) the
+characterization.  A :class:`SessionArena` instead publishes that state
+**once** into a POSIX shared-memory segment; each worker maps the
+segment and rebuilds its session directly over the mapped float64
+grids — zero copies, zero characterization, O(segment size) attach.
+
+Segment layout::
+
+    +------------------------------------------------------------+
+    | prelude: "<8sII" = magic, arena version, header length     |
+    +------------------------------------------------------------+
+    | UTF-8 JSON header: characterization payloads + margin      |
+    |   memos, with every numeric list replaced by an            |
+    |   {"__array__": index} reference, plus the array table     |
+    |   (offset/shape per array)                                 |
+    +------------------------------------------------------------+
+    | 8-aligned float64 region: the referenced arrays, C order   |
+    +------------------------------------------------------------+
+
+The header reuses the exact dictionaries the characterization cache
+already round-trips (:func:`repro.periphery.characterize._to_dict`), so
+an arena-built session is bit-identical to a cache-built one.  The
+arrays are exposed to workers as read-only numpy views over the
+mapping; ``LUT1D``/``LUT2D`` keep such views as-is (``np.asarray`` on a
+C-contiguous float64 array is a no-op), so the worker's LUTs *are* the
+shared pages.
+
+Lifecycle: the publisher owns the segment and is the only party that
+unlinks it (:meth:`dispose`, also hooked to garbage collection via
+``weakref.finalize`` so a failing parent still cleans up at interpreter
+exit; a SIGKILL'd parent is covered by its resource tracker).  Workers
+attach *untracked* (see :func:`_attach_untracked`) and keep their arena
+alive for the process lifetime because their LUTs alias its pages.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from .errors import ArenaError
+
+#: First prelude field; identifies a segment as a repro session arena.
+MAGIC = b"REPROARN"
+
+#: Arena *format* version; bump on any layout/header change so stale
+#: publishers and new readers (or vice versa) fail loudly instead of
+#: misreading each other's bytes.
+ARENA_VERSION = 1
+
+_PRELUDE = struct.Struct("<8sII")
+_ALIGN = 8
+
+
+def _align(n):
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack(obj, arrays):
+    """Recursively replace numeric lists with ``{"__array__": i}`` refs.
+
+    Non-numeric lists (none exist in the characterization payloads
+    today, but the walk is generic) and scalars pass through untouched,
+    so the packed structure stays plain JSON.
+    """
+    if isinstance(obj, dict):
+        return {key: _pack(value, arrays) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        try:
+            candidate = np.asarray(obj, dtype=float)
+        except (TypeError, ValueError):
+            candidate = None
+        if candidate is not None and candidate.size:
+            return _pack_array(candidate, arrays)
+        return [_pack(value, arrays) for value in obj]
+    return obj
+
+
+def _pack_array(values, arrays):
+    arrays.append(np.ascontiguousarray(values, dtype=np.float64))
+    return {"__array__": len(arrays) - 1}
+
+
+def _unpack(obj, views):
+    """Resolve ``{"__array__": i}`` refs into the mapped views."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__array__"}:
+            return views[obj["__array__"]]
+        return {key: _unpack(value, views) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_unpack(value, views) for value in obj]
+    return obj
+
+
+def _pack_memo(memo, arrays):
+    """One flavor's margin memo, with the RSNM cache's tuple keys (not
+    JSON-representable) split into a parallel (N, 2) key array and an
+    (N,) value array."""
+    entry = {"hsnm": memo.get("hsnm"), "v_flip": memo.get("v_flip")}
+    rsnm = memo.get("rsnm") or {}
+    if rsnm:
+        keys = sorted(rsnm)
+        entry["rsnm_keys"] = _pack_array(
+            np.asarray(keys, dtype=float).reshape(-1, 2), arrays
+        )
+        entry["rsnm_values"] = _pack_array(
+            np.asarray([rsnm[key] for key in keys], dtype=float), arrays
+        )
+    return entry
+
+
+def _unpack_memo(entry, views):
+    memo = {"hsnm": entry.get("hsnm"), "v_flip": entry.get("v_flip"),
+            "rsnm": {}}
+    if "rsnm_keys" in entry:
+        keys = _unpack(entry["rsnm_keys"], views)
+        values = _unpack(entry["rsnm_values"], views)
+        # Re-round: the cache keys are round(v, 4) by construction
+        # (see YieldConstraint.rsnm) and must hash identically.
+        memo["rsnm"] = {
+            (round(float(pair[0]), 4), round(float(pair[1]), 4)):
+                float(value)
+            for pair, value in zip(keys, values)
+        }
+    return memo
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name):
+    """Open an existing segment without resource-tracker registration.
+
+    Python < 3.13 registers *attachments* with the resource tracker as
+    if they were creations; with several forked workers attaching the
+    same segment, the usual unregister-after-attach workaround
+    double-unregisters one shared tracker cache and spews ``KeyError``
+    tracebacks from the tracker process.  Suppressing the registration
+    at construction time leaves exactly one registration alive — the
+    publisher's — which is also what makes the tracker unlink the
+    segment if the publisher dies without cleaning up.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _release(shm, owner):
+    """Idempotent close (+ unlink for the owner), safe at GC time."""
+    try:
+        shm.close()
+    except BufferError:
+        pass        # a live numpy view still aliases the mapping
+    except Exception:
+        pass
+    if owner:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass    # already unlinked
+        except Exception:
+            pass
+
+
+class SessionArena:
+    """A published (or attached) shared-memory session snapshot.
+
+    Use :meth:`publish` in the parent and :meth:`attach` +
+    :meth:`to_session` in each worker::
+
+        arena = SessionArena.publish(session, margin_memos)
+        try:
+            pool = ProcessPoolExecutor(
+                initializer=worker_init, initargs=(..., arena.name))
+            ...
+        finally:
+            arena.dispose()
+    """
+
+    def __init__(self, shm, header, views, owner):
+        self._shm = shm
+        self._header = header
+        self._views = list(views)
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._finalizer = weakref.finalize(self, _release, shm, owner)
+
+    # -- publishing --------------------------------------------------------
+
+    @classmethod
+    def publish(cls, session, margin_memos=None, name=None):
+        """Snapshot ``session`` into a fresh shared-memory segment.
+
+        ``margin_memos`` maps flavor to
+        :meth:`YieldConstraint.export_margin_memo`; when omitted, the
+        memos of the session's already-built constraints are used.
+        ``name=None`` lets the OS pick a collision-free segment name.
+        """
+        from .periphery.characterize import VERSION as CHAR_VERSION
+        from .periphery.characterize import _to_dict
+
+        if margin_memos is None:
+            margin_memos = {
+                flavor: constraint.export_margin_memo()
+                for flavor, constraint in session.constraints.items()
+            }
+        arrays = []
+        chars = {
+            flavor: _pack(_to_dict(char), arrays)
+            for flavor, char in sorted(session.chars.items())
+        }
+        memos = {
+            flavor: _pack_memo(memo, arrays)
+            for flavor, memo in sorted(margin_memos.items())
+        }
+        table = []
+        data_bytes = 0
+        for array in arrays:
+            table.append({"offset": data_bytes,
+                          "shape": list(array.shape)})
+            data_bytes += array.nbytes
+        header = {
+            "char_version": CHAR_VERSION,
+            "voltage_mode": session.voltage_mode,
+            "chars": chars,
+            "memos": memos,
+            "arrays": table,
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        data_start = _align(_PRELUDE.size + len(header_bytes))
+        shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(data_start + data_bytes, 1)
+        )
+        try:
+            _PRELUDE.pack_into(shm.buf, 0, MAGIC, ARENA_VERSION,
+                               len(header_bytes))
+            end = _PRELUDE.size + len(header_bytes)
+            shm.buf[_PRELUDE.size:end] = header_bytes
+            views = []
+            for array, entry in zip(arrays, table):
+                view = np.ndarray(
+                    array.shape, dtype=np.float64, buffer=shm.buf,
+                    offset=data_start + entry["offset"],
+                )
+                view[...] = array
+                views.append(view)
+        except Exception:
+            _release(shm, owner=True)
+            raise
+        return cls(shm, header, views, owner=True)
+
+    # -- attaching ---------------------------------------------------------
+
+    @classmethod
+    def attach(cls, name):
+        """Map an existing arena read-only; :class:`ArenaError` when the
+        segment is missing, foreign, or from another format version."""
+        try:
+            shm = _attach_untracked(name)
+        except (FileNotFoundError, ValueError) as exc:
+            raise ArenaError(
+                "no session arena named %r (%s)" % (name, exc)
+            ) from exc
+        try:
+            if shm.size < _PRELUDE.size:
+                raise ArenaError(
+                    "segment %r is too small (%d bytes) to be a session "
+                    "arena" % (name, shm.size)
+                )
+            magic, version, header_len = _PRELUDE.unpack_from(shm.buf, 0)
+            if magic != MAGIC:
+                raise ArenaError(
+                    "segment %r is not a repro session arena "
+                    "(magic %r)" % (name, magic)
+                )
+            if version != ARENA_VERSION:
+                raise ArenaError(
+                    "session arena %r uses format version %d; this build "
+                    "reads version %d" % (name, version, ARENA_VERSION)
+                )
+            header = json.loads(
+                bytes(shm.buf[_PRELUDE.size:_PRELUDE.size + header_len])
+                .decode("utf-8")
+            )
+            data_start = _align(_PRELUDE.size + header_len)
+            views = []
+            for entry in header["arrays"]:
+                view = np.ndarray(
+                    tuple(entry["shape"]), dtype=np.float64,
+                    buffer=shm.buf, offset=data_start + entry["offset"],
+                )
+                view.flags.writeable = False
+                views.append(view)
+        except ArenaError:
+            _release(shm, owner=False)
+            raise
+        except Exception as exc:
+            _release(shm, owner=False)
+            raise ArenaError(
+                "could not decode session arena %r: %s: %s"
+                % (name, type(exc).__name__, exc)
+            ) from exc
+        return cls(shm, header, views, owner=False)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def name(self):
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def nbytes(self):
+        """Total segment size [bytes]."""
+        return self._shm.size
+
+    @property
+    def voltage_mode(self):
+        return self._header["voltage_mode"]
+
+    @property
+    def flavors(self):
+        return tuple(sorted(self._header["chars"]))
+
+    # -- reconstruction ----------------------------------------------------
+
+    def margin_memos(self):
+        """flavor -> memo dicts, ready for
+        :meth:`YieldConstraint.seed_margin_memo`."""
+        self._check_open()
+        return {
+            flavor: _unpack_memo(entry, self._views)
+            for flavor, entry in self._header["memos"].items()
+        }
+
+    def to_session(self):
+        """Build a :class:`Session` whose LUT grids alias this mapping.
+
+        The characterization payloads run through the same
+        ``_from_dict`` the disk cache uses, so the result is
+        bit-identical to a cache-built session — but with zero array
+        copies and zero characterization work.  Keep the arena alive as
+        long as the session is in use (the LUTs are views into it).
+        """
+        self._check_open()
+        from .analysis.experiments import Session
+        from .array.config import ArrayConfig
+        from .cell.sram6t import SRAM6TCell
+        from .devices.library import DeviceLibrary
+        from .periphery.characterize import _from_dict
+
+        library = DeviceLibrary.default_7nm()
+        session = Session(
+            library=library, config=ArrayConfig(), cache=None,
+            voltage_mode=self.voltage_mode,
+        )
+        for flavor, payload in self._header["chars"].items():
+            data = _unpack(payload, self._views)
+            session.chars[flavor] = _from_dict(data, library, None)
+            session.cells[flavor] = SRAM6TCell.from_library(library,
+                                                            flavor)
+        for flavor, memo in self.margin_memos().items():
+            session.constraint(flavor).seed_margin_memo(memo)
+        return session
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self):
+        if self._closed:
+            raise ArenaError("session arena %r is closed"
+                             % (self._shm.name,))
+
+    def close(self):
+        """Unmap the segment from this process (idempotent).
+
+        Sessions built by :meth:`to_session` keep views into the
+        mapping; closing underneath them would raise ``BufferError``,
+        which is swallowed — the OS unmaps at process exit regardless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views = []
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self):
+        """Remove the segment system-wide (owner only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            # Externally removed: the stdlib raises before deregistering,
+            # so drop the stale registration ourselves or the resource
+            # tracker warns about a leak at interpreter exit.
+            try:
+                resource_tracker.unregister(self._shm._name,
+                                            "shared_memory")
+            except Exception:
+                pass
+
+    def dispose(self):
+        """Close and (for the owner) unlink."""
+        self.close()
+        self.unlink()
+        self._finalizer.detach()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.dispose()
+        return False

@@ -1,0 +1,129 @@
+"""Fused full-space engine equivalence (the tentpole's contract).
+
+The fused engine evaluates one policy's entire ``n_r x V_SSC x N_pre x
+N_wr`` space in a *single* broadcast ``model.evaluate`` call.  It must
+return bit-identical results to both the reference slice loop and the
+per-row vectorized engine — same design, same EDP, same evaluation
+count, same landscape — over every cell of the paper's study matrix,
+through both the unblocked 4-D path and the cache-blocked executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    CAPACITIES_BYTES,
+    FLAVORS,
+    METHODS,
+)
+from repro.errors import DesignSpaceError
+from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+
+#: The full 20-cell study matrix (5 capacities x 2 flavors x 2 methods).
+STUDY_CELLS = [
+    (flavor, method, capacity)
+    for flavor in FLAVORS
+    for method in METHODS
+    for capacity in CAPACITIES_BYTES
+]
+
+
+class CountingModel:
+    """Pass-through model wrapper tallying evaluate() calls by kind."""
+
+    def __init__(self, model):
+        self._model = model
+        self.broadcast_calls = 0
+        self.scalar_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def evaluate(self, capacity_bits, design):
+        if np.ndim(design.n_r) > 0:
+            self.broadcast_calls += 1
+        else:
+            self.scalar_calls += 1
+        return self._model.evaluate(capacity_bits, design)
+
+
+def _optimize(paper_session, flavor, method, capacity_bytes, engine,
+              model=None):
+    model = model or paper_session.model(flavor)
+    optimizer = ExhaustiveOptimizer(
+        model, DesignSpace(), paper_session.constraint(flavor)
+    )
+    policy = make_policy(method, paper_session.yield_levels(flavor))
+    return optimizer.optimize(capacity_bytes * 8, policy,
+                              keep_landscape=True, engine=engine)
+
+
+def _assert_identical(a, b):
+    assert a.design == b.design
+    assert a.metrics.edp == b.metrics.edp
+    assert a.metrics.d_array == b.metrics.d_array
+    assert a.metrics.e_total == b.metrics.e_total
+    assert a.margins == b.margins
+    assert a.n_evaluated == b.n_evaluated
+    assert len(a.landscape) == len(b.landscape)
+    for pa, pb in zip(a.landscape, b.landscape):
+        assert pa == pb
+
+
+@pytest.mark.parametrize("flavor,method,capacity_bytes", STUDY_CELLS)
+def test_three_way_parity_on_study_matrix(paper_session, flavor, method,
+                                          capacity_bytes):
+    loop = _optimize(paper_session, flavor, method, capacity_bytes,
+                     "loop")
+    vec = _optimize(paper_session, flavor, method, capacity_bytes,
+                    "vectorized")
+    fused = _optimize(paper_session, flavor, method, capacity_bytes,
+                      "fused")
+    _assert_identical(fused, loop)
+    _assert_identical(vec, loop)
+
+
+@pytest.mark.parametrize("flavor,method,capacity_bytes",
+                         [("hvt", "M2", 16384), ("lvt", "M1", 128)])
+def test_fused_search_is_one_model_call(paper_session, flavor, method,
+                                        capacity_bytes):
+    model = CountingModel(paper_session.model(flavor))
+    result = _optimize(paper_session, flavor, method, capacity_bytes,
+                       "fused", model=model)
+    # One broadcast call covers the whole feasible space; the only
+    # other evaluation is the scalar re-evaluation of the winner.
+    assert model.broadcast_calls == 1
+    assert model.scalar_calls == 1
+    assert result.n_evaluated > 0
+
+
+@pytest.mark.parametrize("block_elements", [1, 10 ** 9])
+def test_fused_blocked_and_unblocked_match_loop(paper_session,
+                                                block_elements):
+    loop = _optimize(paper_session, "hvt", "M2", 1024, "loop")
+    model = paper_session.model("hvt")
+    model.broadcast_block_elements = block_elements
+    fused = _optimize(paper_session, "hvt", "M2", 1024, "fused",
+                      model=model)
+    _assert_identical(fused, loop)
+
+
+def test_fused_infeasible_space_raises(paper_session):
+    class Infeasible:
+        flavor = "hvt"
+
+        def satisfied_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+            return np.zeros(len(v_ssc_values), dtype=bool)
+
+        def satisfied(self, *args, **kwargs):
+            return False
+
+        def margins(self, *args, **kwargs):
+            return (0.0, 0.0, 0.0)
+
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(), Infeasible()
+    )
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    with pytest.raises(DesignSpaceError):
+        optimizer.optimize(1024 * 8, policy, engine="fused")
