@@ -49,6 +49,27 @@ def _time_engine(paper_session, engine, repeats=3):
     return best
 
 
+def _time_many(paper_session, repeats=3):
+    """Best-of-N wall time of the policy-batched 16KB/HVT search [s]:
+    every method's whole space in one ``optimize_many`` dispatch.
+    Returns ``(seconds, n_policies, results)``."""
+    from repro.analysis.experiments import METHODS
+
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt"),
+    )
+    levels = paper_session.yield_levels("hvt")
+    policies = [make_policy(method, levels) for method in METHODS]
+    results = optimizer.optimize_many(16384 * 8, policies)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        optimizer.optimize_many(16384 * 8, policies)
+        best = min(best, time.perf_counter() - start)
+    return best, len(policies), results
+
+
 def _time_arena(paper_session, repeats=5):
     """Publish/attach/rebuild wall times for the session arena [s]."""
     publish = attach = float("inf")
@@ -84,6 +105,7 @@ def bench_parallel_study_matrix(paper_session, report_writer):
     single_loop = _time_engine(paper_session, "loop")
     single_vec = _time_engine(paper_session, "vectorized")
     single_fused = _time_engine(paper_session, "fused")
+    fused_many, many_policies, many_results = _time_many(paper_session)
     arena_publish, arena_attach, warm_create, arena_nbytes = (
         _time_arena(paper_session))
 
@@ -110,6 +132,12 @@ def bench_parallel_study_matrix(paper_session, report_writer):
             # this hovers near 1.0 on one core; the fused engine's win
             # is the single-dispatch call shape, not raw arithmetic.
             "fused_vs_vectorized": single_vec / single_fused,
+            # All policies of the cell in ONE dispatch, recorded next
+            # to the per-policy fused baseline it amortizes.
+            "fused_many_seconds": fused_many,
+            "fused_many_policies": many_policies,
+            "fused_many_vs_per_policy_fused":
+                (many_policies * single_fused) / fused_many,
         },
         "arena": {
             "nbytes": arena_nbytes,
@@ -141,6 +169,10 @@ def bench_parallel_study_matrix(paper_session, report_writer):
         "fused %.1f ms (%.2fx vs vectorized)"
         % (single_loop * 1e3, single_vec * 1e3, single_loop / single_vec,
            single_fused * 1e3, single_vec / single_fused),
+        "policy-batched 16KB/HVT (%d policies, one dispatch): %.1f ms "
+        "(%.2fx vs %d per-policy fused searches)"
+        % (many_policies, fused_many * 1e3,
+           (many_policies * single_fused) / fused_many, many_policies),
         "session arena (%.1f KB): publish %.2f ms, attach+rebuild "
         "%.2f ms vs warm Session.create %.1f ms (%.0fx)"
         % (arena_nbytes / 1024.0, arena_publish * 1e3, arena_attach * 1e3,
@@ -164,6 +196,14 @@ def bench_parallel_study_matrix(paper_session, report_writer):
     # The fused engine must never cost meaningfully more than the
     # vectorized one it subsumes (both are bound by the same arithmetic).
     assert single_fused <= single_vec * 1.5
+    # One policy-batched dispatch must stay cheaper than paying the
+    # per-policy fused search once per policy, and its per-policy
+    # results must match the study's per-task answers exactly.
+    assert fused_many <= many_policies * single_fused * 1.25
+    for result in many_results:
+        key = (16384, "hvt", result.method)
+        assert result.design == serial.sweep.results[key].design
+        assert result.metrics.edp == serial.sweep.results[key].metrics.edp
     # Attaching the arena must at least keep pace with rebuilding from
     # the on-disk cache (its real win is deduplicating the LUT memory
     # across workers, so a small timing margin is enough here).

@@ -4,7 +4,12 @@ over a worker pool.
 A full Table-4 / Figure-7 study is 20 independent exhaustive searches
 (5 capacities x 2 flavors x 2 methods).  They share only *read-only*
 state — the characterization LUTs and the memoized yield margins — so
-the matrix parallelizes embarrassingly:
+the matrix parallelizes embarrassingly.  With ``engine="fused"`` the
+matrix is additionally *policy-batched*: the two methods of each
+``(flavor, capacity)`` cell are scored by one
+:meth:`~repro.opt.ExhaustiveOptimizer.optimize_many` dispatch (a single
+broadcast evaluation over a leading policy axis), halving the number of
+model evaluations while staying bit-identical per task.  The executors:
 
 * ``executor="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
   whose workers map the parent's shared-memory session arena
@@ -181,17 +186,16 @@ def _worker_init(cache_path, voltage_mode, space, margin_memos,
     _WORKER_STATE["space"] = space
 
 
-def _run_task_in_worker(task, engine, keep_landscape):
+def _run_unit_in_worker(unit, engine, keep_landscape):
     session = _WORKER_STATE["session"]
     space = _WORKER_STATE["space"]
-    result, seconds = _execute_task(session, space, task, engine,
-                                    keep_landscape)
+    entries = _execute_unit(session, space, unit, engine, keep_landscape)
     # Snapshot-and-reset so each returned snapshot is a disjoint delta;
     # the parent merges them all without double counting.
     registry = perf.get_registry()
     snapshot = registry.snapshot()
     registry.reset()
-    return task, result, seconds, os.getpid(), snapshot
+    return entries, os.getpid(), snapshot
 
 
 def _execute_task(session, space, task, engine, keep_landscape):
@@ -205,6 +209,55 @@ def _execute_task(session, space, task, engine, keep_landscape):
         engine=engine,
     )
     return result, time.perf_counter() - start
+
+
+def _study_units(tasks, engine):
+    """Group the task matrix into dispatch units.
+
+    Every engine but ``"fused"`` dispatches one task per unit.  The
+    fused engine groups the tasks sharing a ``(flavor, capacity)`` cell
+    — i.e. that cell's voltage policies — into one unit, which
+    :func:`_execute_unit` scores in a single policy-batched
+    :meth:`ExhaustiveOptimizer.optimize_many` evaluation.  Unit order
+    (and task order within a unit) follows the canonical matrix order,
+    so results remain deterministic.
+    """
+    if engine != "fused":
+        return [(task,) for task in tasks]
+    groups = {}
+    for task in tasks:
+        groups.setdefault((task.flavor, task.capacity_bytes),
+                          []).append(task)
+    return [tuple(group) for group in groups.values()]
+
+
+def _execute_unit(session, space, unit, engine, keep_landscape):
+    """Run one dispatch unit; returns ``[(task, result, seconds), ...]``.
+
+    Multi-task (fused) units share one broadcast evaluation, so the
+    group's wall time is split evenly across its tasks — the per-task
+    ``seconds`` stay meaningful in aggregate (they sum to the unit's
+    wall time) even though the work was not separable.
+    """
+    if len(unit) == 1:
+        task = unit[0]
+        result, seconds = _execute_task(session, space, task, engine,
+                                        keep_landscape)
+        return [(task, result, seconds)]
+    start = time.perf_counter()
+    flavor = unit[0].flavor
+    model = session.model(flavor)
+    constraint = session.constraint(flavor)
+    optimizer = ExhaustiveOptimizer(model, space, constraint)
+    levels = session.yield_levels(flavor)
+    policies = [make_policy(task.method, levels) for task in unit]
+    results = optimizer.optimize_many(
+        unit[0].capacity_bytes * 8, policies,
+        keep_landscape=keep_landscape, engine=engine,
+    )
+    seconds = (time.perf_counter() - start) / len(unit)
+    return [(task, result, seconds)
+            for task, result in zip(unit, results)]
 
 
 def execute_study_task(session, space, task, engine="vectorized",
@@ -232,6 +285,24 @@ def _task_failure(task, exc):
         "study task %s failed: %s: %s"
         % (task.label, type(exc).__name__, exc),
         task_label=task.label,
+    )
+
+
+def _unit_failure(unit, exc):
+    """Attribute a unit failure: the task label for singleton units, a
+    combined ``cap/FLAVOR/M1+M2`` label for fused policy batches (the
+    batch evaluates all policies at once, so the cell is the faulty
+    grain, not one method)."""
+    if len(unit) == 1:
+        return _task_failure(unit[0], exc)
+    label = "%s/%s/%s" % (
+        capacity_label(unit[0].capacity_bytes), unit[0].flavor.upper(),
+        "+".join(task.method for task in unit),
+    )
+    return StudyTaskError(
+        "study unit %s failed: %s: %s"
+        % (label, type(exc).__name__, exc),
+        task_label=label,
     )
 
 
@@ -286,7 +357,8 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     if workers == 1:
         executor = "serial"
     tasks = study_matrix(capacities, flavors, methods)
-    workers = min(workers, len(tasks))
+    units = _study_units(tasks, engine)
+    workers = min(workers, len(units))
 
     # Warm and export the margin memos once, in the parent: feasibility
     # masks over the whole V_SSC axis for every flavor in play.
@@ -308,31 +380,33 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     results = {}
     timings = {}
     if executor == "serial":
-        for task in tasks:
+        for unit in units:
             try:
-                result, seconds = _execute_task(session, space, task,
-                                                engine, keep_landscape)
+                entries = _execute_unit(session, space, unit, engine,
+                                        keep_landscape)
             except Exception as exc:
-                raise _task_failure(task, exc) from exc
-            results[task.key] = result
-            timings[task.key] = TaskTiming(task, seconds,
-                                           result.n_evaluated, 0)
-    elif executor == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_task, session, space, task, engine,
-                            keep_landscape): task
-                for task in tasks
-            }
-            for future, task in futures.items():
-                try:
-                    result, seconds = future.result()
-                except Exception as exc:
-                    _cancel_pending(futures)
-                    raise _task_failure(task, exc) from exc
+                raise _unit_failure(unit, exc) from exc
+            for task, result, seconds in entries:
                 results[task.key] = result
                 timings[task.key] = TaskTiming(task, seconds,
                                                result.n_evaluated, 0)
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_unit, session, space, unit, engine,
+                            keep_landscape): unit
+                for unit in units
+            }
+            for future, unit in futures.items():
+                try:
+                    entries = future.result()
+                except Exception as exc:
+                    _cancel_pending(futures)
+                    raise _unit_failure(unit, exc) from exc
+                for task, result, seconds in entries:
+                    results[task.key] = result
+                    timings[task.key] = TaskTiming(task, seconds,
+                                                   result.n_evaluated, 0)
     elif executor == "process":
         # Publish the parent's session once; workers map it zero-copy.
         # Publishing is best-effort — on failure the workers cold-build
@@ -352,21 +426,21 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
                           arena.name if arena is not None else None),
             ) as pool:
                 futures = {
-                    pool.submit(_run_task_in_worker, task, engine,
-                                keep_landscape): task
-                    for task in tasks
+                    pool.submit(_run_unit_in_worker, unit, engine,
+                                keep_landscape): unit
+                    for unit in units
                 }
                 for future, submitted in futures.items():
                     try:
-                        task, result, seconds, pid, snapshot = \
-                            future.result()
+                        entries, pid, snapshot = future.result()
                     except Exception as exc:
                         _cancel_pending(futures)
-                        raise _task_failure(submitted, exc) from exc
-                    results[task.key] = result
-                    timings[task.key] = TaskTiming(task, seconds,
-                                                   result.n_evaluated,
-                                                   pid)
+                        raise _unit_failure(submitted, exc) from exc
+                    for task, result, seconds in entries:
+                        results[task.key] = result
+                        timings[task.key] = TaskTiming(task, seconds,
+                                                       result.n_evaluated,
+                                                       pid)
                     perf.get_registry().merge(snapshot)
         finally:
             if arena is not None:

@@ -11,6 +11,16 @@ shaped ``(S, 1, 1)`` so it broadcasts as a leading axis over the
 an entire policy's feasible ``V_SSC x N_pre x N_wr`` space for one row
 count in a single call, which is how it sweeps its 250k-point design
 space in well under the paper's two minutes.
+
+The axes compose right-aligned, numpy-broadcast style, so outer axes
+stack freely on the left: the fused engine adds a row-count axis
+(``n_r`` / ``n_c`` shaped ``(R, 1, 1, 1)``), and the policy-batched
+search adds a leading *policy* axis ``B`` by shaping the rail voltages
+``(B, 1, 1, 1, 1)`` and ``v_ssc`` ``(B, 1, S, 1, 1)`` — one call then
+scores a ``(B, n_r, V_SSC, N_pre, N_wr)`` tensor.  Whatever the rank,
+every elementwise case split is evaluated with the scalar path's exact
+arithmetic and selected per element, so results stay bit-identical to
+the slice-by-slice reference.
 """
 
 from __future__ import annotations
@@ -42,6 +52,10 @@ class DesignPoint:
     v_bl: float = 0.0
 
     def describe(self):
+        if any(np.ndim(v) > 0 for v in
+               (self.n_r, self.n_c, self.v_ddc, self.v_wl, self.v_bl)):
+            return "<broadcast design over %d organizations>" \
+                % max(np.size(self.n_r), 1)
         if np.ndim(self.v_ssc) == 0:
             v_ssc_text = "%.0fmV" % (self.v_ssc * 1e3)
         else:
@@ -139,9 +153,12 @@ class BlockedBroadcastMetrics(MetricsView):
     search engine never triggers the stack — it reduces the per-row
     slices directly through :attr:`row_blocks` while they are still
     cache-resident — so a search materializes no full-rank temporaries
-    at all.  Stacked fields are lifted to the 4-D broadcast rank
-    (missing middle axes become length-1), matching the shapes of the
-    unblocked 4-D path.
+    at all.  Stacked fields are lifted to at least the 4-D broadcast
+    rank (missing axes become length-1) with the row axis re-inserted
+    at its right-aligned position (axis ``-4``), matching the shapes of
+    the unblocked broadcast path — including the 5-D
+    ``(B, R, S, P, W)`` shapes of a policy-batched evaluation, whose
+    per-row slices are 4-D ``(B, S, P, W)`` arrays.
     """
 
     #: Consumers that care (the fused reduction) can branch on this
@@ -155,10 +172,15 @@ class BlockedBroadcastMetrics(MetricsView):
 
     @staticmethod
     def _stack(values):
-        stacked = np.stack([np.asarray(v, dtype=float) for v in values])
-        while stacked.ndim < 4:
-            stacked = stacked[:, np.newaxis]
-        return stacked
+        arrays = [np.asarray(v, dtype=float) for v in values]
+        # Pad every slice to at least the (S, P, W) rank, then stack the
+        # row axis back in right-aligned at axis -4: legacy 4-D searches
+        # get (R, S, P, W) exactly as before, policy-batched slices of
+        # shape (B, S, P, W) become (B, R, S, P, W).
+        ndim = max(3, max(a.ndim for a in arrays))
+        arrays = [a.reshape((1,) * (ndim - a.ndim) + a.shape)
+                  for a in arrays]
+        return np.stack(arrays, axis=-4)
 
     def __getattr__(self, name):
         if name.startswith("_") or name == "row_blocks":
@@ -246,7 +268,11 @@ class SRAMArrayModel:
         ``design.n_r`` / ``design.n_c`` may *also* be integer arrays
         (conventionally ``(R, 1, 1, 1)``): the fused search engine then
         evaluates every row count of a capacity in this one call, with
-        every Table-1/2/3 case split applied elementwise.  Large
+        every Table-1/2/3 case split applied elementwise.  The rail
+        voltages (``v_ddc`` / ``v_wl`` / ``v_bl``) may carry a leading
+        policy axis on top (``(B, 1, 1, 1, 1)``, with ``v_ssc`` shaped
+        ``(B, 1, S, 1, 1)``): one call then scores a whole
+        ``(B, n_r, V_SSC, N_pre, N_wr)`` policy batch.  Large
         stacked-row-axis evaluations run through the blocked executor
         (see :attr:`broadcast_block_elements`) — one call, identical
         values, bounded working set.
@@ -277,8 +303,16 @@ class SRAMArrayModel:
 
     def _should_block(self, design, org):
         """Use the blocked executor when the organizations vary only
-        along a leading stacked axis and the full broadcast is too big
-        for the cache-resident fast path."""
+        along one stacked axis and the full broadcast is too big for
+        the cache-resident fast path.
+
+        The row axis is *right-aligned*: for ``n_r`` shaped
+        ``(R, 1, ..., 1)`` it lands ``len(shape_r)`` axes from the right
+        of the full broadcast, wherever outer axes (the policy batch)
+        stack on the left.  Every other design field — including the
+        rail voltages, which carry the batch axis — must be length-1
+        along that axis so a per-row slice stays a plain indexed view.
+        """
         shape_r = np.shape(org.n_r)
         if len(shape_r) < 2 or shape_r[0] < 2:
             return False
@@ -286,15 +320,16 @@ class SRAMArrayModel:
             return False
         if np.shape(org.n_c) != shape_r:
             return False
-        # The remaining design axes must not vary along the row axis.
-        for value in (design.v_ssc, design.n_pre, design.n_wr):
+        row_axis = len(shape_r)   # distance of the row axis from the right
+        others = (design.v_ssc, design.n_pre, design.n_wr,
+                  design.v_ddc, design.v_wl, design.v_bl)
+        for value in others:
             shape = np.shape(value)
-            if len(shape) >= len(shape_r) and shape[0] != 1:
+            if len(shape) >= row_axis and shape[len(shape) - row_axis] != 1:
                 return False
         try:
             full_shape = np.broadcast_shapes(
-                shape_r, np.shape(design.v_ssc),
-                np.shape(design.n_pre), np.shape(design.n_wr),
+                shape_r, *[np.shape(value) for value in others]
             )
         except ValueError:
             return False
@@ -310,19 +345,32 @@ class SRAMArrayModel:
         every temporary stays cache-sized."""
         n_r_flat = np.asarray(org.n_r).reshape(-1)
         n_c_flat = np.asarray(org.n_c).reshape(-1)
-        v_ssc = design.v_ssc
-        if np.ndim(v_ssc) >= 2 and np.shape(v_ssc)[0] == 1:
-            # Drop the length-1 row axis: (1, S, 1, 1) -> (S, 1, 1).
-            row_v_ssc = np.asarray(v_ssc).reshape(np.shape(v_ssc)[1:])
-        else:
-            row_v_ssc = v_ssc
+        row_axis = len(np.shape(org.n_r))
+
+        def drop_row_axis(value):
+            # Remove the length-1 row axis, right-aligned: (1, S, 1, 1)
+            # -> (S, 1, 1) and (B, 1, S, 1, 1) -> (B, S, 1, 1), so the
+            # per-row design re-broadcasts exactly one rank lower.
+            shape = np.shape(value)
+            if len(shape) < row_axis:
+                return value
+            axis = len(shape) - row_axis
+            return np.asarray(value).reshape(
+                shape[:axis] + shape[axis + 1:]
+            )
+
+        row_v_ssc = drop_row_axis(design.v_ssc)
+        row_v_ddc = drop_row_axis(design.v_ddc)
+        row_v_wl = drop_row_axis(design.v_wl)
+        row_v_bl = drop_row_axis(design.v_bl)
         shared = {}
         row_metrics = []
         for index in range(n_r_flat.size):
             row_design = replace(
                 design,
                 n_r=int(n_r_flat[index]), n_c=int(n_c_flat[index]),
-                v_ssc=row_v_ssc,
+                v_ssc=row_v_ssc, v_ddc=row_v_ddc, v_wl=row_v_wl,
+                v_bl=row_v_bl,
             )
             row_org = ArrayOrganization(
                 n_r=row_design.n_r, n_c=row_design.n_c,

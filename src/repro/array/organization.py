@@ -105,11 +105,13 @@ class BroadcastOrganization:
     """A stacked axis of organizations sharing one word width.
 
     ``n_r`` / ``n_c`` are integer arrays (conventionally shaped
-    ``(R, 1, 1, 1)`` so they broadcast as the leading axis over a
-    ``(S, P, W)`` search grid); every property mirrors
-    :class:`ArrayOrganization` but returns arrays of the same shape.
-    The fused search engine uses this to evaluate one policy's *entire*
-    row-count axis in a single :meth:`SRAMArrayModel.evaluate` call.
+    ``(R, 1, 1, 1)``, so the row axis sits right-aligned at axis ``-4``
+    over a ``(S, P, W)`` search grid — and under a leading policy batch
+    axis the same shape broadcasts into ``(B, R, S, P, W)`` unchanged);
+    every property mirrors :class:`ArrayOrganization` but returns arrays
+    of the same shape.  The fused search engine uses this to evaluate
+    one policy's *entire* row-count axis — or a whole policy batch's —
+    in a single :meth:`SRAMArrayModel.evaluate` call.
 
     Consumers branch on ``is_broadcast`` where the scalar class uses a
     Python ``if`` over ``has_column_mux`` — the array path computes

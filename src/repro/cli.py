@@ -209,6 +209,15 @@ def run_serve(argv):
                              "(0 disables batching)")
     parser.add_argument("--max-pending", type=int, default=64,
                         help="in-flight bound; beyond it requests get 429")
+    parser.add_argument("--endpoint-max-batch", action="append",
+                        default=[], metavar="KIND=N",
+                        help="per-endpoint flush size override, e.g. "
+                             "'optimize=16' (repeatable; kinds: optimize,"
+                             " evaluate, montecarlo)")
+    parser.add_argument("--endpoint-max-wait-ms", action="append",
+                        default=[], metavar="KIND=MS",
+                        help="per-endpoint batch window override, e.g. "
+                             "'optimize=12.5' (repeatable)")
     parser.add_argument("--cache", default=".repro_cache.json",
                         help="characterization cache path ('' disables)")
     parser.add_argument("--voltage-mode", choices=("measured", "paper"),
@@ -235,10 +244,27 @@ def run_serve(argv):
             executor = "thread"
             print("single-CPU host: --executor auto selected the "
                   "shared-session thread pool")
+    overrides = {}
+    for flag, key, cast in (
+        ("--endpoint-max-batch", "max_batch", int),
+        ("--endpoint-max-wait-ms", "max_wait_ms", float),
+    ):
+        attr = flag.lstrip("-").replace("-", "_")
+        for spec in getattr(args, attr):
+            kind, _, value = spec.partition("=")
+            kind = kind.strip()
+            if not kind or not value:
+                parser.error("%s expects KIND=VALUE, got %r"
+                             % (flag, spec))
+            try:
+                overrides.setdefault(kind, {})[key] = cast(value)
+            except ValueError:
+                parser.error("%s: bad value in %r" % (flag, spec))
     config = ServiceConfig(
         host=args.host, port=args.port, executor=executor,
         workers=args.workers, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_pending=args.max_pending,
+        endpoint_overrides=overrides or None,
         cache_path=args.cache, voltage_mode=args.voltage_mode,
         jobs_path=args.jobs, store_path=args.store,
         job_workers=args.job_workers, job_lease_seconds=args.job_lease,

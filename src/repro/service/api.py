@@ -96,11 +96,15 @@ class OptimizeRequest:
         return _canonical("/v1/optimize", asdict(self))
 
     def group_key(self):
-        """Same flavor/method/engine searches share one warm dispatch."""
-        return ("optimize", self.flavor, self.method, self.engine)
+        """Same flavor/engine searches share one warm dispatch; the
+        method rides per-item, so a cell's voltage policies can fuse
+        into one policy-batched ``optimize_many`` evaluation when the
+        engine is ``"fused"``."""
+        return ("optimize", self.flavor, self.engine)
 
     def item(self):
-        return {"capacity_bytes": self.capacity_bytes}
+        return {"capacity_bytes": self.capacity_bytes,
+                "method": self.method}
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,11 @@ class ServiceConfig:
     max_batch: int = 8            # flush a group at this many items
     max_wait_ms: float = 5.0      # ... or this long after its first item
     max_pending: int = 64         # queued+executing bound (429 beyond)
+    #: Per-endpoint batching overrides, {kind: {"max_batch": int,
+    #: "max_wait_ms": float}} with either key optional — e.g. widen the
+    #: optimize window so fused policy batches fill up while evaluate
+    #: stays latency-biased.  None = queue-wide limits everywhere.
+    endpoint_overrides: dict = None
     cache_entries: int = 256      # result-cache LRU capacity
     cache_ttl: float = 300.0      # result-cache TTL [s]; None = no expiry
     cache_path: str = DEFAULT_CACHE_PATH
@@ -106,14 +111,30 @@ class ServiceConfig:
         """The store location, when any store is configured at all."""
         return self.store_path or self.jobs_path
 
+    def batch_overrides(self):
+        """The per-kind overrides in :class:`BatchQueue` units
+        (``max_wait_ms`` becomes ``max_wait`` seconds)."""
+        overrides = {}
+        for kind, limits in (self.endpoint_overrides or {}).items():
+            converted = {}
+            if "max_batch" in limits:
+                converted["max_batch"] = limits["max_batch"]
+            if "max_wait_ms" in limits:
+                converted["max_wait"] = limits["max_wait_ms"] / 1e3
+            if converted:
+                overrides[kind] = converted
+        return overrides
+
 
 def _job_from_group(group_key, items):
     """Rebuild the plain-data job a worker executes from a batch."""
     kind = group_key[0]
     if kind == "optimize":
-        _, flavor, method, engine = group_key
-        return {"kind": kind, "flavor": flavor, "method": method,
-                "engine": engine, "items": items}
+        # The method rides per-item (it is not part of the group key),
+        # so one fused dispatch can policy-batch a cell's methods.
+        _, flavor, engine = group_key
+        return {"kind": kind, "flavor": flavor, "engine": engine,
+                "items": items}
     if kind == "evaluate":
         return {"kind": kind, "flavor": group_key[1], "items": items}
     if kind == "montecarlo":
@@ -197,6 +218,7 @@ class OptimizationServer:
             max_wait=config.max_wait_ms / 1e3,
             max_pending=config.max_pending,
             on_batch=self.metrics.observe_batch,
+            overrides=config.batch_overrides(),
         )
         self._start_jobs()
         self._server = await asyncio.start_server(
@@ -586,6 +608,11 @@ class OptimizationServer:
                 "max_batch": self.config.max_batch,
                 "max_wait_ms": self.config.max_wait_ms,
                 "max_pending": self.config.max_pending,
+                "endpoint_overrides": {
+                    kind: dict(limits)
+                    for kind, limits in
+                    (self.config.endpoint_overrides or {}).items()
+                },
             },
         }
         if self.jobs is not None:

@@ -127,3 +127,84 @@ def test_fused_infeasible_space_raises(paper_session):
     policy = make_policy("M2", paper_session.yield_levels("hvt"))
     with pytest.raises(DesignSpaceError):
         optimizer.optimize(1024 * 8, policy, engine="fused")
+
+
+# ---------------------------------------------------------------------------
+# Policy-batched optimize_many (one dispatch per cell's policy set)
+# ---------------------------------------------------------------------------
+
+#: The 10 (flavor, capacity) cells; each one policy-batches all METHODS,
+#: so together they still cover the full 20-cell study matrix.
+POLICY_BATCH_CELLS = [
+    (flavor, capacity)
+    for flavor in FLAVORS
+    for capacity in CAPACITIES_BYTES
+]
+
+
+def _optimize_many(paper_session, flavor, capacity_bytes, model=None):
+    model = model or paper_session.model(flavor)
+    optimizer = ExhaustiveOptimizer(
+        model, DesignSpace(), paper_session.constraint(flavor)
+    )
+    levels = paper_session.yield_levels(flavor)
+    policies = [make_policy(method, levels) for method in METHODS]
+    return optimizer.optimize_many(capacity_bytes * 8, policies,
+                                   keep_landscape=True)
+
+
+@pytest.mark.parametrize("flavor,capacity_bytes", POLICY_BATCH_CELLS)
+def test_optimize_many_parity_on_study_matrix(paper_session, flavor,
+                                              capacity_bytes):
+    batched = _optimize_many(paper_session, flavor, capacity_bytes)
+    assert len(batched) == len(METHODS)
+    for method, result in zip(METHODS, batched):
+        for engine in ("loop", "vectorized", "fused"):
+            ref = _optimize(paper_session, flavor, method,
+                            capacity_bytes, engine)
+            _assert_identical(result, ref)
+
+
+def test_optimize_many_is_one_broadcast_call(paper_session):
+    model = CountingModel(paper_session.model("hvt"))
+    results = _optimize_many(paper_session, "hvt", 16384, model=model)
+    # One broadcast call scores every policy's whole space at once; the
+    # only scalar calls are each winner's final re-evaluation.
+    assert model.broadcast_calls == 1
+    assert model.scalar_calls == len(METHODS)
+    assert all(result.n_evaluated > 0 for result in results)
+
+
+@pytest.mark.parametrize("block_elements", [1, 10 ** 9])
+def test_optimize_many_blocked_and_unblocked_match_loop(paper_session,
+                                                        block_elements):
+    model = paper_session.model("hvt")
+    original = model.broadcast_block_elements
+    model.broadcast_block_elements = block_elements
+    try:
+        batched = _optimize_many(paper_session, "hvt", 1024, model=model)
+    finally:
+        model.broadcast_block_elements = original
+    for method, result in zip(METHODS, batched):
+        ref = _optimize(paper_session, "hvt", method, 1024, "loop")
+        _assert_identical(result, ref)
+
+
+def test_optimize_many_rejects_non_fused_engines(paper_session):
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt")
+    )
+    levels = paper_session.yield_levels("hvt")
+    policies = [make_policy(method, levels) for method in METHODS]
+    for engine in ("loop", "vectorized"):
+        with pytest.raises(ValueError):
+            optimizer.optimize_many(1024 * 8, policies, engine=engine)
+
+
+def test_optimize_many_empty_policy_list(paper_session):
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt")
+    )
+    assert optimizer.optimize_many(1024 * 8, []) == []

@@ -224,6 +224,45 @@ def test_coalesced_montecarlo_is_bit_identical_to_serial(paper_session):
         assert payload["n"] == n and payload["seed"] == seed
 
 
+def test_fused_optimize_requests_policy_batch_bit_identically(
+        paper_session):
+    # A dedicated server with a generous optimize batch window (via the
+    # per-endpoint override) so both methods' concurrent requests fuse
+    # into one policy-batched optimize_many dispatch.
+    config = ServiceConfig(
+        port=0, executor="thread", workers=2, max_wait_ms=5.0,
+        endpoint_overrides={"optimize": {"max_wait_ms": 250.0}},
+    )
+    with ServerThread(config, session=paper_session) as running:
+        before = counter_value("service.engine.optimize_fused_dispatches")
+
+        def call(method):
+            with ServiceClient(port=running.port) as c:
+                return c.optimize(512, flavor="hvt", method=method,
+                                  engine="fused")
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            served = list(pool.map(call, ("M1", "M2")))
+        after = counter_value("service.engine.optimize_fused_dispatches")
+        with ServiceClient(port=running.port) as c:
+            overrides = c.metrics()["batching"]["endpoint_overrides"]
+
+    assert after - before >= 1, "batch window missed: no fused dispatch"
+    assert overrides == {"optimize": {"max_wait_ms": 250.0}}
+    from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt")
+    )
+    for method, payload in zip(("M1", "M2"), served):
+        policy = make_policy(method, paper_session.yield_levels("hvt"))
+        direct = optimizer.optimize(512 * 8, policy, engine="fused")
+        assert payload["design"]["n_r"] == direct.design.n_r
+        assert payload["design"]["v_ssc"] == float(direct.design.v_ssc)
+        assert payload["metrics"]["edp"] == direct.metrics.edp
+        assert payload["method"] == method
+
+
 def test_montecarlo_summary_fields(client):
     payload = client.montecarlo(8, flavor="hvt", seed=3,
                                 metrics=("hsnm", "rsnm"))
