@@ -8,6 +8,9 @@ PRs can track the search-performance trajectory:
 
 * ``single.*`` — one 16KB/HVT/M2 exhaustive search per engine, the
   configuration the acceptance gate tracks;
+* ``pruning.*`` — the bound-and-prune engine against the fused engine
+  on every study cell: wall time plus the fraction of the space it
+  actually evaluated;
 * ``matrix.*`` — the full 20-cell study, serial and parallel;
 * ``arena.*`` — shared-memory session transport: publish once, attach
   zero-copy, versus the warm-cache ``Session.create`` a process worker
@@ -21,10 +24,16 @@ import os
 import platform
 import time
 
-from repro.analysis.experiments import Session
+from repro.analysis.experiments import (
+    CAPACITIES_BYTES,
+    FLAVORS,
+    METHODS,
+    Session,
+)
 from repro.analysis.runner import run_study
 from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
 from repro.shm import SessionArena
+from repro.units import capacity_label
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_search.json")
@@ -70,6 +79,49 @@ def _time_many(paper_session, repeats=3):
     return best, len(policies), results
 
 
+def _time_cell(paper_session, flavor, method, capacity_bytes, engine,
+               repeats=3):
+    """Best-of-N wall time of one study cell's search [s] + its result."""
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model(flavor), DesignSpace(),
+        paper_session.constraint(flavor),
+    )
+    policy = make_policy(method, paper_session.yield_levels(flavor))
+    result = optimizer.optimize(capacity_bytes * 8, policy,
+                                engine=engine)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        optimizer.optimize(capacity_bytes * 8, policy, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _bench_pruning(paper_session):
+    """Pruned vs fused over every study cell: time, rate, correctness."""
+    cells = {}
+    for flavor in FLAVORS:
+        for method in METHODS:
+            for capacity in CAPACITIES_BYTES:
+                fused_s, fused = _time_cell(paper_session, flavor,
+                                            method, capacity, "fused")
+                pruned_s, pruned = _time_cell(paper_session, flavor,
+                                              method, capacity, "pruned")
+                # The prune must never change the answer.
+                assert pruned.design == fused.design
+                assert pruned.metrics.edp == fused.metrics.edp
+                label = "%s/%s/%s" % (
+                    capacity_label(capacity), flavor.upper(), method)
+                cells[label] = {
+                    "capacity_bytes": capacity,
+                    "fused_ms": round(fused_s * 1e3, 3),
+                    "pruned_ms": round(pruned_s * 1e3, 3),
+                    "evaluated_fraction": round(
+                        pruned.n_evaluated / fused.n_evaluated, 4),
+                }
+    return cells
+
+
 def _time_arena(paper_session, repeats=5):
     """Publish/attach/rebuild wall times for the session arena [s]."""
     publish = attach = float("inf")
@@ -105,7 +157,9 @@ def bench_parallel_study_matrix(paper_session, report_writer):
     single_loop = _time_engine(paper_session, "loop")
     single_vec = _time_engine(paper_session, "vectorized")
     single_fused = _time_engine(paper_session, "fused")
+    single_pruned = _time_engine(paper_session, "pruned")
     fused_many, many_policies, many_results = _time_many(paper_session)
+    pruning_cells = _bench_pruning(paper_session)
     arena_publish, arena_attach, warm_create, arena_nbytes = (
         _time_arena(paper_session))
 
@@ -138,6 +192,20 @@ def bench_parallel_study_matrix(paper_session, report_writer):
             "fused_many_policies": many_policies,
             "fused_many_vs_per_policy_fused":
                 (many_policies * single_fused) / fused_many,
+            # Bound-and-prune on the gate cell: the answer is identical,
+            # only a fraction of the space gets scored.
+            "pruned_seconds": single_pruned,
+            "pruned_vs_fused": single_fused / single_pruned,
+        },
+        "pruning": {
+            "cells": pruning_cells,
+            "total_fused_seconds": sum(
+                c["fused_ms"] for c in pruning_cells.values()) / 1e3,
+            "total_pruned_seconds": sum(
+                c["pruned_ms"] for c in pruning_cells.values()) / 1e3,
+            "min_evaluated_fraction_16kb": min(
+                c["evaluated_fraction"] for c in pruning_cells.values()
+                if c["capacity_bytes"] == 16384),
         },
         "arena": {
             "nbytes": arena_nbytes,
@@ -173,6 +241,13 @@ def bench_parallel_study_matrix(paper_session, report_writer):
         "(%.2fx vs %d per-policy fused searches)"
         % (many_policies, fused_many * 1e3,
            (many_policies * single_fused) / fused_many, many_policies),
+        "bound-and-prune 16KB/HVT/M2: %.1f ms (%.2fx vs fused); "
+        "matrix totals: fused %.1f ms, pruned %.1f ms, min 16KB "
+        "evaluated fraction %.2f"
+        % (single_pruned * 1e3, single_fused / single_pruned,
+           baseline["pruning"]["total_fused_seconds"] * 1e3,
+           baseline["pruning"]["total_pruned_seconds"] * 1e3,
+           baseline["pruning"]["min_evaluated_fraction_16kb"]),
         "session arena (%.1f KB): publish %.2f ms, attach+rebuild "
         "%.2f ms vs warm Session.create %.1f ms (%.0fx)"
         % (arena_nbytes / 1024.0, arena_publish * 1e3, arena_attach * 1e3,
@@ -204,6 +279,16 @@ def bench_parallel_study_matrix(paper_session, report_writer):
         key = (16384, "hvt", result.method)
         assert result.design == serial.sweep.results[key].design
         assert result.metrics.edp == serial.sweep.results[key].metrics.edp
+    # Pruning gates: on at least one 16KB cell the pruned engine must
+    # skip >= half the space, and it must win wall-clock over the whole
+    # matrix.  Per cell a loose 2x bound catches pathological slowdowns
+    # while tolerating the few high-survivor cells where the chunked
+    # tile dispatch pays more call overhead than one fused shot.
+    assert baseline["pruning"]["min_evaluated_fraction_16kb"] <= 0.5
+    for label, cell in pruning_cells.items():
+        assert cell["pruned_ms"] <= cell["fused_ms"] * 2.0, label
+    assert (baseline["pruning"]["total_pruned_seconds"]
+            <= baseline["pruning"]["total_fused_seconds"])
     # Attaching the arena must at least keep pace with rebuilding from
     # the on-disk cache (its real win is deduplicating the LUT memory
     # across workers, so a small timing margin is enough here).

@@ -20,6 +20,12 @@ A second pair of scenarios drives concurrent *distinct* fused optimize
 requests with request fusion on (widened per-endpoint batch window)
 versus off, recording the optimize batch-size buckets, throughput, and
 how many groups fused into policy-batched ``optimize_many`` dispatches.
+
+A third scenario drives ``/v1/pareto`` against a store-backed server:
+every combo's front is swept exactly once by the bound-and-prune
+engine, repeat requests resolve from the result cache, and requests
+differing only in their ``E^a D^b`` exponents dedup through the
+exponent-free store payload.
 """
 
 from __future__ import annotations
@@ -232,6 +238,97 @@ def _run_fusion_scenario(label, session, fusion):
     return report
 
 
+#: The distinct /v1/pareto requests of the Pareto scenario.
+PARETO_COMBOS = tuple(
+    (capacity, method)
+    for capacity in OPTIMIZE_CAPACITIES
+    for method in ("M1", "M2")
+)
+
+
+def _run_pareto_scenario(label, session, store_path):
+    """Three concurrent waves over PARETO_COMBOS: a cold sweep, an
+    exponent-shifted wave (store dedup: zero new sweeps), and an exact
+    repeat (result-cache hits)."""
+    from repro import perf
+
+    def counter(name):
+        return perf.get_registry().snapshot()["counters"].get(name, 0)
+
+    config = ServiceConfig(
+        port=0, executor="thread", workers=2, max_wait_ms=5.0,
+        cache_path=CACHE_PATH, store_path=store_path,
+    )
+    before_sweeps = counter("service.engine.pareto_sweeps")
+    with ServerThread(config, session=session) as running:
+        def call(combo, energy_exponent, delay_exponent):
+            capacity, method = combo
+            start = time.perf_counter()
+            with ServiceClient(port=running.port) as client:
+                payload = client.pareto(
+                    capacity, flavor="hvt", method=method,
+                    energy_exponent=energy_exponent,
+                    delay_exponent=delay_exponent)
+            return time.perf_counter() - start, payload
+
+        start = time.perf_counter()
+        latencies = []
+        payloads = []
+        for exponents in ((1.0, 1.0), (1.0, 2.0), (1.0, 1.0)):
+            with ThreadPoolExecutor(
+                    max_workers=len(PARETO_COMBOS)) as pool:
+                wave = list(pool.map(
+                    lambda combo: call(combo, *exponents),
+                    PARETO_COMBOS,
+                ))
+            latencies += [seconds for seconds, _ in wave]
+            payloads.append([payload for _, payload in wave])
+        elapsed = time.perf_counter() - start
+        with ServiceClient(port=running.port) as client:
+            metrics = client.metrics()
+
+    report = {
+        "requests": len(latencies),
+        "combos": len(PARETO_COMBOS),
+        "seconds": elapsed,
+        "throughput_rps": len(latencies) / elapsed,
+        "latency_ms": {
+            "mean": sum(latencies) / len(latencies) * 1e3,
+            "p50": _percentile(latencies, 0.50) * 1e3,
+            "max": max(latencies) * 1e3,
+        },
+        "sweeps": counter("service.engine.pareto_sweeps") - before_sweeps,
+        "front_sizes": {
+            "%dB/%s" % combo: len(payload["front"])
+            for combo, payload in zip(PARETO_COMBOS, payloads[0])
+        },
+        "tiles_pruned": sum(p["tiles_pruned"] for p in payloads[0]),
+        "cache": {
+            "hits": metrics["cache"]["hits"],
+            "misses": metrics["cache"]["misses"],
+        },
+    }
+    print("%-13s %4d req in %6.2f s  %6.1f req/s  sweeps=%d  "
+          "cache hits=%d"
+          % (label, report["requests"], elapsed,
+             report["throughput_rps"], report["sweeps"],
+             report["cache"]["hits"]))
+
+    # Every front must be non-empty, exponent-shifted answers must share
+    # the cold wave's fronts (store dedup, no second sweep), and the
+    # exact repeats must be cache hits.
+    for wave in payloads:
+        assert all(payload["front"] for payload in wave)
+    for cold, shifted in zip(payloads[0], payloads[1]):
+        assert cold["front"] == shifted["front"]
+        assert shifted["best_weighted"]["delay_exponent"] == 2.0
+    assert report["sweeps"] == len(PARETO_COMBOS), (
+        "store dedup failed: exponent-shifted wave re-ran sweeps"
+    )
+    assert all(p["meta"]["cached"] for p in payloads[2])
+    return report
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -256,6 +353,13 @@ def main(argv=None):
     fusion_on = _run_fusion_scenario("fusion-on", session, fusion=True)
     fusion_off = _run_fusion_scenario("fusion-off", session,
                                       fusion=False)
+
+    print("driving 3 waves of %d concurrent /v1/pareto requests..."
+          % len(PARETO_COMBOS))
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        pareto = _run_pareto_scenario(
+            "pareto", session, os.path.join(tmp, "store.db"))
 
     baseline = {
         "schema": "BENCH_service/v1",
@@ -284,6 +388,7 @@ def main(argv=None):
             "throughput_ratio": (fusion_on["throughput_rps"]
                                  / fusion_off["throughput_rps"]),
         },
+        "pareto": pareto,
     }
     with open(args.output, "w") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)

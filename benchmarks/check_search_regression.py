@@ -13,6 +13,12 @@ the baseline.  Because both engines execute the same arithmetic, that
 factor cancels out hardware differences between the committed baseline
 and the CI runner, leaving only genuine code regressions.
 
+The policy-batched (``optimize_many``) and bound-and-prune (``pruned``)
+paths ride the same machine factor as extra legs; the pruned leg also
+re-checks that pruning leaves the 16KB/HVT/M2 argmin bit-identical to
+the fused engine's before timing it.  Legs whose baseline fields are
+missing (older baselines) skip gracefully.
+
 Exit codes: 0 = pass (or graceful skip), 1 = fused regression beyond
 the threshold.  Skips cleanly when the baseline is missing or predates
 the fused engine (no ``single.fused_seconds`` field).
@@ -129,6 +135,39 @@ def main():
         failed = failed or many_regression > THRESHOLD
     else:
         print("  policy-batched: baseline predates optimize_many — "
+              "leg skipped")
+
+    # The bound-and-prune engine rides the same machine factor.  Before
+    # timing it, its answer must equal the fused engine's on the gate
+    # cell — a wrong prune is a correctness bug, not a perf regression.
+    base_pruned = single.get("pruned_seconds")
+    if base_pruned:
+        from repro.opt import DesignSpace, ExhaustiveOptimizer, \
+            make_policy
+
+        optimizer = ExhaustiveOptimizer(
+            session.model("hvt"), DesignSpace(),
+            session.constraint("hvt"))
+        policy = make_policy("M2", session.yield_levels("hvt"))
+        fused_ref = optimizer.optimize(16384 * 8, policy, engine="fused")
+        pruned_ref = optimizer.optimize(16384 * 8, policy,
+                                        engine="pruned")
+        if (pruned_ref.design != fused_ref.design
+                or pruned_ref.metrics.edp != fused_ref.metrics.edp):
+            print("  bound-and-prune: argmin DIVERGED from fused "
+                  "(design %s vs %s)"
+                  % (pruned_ref.design, fused_ref.design))
+            failed = True
+        now_pruned = _time_engine(session, "pruned")
+        expected_pruned = base_pruned * machine_factor
+        pruned_regression = now_pruned / expected_pruned - 1.0
+        print("  bound-and-prune: baseline %.2f ms, measured %.2f ms, "
+              "regression %+.1f%% (threshold +%.0f%%)"
+              % (base_pruned * 1e3, now_pruned * 1e3,
+                 pruned_regression * 100.0, THRESHOLD * 100.0))
+        failed = failed or pruned_regression > THRESHOLD
+    else:
+        print("  bound-and-prune: baseline predates the pruned engine — "
               "leg skipped")
 
     if failed:

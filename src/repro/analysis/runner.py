@@ -108,6 +108,40 @@ class TaskTiming:
 
 
 @dataclass
+class ParetoSweep:
+    """Pareto fronts for every requested capacity/flavor/method cell."""
+
+    results: dict         # (capacity_bytes, flavor, method) -> ParetoSearchResult
+    voltage_mode: str
+
+    def get(self, capacity_bytes, flavor, method):
+        return self.results[(capacity_bytes, flavor, method)]
+
+    def rows(self):
+        rows = []
+        for capacity, flavor, method in sorted(self.results):
+            res = self.results[(capacity, flavor, method)]
+            front = res.front
+            rows.append({
+                "cell": "%s/%s/%s" % (capacity_label(capacity),
+                                      flavor.upper(), method),
+                "front": len(front),
+                "evaluated": res.n_evaluated,
+                "tiles_pruned": res.tiles_pruned,
+                "min delay (ns)": min(p.d_array for p in front) * 1e9,
+                "min energy (fJ)": min(p.e_total for p in front) * 1e15,
+            })
+        return rows
+
+    def report(self):
+        return render_dict_table(
+            self.rows(),
+            title="Energy-delay Pareto fronts (%s voltages)"
+            % self.voltage_mode,
+        )
+
+
+@dataclass
 class StudyRunResult:
     """A finished study: the sweep plus its execution telemetry."""
 
@@ -186,10 +220,11 @@ def _worker_init(cache_path, voltage_mode, space, margin_memos,
     _WORKER_STATE["space"] = space
 
 
-def _run_unit_in_worker(unit, engine, keep_landscape):
+def _run_unit_in_worker(unit, engine, keep_landscape, objective="edp"):
     session = _WORKER_STATE["session"]
     space = _WORKER_STATE["space"]
-    entries = _execute_unit(session, space, unit, engine, keep_landscape)
+    entries = _execute_unit(session, space, unit, engine, keep_landscape,
+                            objective)
     # Snapshot-and-reset so each returned snapshot is a disjoint delta;
     # the parent merges them all without double counting.
     registry = perf.get_registry()
@@ -198,20 +233,26 @@ def _run_unit_in_worker(unit, engine, keep_landscape):
     return entries, os.getpid(), snapshot
 
 
-def _execute_task(session, space, task, engine, keep_landscape):
+def _execute_task(session, space, task, engine, keep_landscape,
+                  objective="edp"):
     start = time.perf_counter()
     model = session.model(task.flavor)
     constraint = session.constraint(task.flavor)
     optimizer = ExhaustiveOptimizer(model, space, constraint)
     policy = make_policy(task.method, session.yield_levels(task.flavor))
-    result = optimizer.optimize(
-        task.capacity_bytes * 8, policy, keep_landscape=keep_landscape,
-        engine=engine,
-    )
+    if objective == "pareto":
+        result = optimizer.pareto(
+            task.capacity_bytes * 8, policy, engine=engine,
+        )
+    else:
+        result = optimizer.optimize(
+            task.capacity_bytes * 8, policy,
+            keep_landscape=keep_landscape, engine=engine,
+        )
     return result, time.perf_counter() - start
 
 
-def _study_units(tasks, engine):
+def _study_units(tasks, engine, objective="edp"):
     """Group the task matrix into dispatch units.
 
     Every engine but ``"fused"`` dispatches one task per unit.  The
@@ -221,8 +262,12 @@ def _study_units(tasks, engine):
     :meth:`ExhaustiveOptimizer.optimize_many` evaluation.  Unit order
     (and task order within a unit) follows the canonical matrix order,
     so results remain deterministic.
+
+    Pareto sweeps always dispatch one task per unit: the pruned front
+    maintenance is incumbency-driven per cell, so there is no
+    policy-batched fast path to share.
     """
-    if engine != "fused":
+    if engine != "fused" or objective == "pareto":
         return [(task,) for task in tasks]
     groups = {}
     for task in tasks:
@@ -231,7 +276,8 @@ def _study_units(tasks, engine):
     return [tuple(group) for group in groups.values()]
 
 
-def _execute_unit(session, space, unit, engine, keep_landscape):
+def _execute_unit(session, space, unit, engine, keep_landscape,
+                  objective="edp"):
     """Run one dispatch unit; returns ``[(task, result, seconds), ...]``.
 
     Multi-task (fused) units share one broadcast evaluation, so the
@@ -242,7 +288,7 @@ def _execute_unit(session, space, unit, engine, keep_landscape):
     if len(unit) == 1:
         task = unit[0]
         result, seconds = _execute_task(session, space, task, engine,
-                                        keep_landscape)
+                                        keep_landscape, objective)
         return [(task, result, seconds)]
     start = time.perf_counter()
     flavor = unit[0].flavor
@@ -321,7 +367,7 @@ def _cancel_pending(futures):
 def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
               methods=METHODS, workers=None, executor="auto",
               engine="vectorized", keep_landscape=False, space=None,
-              cache_path=None, voltage_mode="paper"):
+              cache_path=None, voltage_mode="paper", objective="edp"):
     """Run the full study matrix, optionally across a worker pool.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or
@@ -330,7 +376,17 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     :class:`StudyRunResult` whose ``sweep`` is byte-for-byte the same
     :class:`SweepResult` a serial :func:`optimize_all` would produce,
     regardless of worker count or completion order.
+
+    ``objective="pareto"`` swaps each cell's min-EDP search for a
+    :meth:`~repro.opt.ExhaustiveOptimizer.pareto` sweep; the returned
+    ``sweep`` is then a :class:`ParetoSweep` of
+    :class:`~repro.opt.ParetoSearchResult` values.
     """
+    if objective not in ("edp", "pareto"):
+        raise ValueError(
+            "unknown objective %r (expected 'edp' or 'pareto')"
+            % (objective,)
+        )
     if session is None:
         session = Session.create(
             cache_path=cache_path or DEFAULT_CACHE_PATH,
@@ -357,7 +413,7 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     if workers == 1:
         executor = "serial"
     tasks = study_matrix(capacities, flavors, methods)
-    units = _study_units(tasks, engine)
+    units = _study_units(tasks, engine, objective)
     workers = min(workers, len(units))
 
     # Warm and export the margin memos once, in the parent: feasibility
@@ -383,7 +439,7 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
         for unit in units:
             try:
                 entries = _execute_unit(session, space, unit, engine,
-                                        keep_landscape)
+                                        keep_landscape, objective)
             except Exception as exc:
                 raise _unit_failure(unit, exc) from exc
             for task, result, seconds in entries:
@@ -394,7 +450,7 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_execute_unit, session, space, unit, engine,
-                            keep_landscape): unit
+                            keep_landscape, objective): unit
                 for unit in units
             }
             for future, unit in futures.items():
@@ -427,7 +483,7 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
             ) as pool:
                 futures = {
                     pool.submit(_run_unit_in_worker, unit, engine,
-                                keep_landscape): unit
+                                keep_landscape, objective): unit
                     for unit in units
                 }
                 for future, submitted in futures.items():
@@ -454,8 +510,12 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     perf.get_registry().add_time("study.run_study", total_seconds)
     perf.count("study.tasks", len(tasks))
 
-    sweep = SweepResult(results=results,
-                        voltage_mode=session.voltage_mode)
+    if objective == "pareto":
+        sweep = ParetoSweep(results=results,
+                            voltage_mode=session.voltage_mode)
+    else:
+        sweep = SweepResult(results=results,
+                            voltage_mode=session.voltage_mode)
     ordered_timings = [timings[task.key] for task in tasks]
     return StudyRunResult(
         sweep=sweep,

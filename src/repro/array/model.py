@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .components import ComponentSet, compute_components
+from .components import ComponentSet, _shared_precursors, compute_components
 from .config import ArrayConfig
 from .energy import read_energy, total_energy, write_energy
 from .organization import ArrayOrganization, BroadcastOrganization
@@ -300,6 +300,53 @@ class SRAMArrayModel:
                     % (design.n_r, design.n_c, capacity_bits)
                 )
         return self._evaluate_core(capacity_bits, design, org)
+
+    def evaluate_bounds(self, capacity_bits, design, n_pre_hi, n_wr_hi):
+        """Admissible per-organization *lower bounds* over a fin range.
+
+        Evaluates ``design`` — whose ``n_pre`` / ``n_wr`` must be the
+        fin-range *minima* — with the fin-dependent drive currents
+        (``i_pre``, ``i_bl_wr``; the only fin-dependent Table-2
+        precursors) taken at the range *maxima* ``n_pre_hi`` /
+        ``n_wr_hi``.  Every capacitance is nondecreasing and both
+        currents increasing in the fin counts, so each component delay
+        ``C dV / I`` and energy ``C V dV`` — and hence the max/sum
+        compositions ``d_array``, ``e_total``, and their product
+        ``edp`` — is a lower bound on its value at *any*
+        ``(N_pre, N_wr)`` in the range (see ``docs/MODELING.md`` §6).
+
+        The mixed-corner metrics are not a physical design point; only
+        the ``d_array`` / ``e_total`` / ``edp`` fields are meaningful as
+        bounds.  Bound tensors carry one element per organization (a few
+        hundred at most), so this always takes the cache-resident path —
+        the blocked executor is never involved.
+        """
+        if np.ndim(design.n_r) > 0 or np.ndim(design.n_c) > 0:
+            org = BroadcastOrganization(
+                n_r=design.n_r, n_c=design.n_c,
+                word_bits=self.config.word_bits,
+            )
+            if np.any(org.capacity_bits != capacity_bits):
+                raise ValueError(
+                    "broadcast design does not match capacity %d bits"
+                    % (capacity_bits,)
+                )
+        else:
+            org = ArrayOrganization(
+                n_r=design.n_r, n_c=design.n_c,
+                word_bits=self.config.word_bits,
+            )
+            if org.capacity_bits != capacity_bits:
+                raise ValueError(
+                    "design %dx%d does not match capacity %d bits"
+                    % (design.n_r, design.n_c, capacity_bits)
+                )
+        shared = _shared_precursors(
+            self.char, self.config, n_pre_hi, n_wr_hi,
+            design.v_ddc, design.v_ssc, design.v_wl, design.v_bl,
+        )
+        return self._evaluate_core(capacity_bits, design, org,
+                                   shared=shared)
 
     def _should_block(self, design, org):
         """Use the blocked executor when the organizations vary only

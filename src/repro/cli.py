@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli headline --profile
     python -m repro.cli montecarlo --samples 2000 --metrics hsnm,rsnm,wm
     python -m repro.cli all
+    python -m repro.cli pareto --capacities 16384 --flavors hvt
     python -m repro.cli serve --port 8787 --jobs jobs.db
     python -m repro.cli jobs submit --queue jobs.db --capacities 128,1024
     python -m repro.cli jobs work --queue jobs.db
@@ -177,6 +178,87 @@ def run_experiment(name, session, options=None):
     raise ValueError("unknown experiment %r" % (name,))
 
 
+def run_pareto(argv):
+    """The ``pareto`` subcommand: energy-delay Pareto fronts per cell.
+
+    Rides the same :func:`repro.analysis.run_study` path as the paper
+    sweeps with ``objective="pareto"``, so the fronts come from the
+    bound-and-prune engine (default) or any of the exhaustive fallbacks.
+    Alongside the front table it prints each cell's ``E^a * D^b``
+    minimizer for the requested exponents ((1, 1) = the EDP optimum).
+    """
+    from .analysis.experiments import CAPACITIES_BYTES, FLAVORS, METHODS
+    from .opt.pareto import best_weighted
+
+    parser = argparse.ArgumentParser(
+        prog="repro pareto",
+        description="Sweep energy-delay Pareto fronts over the study "
+                    "matrix (see docs/PERF.md on the pruned engine).",
+    )
+    parser.add_argument("--capacities", default=None,
+                        help="comma-separated capacities in bytes "
+                             "(default: the paper's five)")
+    parser.add_argument("--flavors", default=None,
+                        help="comma-separated subset of lvt,hvt")
+    parser.add_argument("--methods", default=None,
+                        help="comma-separated subset of M1,M2")
+    parser.add_argument("--engine",
+                        choices=("pruned", "fused", "vectorized", "loop"),
+                        default="pruned",
+                        help="search engine (pruned = bound-and-prune "
+                             "with incremental front maintenance)")
+    parser.add_argument("--energy-exponent", type=float, default=1.0,
+                        help="a in the E^a * D^b pick (default 1)")
+    parser.add_argument("--delay-exponent", type=float, default=1.0,
+                        help="b in the E^a * D^b pick (default 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count (1 = serial)")
+    parser.add_argument("--executor",
+                        choices=("auto", "serial", "thread", "process"),
+                        default="auto")
+    parser.add_argument("--cache", default=".repro_cache.json",
+                        help="characterization cache path ('' disables)")
+    parser.add_argument("--voltage-mode", choices=("measured", "paper"),
+                        default="paper")
+    parser.add_argument("--json", default=None,
+                        help="also dump the sweep to this path")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the perf telemetry report at the end")
+    args = parser.parse_args(argv)
+
+    capacities = (_parse_csv(args.capacities, int) if args.capacities
+                  else CAPACITIES_BYTES)
+    flavors = _parse_csv(args.flavors) if args.flavors else FLAVORS
+    methods = _parse_csv(args.methods) if args.methods else METHODS
+    run = run_study(
+        capacities=capacities, flavors=flavors, methods=methods,
+        workers=args.workers, executor=args.executor, engine=args.engine,
+        cache_path=args.cache or None, voltage_mode=args.voltage_mode,
+        objective="pareto",
+    )
+    sweep = run.sweep
+    print(sweep.report())
+    print()
+    print("best E^%.3g * D^%.3g design per cell:"
+          % (args.energy_exponent, args.delay_exponent))
+    for key in sorted(sweep.results):
+        result = sweep.results[key]
+        point = best_weighted(result.front, args.energy_exponent,
+                              args.delay_exponent)
+        print("  %6dB %-3s %-2s  %4dx%-4d pre=%-2d wr=%-2d "
+              "Vssc=%+.3f  D=%.3e s  E=%.3e J"
+              % (key[0], key[1].upper(), key[2], point.n_r,
+                 key[0] * 8 // point.n_r, point.n_pre, point.n_wr,
+                 point.v_ssc, point.d_array, point.e_total))
+    if args.json:
+        save_json(sweep, args.json)
+        print("result saved to %s" % args.json)
+    if args.profile:
+        print()
+        print(perf.get_registry().report())
+    return 0
+
+
 def run_serve(argv):
     """The ``serve`` subcommand: run the optimization service."""
     import asyncio
@@ -307,7 +389,7 @@ def run_jobs(argv):
     parser.add_argument("--methods", default=None,
                         help="submit: comma-separated subset of M1,M2")
     parser.add_argument("--engine",
-                        choices=("fused", "vectorized", "loop"),
+                        choices=("fused", "pruned", "vectorized", "loop"),
                         default="vectorized")
     parser.add_argument("--voltage-mode", choices=("measured", "paper"),
                         default="paper")
@@ -497,6 +579,8 @@ def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     try:
+        if argv and argv[0] == "pareto":
+            return run_pareto(argv[1:])
         if argv and argv[0] == "serve":
             return run_serve(argv[1:])
         if argv and argv[0] == "jobs":
@@ -530,11 +614,12 @@ def main(argv=None):
                         default="auto",
                         help="pool type for --workers > 1")
     parser.add_argument("--engine",
-                        choices=("fused", "vectorized", "batched",
-                                 "loop"),
+                        choices=("fused", "pruned", "vectorized",
+                                 "batched", "loop"),
                         default="vectorized",
                         help="search/cell engine (fused = the whole "
-                             "4-D space in one broadcast call; loop = "
+                             "4-D space in one broadcast call; pruned "
+                             "= bound-and-prune tile skipping; loop = "
                              "the reference point-by-point "
                              "implementation; batched = the vectorized "
                              "cell engine, montecarlo default)")

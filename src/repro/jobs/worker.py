@@ -64,7 +64,7 @@ from ..units import is_power_of_two
 from .queue import JobQueue
 
 #: Spec defaults / validation domains.
-STUDY_ENGINES = ("fused", "vectorized", "loop")
+STUDY_ENGINES = ("fused", "pruned", "vectorized", "loop")
 VOLTAGE_MODES = ("paper", "measured")
 
 

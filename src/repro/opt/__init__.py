@@ -5,10 +5,16 @@ Public API:
 * :class:`DesignSpace` — the paper's search ranges.
 * :class:`YieldLevels` / :func:`make_policy` — the M1/M2 rail policies.
 * :class:`YieldConstraint` — min(HSNM, RSNM, WM) >= delta.
-* :class:`ExhaustiveOptimizer` — the minimum-EDP search.
-* :func:`pareto_front` — energy-delay trade-off analysis (extension).
+* :class:`ExhaustiveOptimizer` — the minimum-EDP search (four engines:
+  ``loop`` / ``vectorized`` / ``fused`` / ``pruned``) and the
+  :meth:`~ExhaustiveOptimizer.pareto` front sweep.
+* :func:`tile_lower_bounds` — admissible per-(n_r, V_SSC) bounds behind
+  the ``pruned`` engine.
+* :func:`pareto_front` / :class:`ParetoFrontBuilder` — energy-delay
+  trade-off analysis (extension).
 """
 
+from .bounds import TileBounds, tile_lower_bounds
 from .constraints import MonteCarloYieldConstraint, YieldConstraint
 from .exhaustive import ExhaustiveOptimizer
 from .methods import (
@@ -20,7 +26,13 @@ from .methods import (
     policy_m2,
     policy_m2_negative_bl,
 )
-from .pareto import ParetoPoint, best_weighted, pareto_front
+from .pareto import (
+    ParetoFrontBuilder,
+    ParetoPoint,
+    ParetoSearchResult,
+    best_weighted,
+    pareto_front,
+)
 from .results import LandscapePoint, OptimizationResult
 from .space import DesignSpace
 
@@ -31,7 +43,10 @@ __all__ = [
     "LandscapePoint",
     "MonteCarloYieldConstraint",
     "OptimizationResult",
+    "ParetoFrontBuilder",
     "ParetoPoint",
+    "ParetoSearchResult",
+    "TileBounds",
     "VoltagePolicy",
     "YieldConstraint",
     "YieldLevels",
@@ -41,4 +56,5 @@ __all__ = [
     "policy_m1",
     "policy_m2",
     "policy_m2_negative_bl",
+    "tile_lower_bounds",
 ]

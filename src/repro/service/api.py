@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 import json
+import math
 
 from ..errors import ReproError
 
 FLAVORS = ("lvt", "hvt")
 METHODS = ("M1", "M2")
-SEARCH_ENGINES = ("fused", "vectorized", "loop")
+SEARCH_ENGINES = ("fused", "pruned", "vectorized", "loop")
 CELL_ENGINES = ("batched", "loop")
 MC_METRICS = ("hsnm", "rsnm", "wm")
 
@@ -105,6 +106,66 @@ class OptimizeRequest:
     def item(self):
         return {"capacity_bytes": self.capacity_bytes,
                 "method": self.method}
+
+
+@dataclass(frozen=True)
+class ParetoRequest:
+    """``POST /v1/pareto`` — energy-delay Pareto front for one capacity.
+
+    The ``energy_exponent`` / ``delay_exponent`` pair parameterizes the
+    ``best_weighted`` pick (``E^a * D^b``) *on top of* the front; they
+    are deliberately excluded from the batch item and the store payload,
+    so requests differing only in exponents share one sweep and one
+    stored front.
+    """
+
+    capacity_bytes: int
+    flavor: str
+    method: str
+    engine: str
+    energy_exponent: float
+    delay_exponent: float
+
+    @classmethod
+    def parse(cls, body):
+        capacity = _require(body, "capacity_bytes", int)
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise BadRequest(
+                "capacity_bytes must be a positive power of two, got %d"
+                % capacity
+            )
+
+        def exponent(field):
+            value = _require(body, field, float, default=1.0)
+            if not math.isfinite(value) or value <= 0.0:
+                raise BadRequest(
+                    "field %r must be a finite positive number, got %r"
+                    % (field, value)
+                )
+            return float(value)
+
+        return cls(
+            capacity_bytes=capacity,
+            flavor=_choice(body, "flavor", FLAVORS, "hvt"),
+            method=_choice(body, "method", METHODS, "M2"),
+            engine=_choice(body, "engine", SEARCH_ENGINES, "pruned"),
+            energy_exponent=exponent("energy_exponent"),
+            delay_exponent=exponent("delay_exponent"),
+        )
+
+    def key(self):
+        return _canonical("/v1/pareto", asdict(self))
+
+    def group_key(self):
+        """Same flavor/engine sweeps share one warm dispatch (mirrors
+        the optimize group)."""
+        return ("pareto", self.flavor, self.engine)
+
+    def item(self):
+        return {"capacity_bytes": self.capacity_bytes,
+                "method": self.method,
+                "energy_exponent": self.energy_exponent,
+                "delay_exponent": self.delay_exponent}
 
 
 @dataclass(frozen=True)
@@ -216,6 +277,7 @@ class MonteCarloRequest:
 #: Route -> parser for the POST API endpoints.
 PARSERS = {
     "/v1/optimize": OptimizeRequest.parse,
+    "/v1/pareto": ParetoRequest.parse,
     "/v1/evaluate": EvaluateRequest.parse,
     "/v1/montecarlo": MonteCarloRequest.parse,
 }

@@ -146,6 +146,23 @@ class ServiceClient:
             "engine": engine,
         })[1]
 
+    def pareto(self, capacity_bytes, flavor="hvt", method="M2",
+               engine="pruned", energy_exponent=1.0, delay_exponent=1.0):
+        """Energy-delay Pareto front for one capacity.
+
+        The payload carries the full ``front`` plus a ``best_weighted``
+        pick minimizing ``E^energy_exponent * D^delay_exponent`` over
+        the front ((1, 1) recovers the EDP optimum).
+        """
+        return self.request("POST", "/v1/pareto", {
+            "capacity_bytes": capacity_bytes,
+            "flavor": flavor,
+            "method": method,
+            "engine": engine,
+            "energy_exponent": energy_exponent,
+            "delay_exponent": delay_exponent,
+        })[1]
+
     def evaluate(self, design, flavor="hvt"):
         """Metrics/margins of one explicit design point.
 

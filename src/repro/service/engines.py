@@ -1,7 +1,8 @@
 """Batch-job execution against the optimization engines.
 
 One *job* is a plain-data dict a :class:`~repro.service.batching.BatchQueue`
-flush produced: a ``kind`` (optimize / evaluate / montecarlo), the
+flush produced: a ``kind`` (optimize / pareto / evaluate / montecarlo),
+the
 group's shared fields, and the batched ``items``.  Jobs cross the
 executor boundary as-is — picklable both ways — and come back as one
 JSON-able payload per item, so the event loop never touches numpy.
@@ -158,6 +159,86 @@ def _optimize_group(session, job):
     return payloads
 
 
+def front_fields(front):
+    """The serialized rows of one Pareto front, in delay order."""
+    return [
+        {
+            "d_array": _finite(p.d_array),
+            "e_total": _finite(p.e_total),
+            "edp": _finite(p.edp),
+            "n_r": int(p.n_r),
+            "v_ssc": float(p.v_ssc),
+            "n_pre": int(p.n_pre),
+            "n_wr": int(p.n_wr),
+        }
+        for p in front
+    ]
+
+
+def best_weighted_fields(front_rows, energy_exponent, delay_exponent):
+    """The ``E^a * D^b`` pick from *serialized* front rows.
+
+    Plain-data twin of :func:`repro.opt.best_weighted`: it consumes the
+    stored front rows directly, so the server can re-derive the pick for
+    a store-served response without rebuilding optimizer objects.  Same
+    floats, same first-wins ``min`` tie order.
+    """
+    best = min(
+        front_rows,
+        key=lambda row: (row["e_total"] ** energy_exponent)
+        * (row["d_array"] ** delay_exponent),
+    )
+    return {
+        "energy_exponent": float(energy_exponent),
+        "delay_exponent": float(delay_exponent),
+        "point": dict(best),
+    }
+
+
+def _pareto_group(session, job):
+    flavor = job["flavor"]
+    engine = job["engine"]
+    optimizer = ExhaustiveOptimizer(
+        session.model(flavor), DesignSpace(), session.constraint(flavor)
+    )
+    levels = session.yield_levels(flavor)
+    payloads = []
+    for item in job["items"]:
+        perf.count("service.engine.pareto_sweeps")
+        policy = make_policy(item["method"], levels)
+        try:
+            result = optimizer.pareto(
+                item["capacity_bytes"] * 8, policy, engine=engine
+            )
+        except ReproError as exc:
+            payloads.append(_failed(422, str(exc)))
+            continue
+        # The stored payload is exponent-free: requests differing only
+        # in the best_weighted exponents deduplicate to one front in
+        # the experiment store, and the server re-derives the pick on
+        # store hits.
+        stored = {
+            "capacity_bits": int(result.capacity_bits),
+            "capacity_bytes": int(result.capacity_bytes),
+            "flavor": flavor,
+            "method": item["method"],
+            "front": front_fields(result.front),
+            "n_evaluated": int(result.n_evaluated),
+            "n_tiles": int(result.n_tiles),
+            "tiles_pruned": int(result.tiles_pruned),
+        }
+        response = payload_json_safe(stored)
+        response["engine"] = engine
+        response["best_weighted"] = best_weighted_fields(
+            response["front"], item["energy_exponent"],
+            item["delay_exponent"],
+        )
+        entry = _ok(response)
+        entry["store_payload"] = stored
+        payloads.append(entry)
+    return payloads
+
+
 def _evaluate_group(session, job):
     flavor = job["flavor"]
     model = session.model(flavor)
@@ -271,6 +352,7 @@ def _montecarlo_group(session, job):
 
 _EXECUTORS = {
     "optimize": _optimize_group,
+    "pareto": _pareto_group,
     "evaluate": _evaluate_group,
     "montecarlo": _montecarlo_group,
 }

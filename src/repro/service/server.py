@@ -12,6 +12,8 @@ Request lifecycle::
 Endpoints:
 
 * ``POST /v1/optimize``    — min-EDP design for one capacity/flavor/method
+* ``POST /v1/pareto``      — energy-delay Pareto front (+ ``E^a D^b``
+  pick) for one capacity/flavor/method
 * ``POST /v1/evaluate``    — metrics/margins of one explicit design point
 * ``POST /v1/montecarlo``  — cell margin distributions
 * ``POST /v1/jobs``        — submit a durable study sweep (202 Accepted)
@@ -54,6 +56,7 @@ from .api import PARSERS, BadRequest, parse_request
 from .batching import BatchQueue, QueueFull
 from .cache import ResultCache, Singleflight
 from .engines import (
+    best_weighted_fields,
     execute_job,
     run_job_in_worker,
     warm_margin_memos,
@@ -70,6 +73,7 @@ from ..shm import SessionArena
 from ..store import (
     ExperimentStore,
     make_provenance,
+    pareto_cell_key,
     payload_json_safe,
     study_cell_key,
 )
@@ -129,7 +133,7 @@ class ServiceConfig:
 def _job_from_group(group_key, items):
     """Rebuild the plain-data job a worker executes from a batch."""
     kind = group_key[0]
-    if kind == "optimize":
+    if kind in ("optimize", "pareto"):
         # The method rides per-item (it is not part of the group key),
         # so one fused dispatch can policy-batch a cell's methods.
         _, flavor, engine = group_key
@@ -421,6 +425,13 @@ class OptimizationServer:
                 response = payload_json_safe(stored)
                 response.pop("landscape", None)
                 response["engine"] = req.engine
+                if route == "/v1/pareto":
+                    # The stored front is exponent-free; the E^a D^b
+                    # pick is re-derived per request from plain data.
+                    response["best_weighted"] = best_weighted_fields(
+                        response["front"], req.energy_exponent,
+                        req.delay_exponent,
+                    )
                 item = {"ok": True, "result": response}
                 self._cache.put(key, item)
                 return self._item_response(item, cached=True,
@@ -463,15 +474,23 @@ class OptimizationServer:
     def _store_key(self, route, req):
         """The experiment-store key of a request, when it has one.
 
-        Only ``/v1/optimize`` answers are store-addressable: their
-        identity is exactly one study-matrix cell, so the service
-        deduplicates against job workers, the study runner, and the CLI.
+        ``/v1/optimize`` answers address exactly one study-matrix cell,
+        so the service deduplicates against job workers, the study
+        runner, and the CLI; ``/v1/pareto`` fronts key the same cell
+        identity under their own kind (exponent-free, so requests that
+        differ only in the ``best_weighted`` query share one sweep).
         """
-        if self.store is None or route != "/v1/optimize":
+        if self.store is None:
             return None
-        return study_cell_key(self.session, DesignSpace(),
-                              req.capacity_bytes, req.flavor, req.method,
-                              req.engine)
+        if route == "/v1/optimize":
+            return study_cell_key(self.session, DesignSpace(),
+                                  req.capacity_bytes, req.flavor,
+                                  req.method, req.engine)
+        if route == "/v1/pareto":
+            return pareto_cell_key(self.session, DesignSpace(),
+                                   req.capacity_bytes, req.flavor,
+                                   req.method, req.engine)
+        return None
 
     def _item_response(self, item, cached, coalesced=False, stored=False):
         if item["ok"]:

@@ -7,7 +7,8 @@ Run as::
 Boots a real server on an ephemeral port, then asserts the full
 request path works: /healthz, an optimize (engine result), the same
 optimize again (result-cache hit), an evaluate of the returned design,
-a small Monte Carlo, and /metrics accounting for all of it.  Exits
+a small Monte Carlo, a Pareto front whose unit-exponent pick matches
+the optimize answer, and /metrics accounting for all of it.  Exits
 non-zero on the first failed expectation — CI's ``service-smoke`` job
 is exactly this module.
 """
@@ -67,6 +68,16 @@ def run_smoke(executor="thread", workers=2, cache_path=DEFAULT_CACHE_PATH):
                                    metrics=("hsnm",))
             check(mc["n"] == 8 and "hsnm" in mc["metrics"],
                   "montecarlo returns hsnm stats")
+
+            pareto = client.pareto(128, flavor="hvt", method="M2")
+            check(len(pareto["front"]) >= 1,
+                  "pareto returns a non-empty front")
+            check(min(p["edp"] for p in pareto["front"])
+                  == pareto["best_weighted"]["point"]["edp"],
+                  "unit-exponent best_weighted is the front's EDP min")
+            check(pareto["best_weighted"]["point"]["edp"]
+                  == first["metrics"]["edp"],
+                  "pareto EDP optimum matches /v1/optimize")
 
             metrics = client.metrics()
             check(metrics["requests"]["total"] >= 5,

@@ -29,6 +29,7 @@ from .store import (
     canonical_key,
     cell_key,
     make_provenance,
+    pareto_cell_key,
     payload_json_safe,
     payload_to_result,
     result_to_payload,
@@ -43,6 +44,7 @@ __all__ = [
     "canonical_key",
     "cell_key",
     "make_provenance",
+    "pareto_cell_key",
     "payload_json_safe",
     "payload_to_result",
     "result_to_payload",

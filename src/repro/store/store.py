@@ -153,6 +153,29 @@ def study_cell_key(session, space, capacity_bytes, flavor, method,
     )
 
 
+def pareto_cell_key(session, space, capacity_bytes, flavor, method,
+                    engine="pruned"):
+    """Key of one Pareto-front sweep (the ``/v1/pareto`` identity).
+
+    Same identity fields as :func:`study_cell_key` under its own kind:
+    a front and an EDP argmin over the same cell are different results.
+    The ``best_weighted`` exponents are deliberately excluded — they
+    parameterize a query *over* the stored front, not the sweep itself.
+    """
+    from ..opt.methods import make_policy
+
+    policy = make_policy(method, session.yield_levels(flavor))
+    return canonical_key("pareto", {
+        "engine_version": ENGINE_VERSION,
+        "engine": engine,
+        "capacity_bits": int(capacity_bytes) * 8,
+        "flavor": flavor,
+        "policy": _policy_fields(policy),
+        "space": _space_fields(space),
+        "constraint": _constraint_info(session, flavor),
+    })
+
+
 def sweep_key(spec):
     """Key of a whole study sweep from its normalized job spec.
 

@@ -163,6 +163,89 @@ def test_evaluate_matches_direct_model(client, paper_session):
 
 
 # ---------------------------------------------------------------------------
+# Pareto endpoint
+# ---------------------------------------------------------------------------
+
+def test_pareto_matches_direct_front(client, paper_session):
+    from repro.opt import DesignSpace, ExhaustiveOptimizer, make_policy
+    from repro.opt.pareto import pareto_front
+
+    served = client.pareto(1024, flavor="hvt", method="M2")
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(),
+        paper_session.constraint("hvt"),
+    )
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    landscape = optimizer.optimize(1024 * 8, policy, keep_landscape=True,
+                                   engine="fused").landscape
+    expected = pareto_front(landscape)
+    assert len(served["front"]) == len(expected)
+    for row, p in zip(served["front"], expected):
+        assert row["d_array"] == p.d_array
+        assert row["e_total"] == p.e_total
+        assert row["edp"] == p.edp
+        assert row["n_r"] == p.n_r
+        assert row["v_ssc"] == p.v_ssc
+        assert row["n_pre"] == p.n_pre
+        assert row["n_wr"] == p.n_wr
+    assert served["engine"] == "pruned"
+    assert served["n_tiles"] > 0
+    assert 0 <= served["tiles_pruned"] < served["n_tiles"]
+
+
+def test_pareto_best_weighted_unit_exponents_match_optimize(client):
+    served = client.pareto(1024, flavor="hvt", method="M2")
+    direct = client.optimize(1024, flavor="hvt", method="M2")
+    picked = served["best_weighted"]
+    assert picked["energy_exponent"] == 1.0
+    assert picked["delay_exponent"] == 1.0
+    assert picked["point"]["edp"] == direct["metrics"]["edp"]
+    assert picked["point"]["n_r"] == direct["design"]["n_r"]
+
+
+def test_pareto_repeat_request_hits_result_cache(client):
+    first = client.pareto(4096, flavor="hvt", method="M1")
+    second = client.pareto(4096, flavor="hvt", method="M1")
+    assert first["meta"]["cached"] is False
+    assert second["meta"]["cached"] is True
+    first.pop("meta")
+    second.pop("meta")
+    assert first == second
+
+
+def test_pareto_invalid_exponent_is_400(client):
+    for bad in (0, -1.5, "x"):
+        status, payload, _ = client.request(
+            "POST", "/v1/pareto",
+            body={"capacity_bytes": 1024, "energy_exponent": bad},
+            check=False)
+        assert status == 400
+        assert "energy_exponent" in payload["error"]
+
+
+def test_pareto_store_dedups_across_exponents(paper_session, tmp_path):
+    # The stored front is exponent-free: two requests differing only in
+    # the E^a D^b query run ONE sweep, and the server re-derives each
+    # answer's best_weighted pick from the stored plain-data front.
+    config = ServiceConfig(port=0, executor="thread", workers=2,
+                           max_wait_ms=5.0,
+                           store_path=str(tmp_path / "store.db"))
+    with ServerThread(config, session=paper_session) as running:
+        before = counter_value("service.engine.pareto_sweeps")
+        with ServiceClient(port=running.port) as c:
+            a = c.pareto(512, flavor="lvt", method="M1")
+            b = c.pareto(512, flavor="lvt", method="M1",
+                         energy_exponent=1.0, delay_exponent=2.0)
+        after = counter_value("service.engine.pareto_sweeps")
+    assert after - before == 1
+    assert a["front"] == b["front"]
+    assert b["best_weighted"]["delay_exponent"] == 2.0
+    # An ED^2 pick can only trade energy for delay relative to EDP.
+    assert (b["best_weighted"]["point"]["d_array"]
+            <= a["best_weighted"]["point"]["d_array"])
+
+
+# ---------------------------------------------------------------------------
 # Singleflight: N identical concurrent requests -> one engine invocation
 # ---------------------------------------------------------------------------
 
