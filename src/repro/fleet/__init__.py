@@ -1,0 +1,47 @@
+"""repro.fleet: multi-host scale-out of the jobs/store/serve stack.
+
+One machine's stack — the durable :mod:`~repro.jobs` queue, the
+content-addressed :mod:`~repro.store`, the :mod:`~repro.service`
+server — becomes a fleet with three stdlib-only HTTP protocols:
+
+* **remote job claiming** (:mod:`~repro.fleet` via
+  :class:`~repro.jobs.remote.RemoteJobQueue`) — the queue's lease
+  protocol over ``POST /v1/jobs/claim|heartbeat|complete|fail``, with
+  attempt-fencing lease tokens, so workers on any host drain one queue
+  and a SIGKILLed remote worker's jobs are re-queued by lease expiry
+  exactly like a local one's.
+* **store replication** (:class:`~repro.store.ReplicatedStore`) —
+  read-through / write-back sync of content-addressed result blobs
+  over ``GET/PUT /v1/store/<key>``; payload JSON preserves floats
+  bit-exactly, so resumed sweeps stay bit-identical across hosts.
+* **sharded serving** (:class:`~repro.fleet.ring.HashRing` +
+  :class:`~repro.fleet.topology.FleetTopology`) — consistent-hash
+  routing of ``/v1/optimize``/``/v1/pareto`` result-cache keys across
+  ``repro serve --peer`` replicas, with health probing and failover to
+  local compute.
+
+``python -m repro.fleet.smoke`` (or ``repro fleet smoke``) stands up a
+real localhost topology — two serve replicas, N remote workers — kills
+a replica mid-sweep, restarts it, and proves the resumed sweep is
+bit-identical with zero recomputed cells.  See ``docs/FLEET.md``.
+"""
+
+from .ring import DEFAULT_VNODES, HashRing, ring_hash
+from .topology import (
+    FleetTopology,
+    Peer,
+    PeerClientPool,
+    normalize_peer_url,
+    parse_peer_url,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "FleetTopology",
+    "HashRing",
+    "Peer",
+    "PeerClientPool",
+    "normalize_peer_url",
+    "parse_peer_url",
+    "ring_hash",
+]

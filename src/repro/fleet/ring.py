@@ -1,0 +1,99 @@
+"""Consistent-hash ring for sharding result-cache keys across replicas.
+
+The fleet routes ``/v1/optimize`` / ``/v1/pareto`` result-cache keys to
+an *owner* replica so each search is computed (and cached) on exactly
+one host no matter which replica the client happened to hit.  A classic
+consistent-hash ring keeps that assignment stable under membership
+changes: each node is hashed onto the ring at ``vnodes`` points, a key
+is owned by the first node clockwise from its own hash, and adding or
+removing one node only moves the keys adjacent to its points (~1/N of
+the space) instead of reshuffling everything.
+
+Hashing is SHA-256 (stdlib, stable across processes, platforms and
+Python versions — ``hash()`` is salted and useless here), so every
+replica given the same member list derives the *same* ring without any
+coordination traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Points per node on the ring.  128 vnodes keeps the max/mean load
+#: imbalance under ~1.2x for small fleets while the ring stays tiny
+#: (N*128 ints) and O(log) to query.
+DEFAULT_VNODES = 128
+
+
+def ring_hash(text):
+    """Stable 64-bit position of ``text`` on the ring."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of node names.
+
+    Nodes are opaque strings (the fleet uses replica base URLs).  The
+    ring is rebuilt wholesale on membership change — it is tiny, and
+    immutability means lookups need no locking.
+    """
+
+    def __init__(self, nodes, vnodes=DEFAULT_VNODES):
+        self.nodes = tuple(sorted(set(nodes)))
+        self.vnodes = int(vnodes)
+        if not self.nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        points = []
+        for node in self.nodes:
+            for index in range(self.vnodes):
+                points.append((ring_hash("%s#%d" % (node, index)), node))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [node for _, node in points]
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __contains__(self, node):
+        return node in self.nodes
+
+    def _first_index(self, key):
+        position = ring_hash(key)
+        index = bisect.bisect_right(self._points, position)
+        return index % len(self._points)
+
+    def node_for(self, key):
+        """The owner of ``key``: first node clockwise from its hash."""
+        return self._owners[self._first_index(key)]
+
+    def preference(self, key, limit=None):
+        """Distinct nodes in failover order for ``key``.
+
+        The owner first, then each further node in ring order — the
+        deterministic sequence every replica agrees on, so failover
+        (owner down -> next preference) needs no negotiation.
+        """
+        limit = len(self.nodes) if limit is None else min(int(limit),
+                                                         len(self.nodes))
+        ordered = []
+        seen = set()
+        start = self._first_index(key)
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                ordered.append(node)
+                if len(ordered) >= limit:
+                    break
+        return ordered
+
+    def spread(self, keys):
+        """``node -> count`` over ``keys`` (balance diagnostics)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

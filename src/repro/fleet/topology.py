@@ -1,0 +1,245 @@
+"""Fleet membership: peers, health probing, and pooled peer clients.
+
+A fleet is configured statically — every replica is started with the
+same peer list (``repro serve --peer URL`` repeated) — so membership
+needs no gossip protocol: each replica derives the identical
+:class:`~repro.fleet.ring.HashRing` from its own URL plus its peers.
+What *is* dynamic is health: a peer that stops answering is marked down
+(routing fails over to the next preference, usually local compute) and
+a background probe of ``GET /healthz`` brings it back when it recovers.
+
+Peer traffic (shard proxying, store sync, metrics aggregation) goes
+through a small per-peer connection pool of keep-alive
+:class:`~repro.service.client.ServiceClient` instances, so heartbeat-
+and probe-heavy fleets do not pay a TCP handshake per call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from .. import perf
+from ..errors import ServiceError
+from .ring import DEFAULT_VNODES, HashRing
+
+
+def parse_peer_url(url):
+    """``(host, port)`` of a peer base URL; raises ValueError when it
+    is not plain ``http://host:port`` (the stdlib service speaks
+    unencrypted HTTP/1.1 only — front it with a proxy for TLS)."""
+    parts = urlsplit(url if "//" in url else "//" + url, scheme="http")
+    if parts.scheme != "http":
+        raise ValueError("peer URL %r must use http://" % (url,))
+    if not parts.hostname:
+        raise ValueError("peer URL %r has no host" % (url,))
+    if parts.path not in ("", "/") or parts.query or parts.fragment:
+        raise ValueError("peer URL %r must be a bare base URL" % (url,))
+    return parts.hostname, parts.port or 80
+
+
+def normalize_peer_url(url):
+    """Canonical ``http://host:port`` spelling of a peer URL."""
+    host, port = parse_peer_url(url)
+    return "http://%s:%d" % (host, port)
+
+
+class PeerClientPool:
+    """Keep-alive clients for one peer, reused across sequential calls.
+
+    ``acquire``/``release`` hand out idle clients (each holding one
+    persistent connection); concurrent callers each get their own,
+    and up to ``max_idle`` are retained for reuse.
+    """
+
+    def __init__(self, url, timeout=30.0, connect_timeout=2.0,
+                 max_idle=4):
+        self.url = url
+        self.host, self.port = parse_peer_url(url)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_idle = max_idle
+        self._idle = []
+        self._lock = threading.Lock()
+
+    def _new_client(self):
+        from ..service.client import ServiceClient
+
+        return ServiceClient(
+            host=self.host, port=self.port, timeout=self.timeout,
+            connect_timeout=self.connect_timeout, max_retries=0,
+        )
+
+    def acquire(self):
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return self._new_client()
+
+    def release(self, client, discard=False):
+        if discard:
+            client.close()
+            return
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def close(self):
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def request(self, method, path, body=None, request_id=None,
+                extra_headers=None):
+        """One pooled round trip; returns ``(status, payload, headers)``.
+
+        Raises ``ServiceError``/``OSError`` on transport failure (the
+        caller decides whether that marks the peer down).
+        """
+        client = self.acquire()
+        try:
+            result = client.request(method, path, body, check=False,
+                                    request_id=request_id,
+                                    extra_headers=extra_headers)
+        except BaseException:
+            self.release(client, discard=True)
+            raise
+        self.release(client)
+        return result
+
+
+@dataclass
+class Peer:
+    """One remote replica and its observed health."""
+
+    url: str
+    healthy: bool = True
+    last_probe_at: float = None
+    last_ok_at: float = None
+    last_error: str = None
+    consecutive_failures: int = 0
+    pool: PeerClientPool = field(default=None, repr=False)
+
+    def to_payload(self):
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "last_probe_at": self.last_probe_at,
+            "last_ok_at": self.last_ok_at,
+            "last_error": self.last_error,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class FleetTopology:
+    """This replica's view of the fleet: self, peers, ring, health.
+
+    Thread-safe: health transitions take a lock; the ring is immutable
+    (membership is static) so routing lookups are lock-free.
+    """
+
+    def __init__(self, self_url, peer_urls=(), vnodes=DEFAULT_VNODES,
+                 peer_timeout=30.0, connect_timeout=2.0):
+        self.self_url = normalize_peer_url(self_url)
+        self._lock = threading.Lock()
+        self.peers = {}
+        for url in peer_urls or ():
+            url = normalize_peer_url(url)
+            if url == self.self_url or url in self.peers:
+                continue
+            self.peers[url] = Peer(url=url, pool=PeerClientPool(
+                url, timeout=peer_timeout,
+                connect_timeout=connect_timeout))
+        self.ring = HashRing([self.self_url] + list(self.peers),
+                             vnodes=vnodes)
+
+    # -- routing -----------------------------------------------------------
+
+    def owner_of(self, key):
+        """The member URL owning ``key`` on the ring."""
+        return self.ring.node_for(key)
+
+    def route(self, key):
+        """``(owner_url, peer_or_None)`` for ``key`` after health
+        failover: the first *healthy* member in preference order (self
+        is always considered healthy).  Returns ``peer=None`` when the
+        key lands on this replica."""
+        for url in self.ring.preference(key):
+            if url == self.self_url:
+                return url, None
+            peer = self.peers[url]
+            if peer.healthy:
+                return url, peer
+        return self.self_url, None
+
+    # -- health ------------------------------------------------------------
+
+    def mark_down(self, url, error=None):
+        with self._lock:
+            peer = self.peers.get(url)
+            if peer is None:
+                return
+            if peer.healthy:
+                perf.count("fleet.peer_marked_down")
+            peer.healthy = False
+            peer.consecutive_failures += 1
+            peer.last_error = str(error)[:500] if error else peer.last_error
+
+    def mark_up(self, url):
+        with self._lock:
+            peer = self.peers.get(url)
+            if peer is None:
+                return
+            if not peer.healthy:
+                perf.count("fleet.peer_marked_up")
+            peer.healthy = True
+            peer.consecutive_failures = 0
+            peer.last_error = None
+            peer.last_ok_at = time.time()
+
+    def probe(self, peer):
+        """One synchronous ``GET /healthz`` probe of ``peer``."""
+        now = time.time()
+        try:
+            status, payload, _ = peer.pool.request("GET", "/healthz")
+        except (ServiceError, OSError) as exc:
+            self.mark_down(peer.url, exc)
+            ok = False
+        else:
+            ok = status == 200 and payload.get("status") in ("ok",
+                                                             "draining")
+            if ok:
+                self.mark_up(peer.url)
+            else:
+                self.mark_down(peer.url, "healthz answered %d" % status)
+        with self._lock:
+            peer.last_probe_at = now
+        perf.count("fleet.probes")
+        return ok
+
+    def probe_all(self):
+        """Probe every peer; returns ``url -> healthy``."""
+        return {url: self.probe(peer)
+                for url, peer in list(self.peers.items())}
+
+    def healthy_peers(self):
+        return [peer for peer in self.peers.values() if peer.healthy]
+
+    def close(self):
+        for peer in self.peers.values():
+            peer.pool.close()
+
+    def to_payload(self):
+        """The ``GET /v1/fleet`` membership/health view."""
+        return {
+            "self": self.self_url,
+            "peers": [peer.to_payload()
+                      for _, peer in sorted(self.peers.items())],
+            "ring": {"nodes": list(self.ring.nodes),
+                     "vnodes": self.ring.vnodes},
+        }

@@ -274,12 +274,16 @@ class JobQueue:
         return Job.from_row(claimed)
 
     def heartbeat(self, job_id, worker, lease_seconds=30.0,
-                  progress=None):
+                  progress=None, attempt=None):
         """Extend the lease (and optionally record progress).
 
         Returns False when the job is no longer this worker's — it was
         cancelled, or the lease expired and another worker took over —
-        in which case the worker must abandon the job.
+        in which case the worker must abandon the job.  ``attempt``
+        (when given) additionally fences against the worker's *own*
+        stale claim: a lease that expired and was re-claimed bumped the
+        attempt counter, so updates carrying the old attempt number are
+        rejected even if the same worker holds the new claim.
         """
         now = time.time()
         sets = ["lease_expires_at = ?", "updated_at = ?"]
@@ -288,40 +292,60 @@ class JobQueue:
             sets.append("progress = ?")
             args.append(json.dumps(progress))
         args += [job_id, worker]
+        clause = ""
+        if attempt is not None:
+            clause = " AND attempts = ?"
+            args.append(int(attempt))
         with self._txn() as conn:
             cursor = conn.execute(
                 "UPDATE jobs SET %s WHERE id = ? AND worker = ? "
-                "AND state = 'running'" % ", ".join(sets),
+                "AND state = 'running'%s" % (", ".join(sets), clause),
                 args,
             )
         return cursor.rowcount == 1
 
-    def complete(self, job_id, worker, result_key=None):
-        """Mark a running job done; False when ownership was lost."""
+    def complete(self, job_id, worker, result_key=None, attempt=None):
+        """Mark a running job done; False when ownership was lost.
+
+        ``attempt`` fences stale claims exactly as in
+        :meth:`heartbeat` — the remote-claim protocol always passes it.
+        """
         now = time.time()
+        args = [now, now, result_key, job_id, worker]
+        clause = ""
+        if attempt is not None:
+            clause = " AND attempts = ?"
+            args.append(int(attempt))
         with self._txn() as conn:
             cursor = conn.execute(
                 "UPDATE jobs SET state = 'done', updated_at = ?, "
                 "finished_at = ?, lease_expires_at = NULL, error = NULL, "
                 "result_key = ? "
-                "WHERE id = ? AND worker = ? AND state = 'running'",
-                (now, now, result_key, job_id, worker),
+                "WHERE id = ? AND worker = ? AND state = 'running'"
+                + clause,
+                args,
             )
         if cursor.rowcount == 1:
             perf.count("jobs.completed")
             return True
         return False
 
-    def fail(self, job_id, worker, error):
+    def fail(self, job_id, worker, error, attempt=None):
         """Record a failure: re-queue while attempts remain, else park
         the job in ``failed``.  Returns the resulting state (or None
         when ownership was lost)."""
         now = time.time()
+        args = [job_id, worker]
+        clause = ""
+        if attempt is not None:
+            clause = " AND attempts = ?"
+            args.append(int(attempt))
         with self._txn() as conn:
             row = conn.execute(
                 "SELECT attempts, max_attempts FROM jobs "
-                "WHERE id = ? AND worker = ? AND state = 'running'",
-                (job_id, worker),
+                "WHERE id = ? AND worker = ? AND state = 'running'"
+                + clause,
+                args,
             ).fetchone()
             if row is None:
                 return None

@@ -1,0 +1,263 @@
+"""Read-through / write-back replication over the experiment store.
+
+:class:`ReplicatedStore` wraps a local :class:`ExperimentStore` plus
+any number of remote replicas (other ``repro serve`` instances exposing
+``GET/PUT /v1/store/<key>``).  Because every blob is addressed by the
+content hash of the inputs that produced it (:func:`~repro.store.store.
+canonical_key`), replication is trivially coherent: a key's payload is
+immutable, so copying it anywhere is idempotent and deduplication is
+global by construction — whoever computes a cell first seeds the whole
+fleet.
+
+* **read-through** — a local miss consults each replica in health
+  order; a hit is written back into the local store (so the next read
+  is local) and returned.  The JSON wire round trip preserves floats
+  via ``repr`` exactly as the SQLite store does, so a cell fetched from
+  a replica compares **bitwise equal** to the original — resumed
+  sweeps stay bit-identical across hosts.
+* **write-back** — a ``put`` lands locally first (durability), then is
+  pushed to every reachable replica.  Pushes to a down replica are
+  queued in a per-replica backlog and flushed when it answers again
+  (each later ``put``/``flush`` retries after ``retry_seconds``), so a
+  replica that was SIGKILLed mid-sweep converges once restarted.
+
+The wrapper exposes the same surface the job worker and the service
+use (``has``/``get``/``put``/``provenance``/``stats``...), so it drops
+into :func:`repro.jobs.worker.execute_study_job` and
+:class:`repro.service.server.OptimizationServer` unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .. import perf
+from ..errors import ServiceError
+from .store import ExperimentStore
+
+
+class StoreReplica:
+    """One remote store endpoint with lazy health state."""
+
+    def __init__(self, url, timeout=30.0, connect_timeout=2.0):
+        from ..fleet.topology import PeerClientPool
+
+        self.url = url
+        self.pool = PeerClientPool(url, timeout=timeout,
+                                   connect_timeout=connect_timeout)
+        self.healthy = True
+        self.down_since = None
+        self.last_error = None
+
+    def usable(self, retry_seconds):
+        """Healthy, or down long enough that a retry is due (the retry
+        itself is the probe)."""
+        if self.healthy:
+            return True
+        return (time.monotonic() - self.down_since) >= retry_seconds
+
+    def mark_down(self, error):
+        if self.healthy:
+            perf.count("store.replica_marked_down")
+        self.healthy = False
+        self.down_since = time.monotonic()
+        self.last_error = str(error)[:500]
+
+    def mark_up(self):
+        if not self.healthy:
+            perf.count("store.replica_marked_up")
+        self.healthy = True
+        self.down_since = None
+        self.last_error = None
+
+    def to_payload(self):
+        return {"url": self.url, "healthy": self.healthy,
+                "last_error": self.last_error}
+
+
+class ReplicatedStore:
+    """A local store fronted by read-through/write-back replication."""
+
+    def __init__(self, local, replicas=(), retry_seconds=5.0,
+                 timeout=30.0, connect_timeout=2.0):
+        from ..fleet.topology import normalize_peer_url
+
+        if isinstance(local, str):
+            local = ExperimentStore(local)
+        self.local = local
+        self.retry_seconds = float(retry_seconds)
+        self.replicas = []
+        seen = set()
+        for url in replicas or ():
+            url = normalize_peer_url(url)
+            if url in seen:
+                continue
+            seen.add(url)
+            self.replicas.append(StoreReplica(
+                url, timeout=timeout, connect_timeout=connect_timeout))
+        self._lock = threading.Lock()
+        #: replica url -> keys still owed to it (failed write-backs).
+        self._backlog = {replica.url: set() for replica in self.replicas}
+        #: Correlation id attached to sync traffic (one sweep's id
+        #: survives host hops); set per job by the fleet worker.
+        self.request_id = None
+
+    @property
+    def path(self):
+        return self.local.path
+
+    def set_request_id(self, request_id):
+        self.request_id = request_id
+
+    def close(self):
+        for replica in self.replicas:
+            replica.pool.close()
+
+    # -- replica plumbing --------------------------------------------------
+
+    def _pull(self, replica, key):
+        """Fetch ``key`` from one replica; ``None`` on miss/unreachable."""
+        try:
+            status, payload, _ = replica.pool.request(
+                "GET", "/v1/store/%s" % key,
+                request_id=self.request_id)
+        except (ServiceError, OSError) as exc:
+            replica.mark_down(exc)
+            return None
+        replica.mark_up()
+        if status != 200:
+            return None
+        return payload
+
+    def _push(self, replica, key, payload, provenance):
+        """Write one blob to one replica; False queues it for later."""
+        try:
+            status, _, _ = replica.pool.request(
+                "PUT", "/v1/store/%s" % key,
+                {"payload": payload, "provenance": provenance or {}},
+                request_id=self.request_id)
+        except (ServiceError, OSError) as exc:
+            replica.mark_down(exc)
+            return False
+        replica.mark_up()
+        return 200 <= status < 300
+
+    def _flush_backlog(self, replica):
+        """Retry this replica's owed keys (payloads re-read locally)."""
+        with self._lock:
+            owed = list(self._backlog[replica.url])
+        for key in owed:
+            payload = self.local.get(key, touch=False)
+            if payload is None:    # GC'd locally; nothing left to owe
+                with self._lock:
+                    self._backlog[replica.url].discard(key)
+                continue
+            if not self._push(replica, key, payload,
+                              self.local.provenance(key)):
+                return    # still down; keep the rest owed
+            perf.count("store.sync_backlog_flushed")
+            with self._lock:
+                self._backlog[replica.url].discard(key)
+
+    # -- the store surface -------------------------------------------------
+
+    def put(self, key, payload, provenance=None, kind=None):
+        """Local durability first, then best-effort fan-out."""
+        self.local.put(key, payload, provenance, kind=kind)
+        for replica in self.replicas:
+            if replica.usable(self.retry_seconds):
+                if self._push(replica, key, payload, provenance):
+                    perf.count("store.sync_pushes")
+                    if self._backlog[replica.url]:
+                        self._flush_backlog(replica)
+                    continue
+            perf.count("store.sync_push_deferred")
+            with self._lock:
+                self._backlog[replica.url].add(key)
+        return key
+
+    def get(self, key, touch=True):
+        payload = self.local.get(key, touch=touch)
+        if payload is not None:
+            return payload
+        for replica in self.replicas:
+            if not replica.usable(self.retry_seconds):
+                continue
+            blob = self._pull(replica, key)
+            if blob is None:
+                continue
+            # Write-through into the local store so the next read (and
+            # the resumed sweep's skip check) is a local hit.
+            self.local.put(key, blob["payload"],
+                           blob.get("provenance") or {})
+            perf.count("store.sync_pulls")
+            # Read repair: owe the blob to the *other* replicas too.  A
+            # replica that was down while this cell was computed (and
+            # so missed the original write-back) converges through the
+            # reads of whoever resumes the sweep; pushing to a replica
+            # that already holds the key is an idempotent no-op.
+            with self._lock:
+                for other in self.replicas:
+                    if other is not replica:
+                        self._backlog[other.url].add(key)
+            return blob["payload"]
+        return None
+
+    def has(self, key):
+        """Local hit, or a successful read-through pull from a replica.
+
+        Pulling on ``has`` is deliberate: the job worker's skip check
+        is ``has``, and materializing the cell locally right there is
+        what makes a resumed sweep skip cells *another host* computed.
+        """
+        if self.local.has(key):
+            return True
+        return self.get(key, touch=False) is not None
+
+    def __contains__(self, key):
+        return self.has(key)
+
+    def provenance(self, key):
+        return self.local.provenance(key)
+
+    def ls(self, kind=None, limit=None):
+        return self.local.ls(kind=kind, limit=limit)
+
+    def count(self, kind=None):
+        return self.local.count(kind=kind)
+
+    def delete(self, key):
+        return self.local.delete(key)
+
+    def gc(self, older_than_seconds=None, kind=None, dry_run=False):
+        return self.local.gc(older_than_seconds=older_than_seconds,
+                             kind=kind, dry_run=dry_run)
+
+    def flush(self):
+        """Push every owed blob to every reachable replica; returns the
+        number of keys still owed afterwards (0 == fully converged).
+
+        Unlike the hot-path ``put``, an explicit flush ignores the
+        down-replica retry window: this is the pre-``complete`` settle,
+        and the push attempt itself is the health probe."""
+        for replica in self.replicas:
+            if self._backlog[replica.url]:
+                self._flush_backlog(replica)
+        with self._lock:
+            return sum(len(owed) for owed in self._backlog.values())
+
+    def pending(self):
+        """``replica url -> owed key count`` (replication lag view)."""
+        with self._lock:
+            return {url: len(owed)
+                    for url, owed in self._backlog.items()}
+
+    def stats(self):
+        stats = self.local.stats()
+        stats["replication"] = {
+            "replicas": [replica.to_payload()
+                         for replica in self.replicas],
+            "pending": self.pending(),
+        }
+        return stats

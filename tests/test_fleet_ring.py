@@ -1,0 +1,76 @@
+"""Consistent-hash ring: determinism, balance, minimal key movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import DEFAULT_VNODES, HashRing, ring_hash
+
+NODES = ["http://10.0.0.1:8787", "http://10.0.0.2:8787",
+         "http://10.0.0.3:8787"]
+KEYS = ["opt:%d" % n for n in range(2000)]
+
+
+def test_ring_hash_is_stable_across_processes():
+    # SHA-256 derived, so the literal value is part of the wire
+    # contract: every replica must place nodes identically.
+    assert ring_hash("opt:0") == int.from_bytes(
+        __import__("hashlib").sha256(b"opt:0").digest()[:8], "big")
+
+
+def test_same_members_same_ring_regardless_of_order():
+    a = HashRing(NODES)
+    b = HashRing(list(reversed(NODES)))
+    assert a.nodes == b.nodes
+    assert all(a.node_for(k) == b.node_for(k) for k in KEYS[:200])
+
+
+def test_every_key_has_exactly_one_owner_among_members():
+    ring = HashRing(NODES)
+    for key in KEYS[:200]:
+        assert ring.node_for(key) in ring.nodes
+
+
+def test_spread_is_reasonably_balanced():
+    ring = HashRing(NODES, vnodes=DEFAULT_VNODES)
+    counts = ring.spread(KEYS)
+    mean = len(KEYS) / len(NODES)
+    assert all(count > 0 for count in counts.values())
+    assert max(counts.values()) < 1.6 * mean
+
+
+def test_preference_lists_distinct_nodes_owner_first():
+    ring = HashRing(NODES)
+    for key in KEYS[:100]:
+        preference = ring.preference(key)
+        assert preference[0] == ring.node_for(key)
+        assert sorted(preference) == sorted(NODES)
+    assert ring.preference(KEYS[0], limit=2) == \
+        ring.preference(KEYS[0])[:2]
+
+
+def test_membership_change_moves_few_keys():
+    """Adding one node to N=3 should move roughly 1/4 of the keys and
+    never remap a key between two surviving nodes."""
+    before = HashRing(NODES)
+    after = HashRing(NODES + ["http://10.0.0.4:8787"])
+    moved = 0
+    for key in KEYS:
+        old, new = before.node_for(key), after.node_for(key)
+        if old != new:
+            moved += 1
+            assert new == "http://10.0.0.4:8787"
+    assert 0 < moved < 0.45 * len(KEYS)
+
+
+def test_single_node_owns_everything():
+    ring = HashRing([NODES[0]])
+    assert all(ring.node_for(k) == NODES[0] for k in KEYS[:50])
+    assert ring.preference(KEYS[0]) == [NODES[0]]
+
+
+def test_ring_rejects_empty_and_bad_vnodes():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(NODES, vnodes=0)

@@ -1,0 +1,34 @@
+"""Fleet kill/resume, end to end: two serve replicas plus remote HTTP
+workers, SIGKILL the queue-hosting replica mid-sweep, restart it, and
+verify the sweep resumes bit-identically with zero recomputed cells.
+
+The heavy lifting (topology / kill / resume / compare) lives in
+``repro.fleet.smoke`` — the same script CI runs — so this test just
+drives it against the repo's warm characterization cache and asserts
+its verdict.
+"""
+
+import os
+import subprocess
+import sys
+
+from .conftest import CACHE_PATH
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def test_replica_sigkill_resume_is_bit_identical(paper_session):
+    """``paper_session`` is requested only to guarantee the shared
+    characterization cache is fully populated before the replica and
+    worker subprocesses (which share it read-only) start."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.fleet.smoke",
+         "--cache", CACHE_PATH],
+        env=env, capture_output=True, text=True, timeout=1200,
+    )
+    tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-30:])
+    assert proc.returncode == 0, tail
+    assert "fleet smoke passed" in proc.stdout, tail
