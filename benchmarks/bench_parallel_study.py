@@ -42,7 +42,7 @@ BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_search.json")
 REQUESTED_WORKERS = 4
 
 
-def _time_engine(paper_session, engine, repeats=3):
+def _time_engine(paper_session, engine, repeats=9):
     """Best-of-N wall time of one 16KB/HVT/M2 exhaustive search [s]."""
     optimizer = ExhaustiveOptimizer(
         paper_session.model("hvt"), DesignSpace(),
@@ -58,7 +58,7 @@ def _time_engine(paper_session, engine, repeats=3):
     return best
 
 
-def _time_many(paper_session, repeats=3):
+def _time_many(paper_session, repeats=9):
     """Best-of-N wall time of the policy-batched 16KB/HVT search [s]:
     every method's whole space in one ``optimize_many`` dispatch.
     Returns ``(seconds, n_policies, results)``."""
@@ -77,6 +77,38 @@ def _time_many(paper_session, repeats=3):
         optimizer.optimize_many(16384 * 8, policies)
         best = min(best, time.perf_counter() - start)
     return best, len(policies), results
+
+
+def _time_yield_constraint(paper_session, repeats=9):
+    """Best-of-N wall time of the 16KB/HVT/M2 search under the
+    ECC-relaxed yield-target constraint (SECDED at Y >= 0.9) [s].
+
+    The warm-up call pays the Monte Carlo margin statistics once, so
+    the timed repeats measure the constraint's steady-state search
+    cost (memoized sigma lookups) against the plain pruned engine."""
+    from repro.opt.constraints import YieldTargetConstraint
+
+    base = paper_session.constraint("hvt")
+    constraint = YieldTargetConstraint(
+        library=paper_session.library, flavor="hvt",
+        delta=paper_session.delta, y_target=0.9, code="secded",
+        capacity_bits=16384 * 8,
+        word_bits=paper_session.config.word_bits,
+        trust_fixed_rails=base.trust_fixed_rails,
+        flip_lookup=base.flip_lookup,
+    )
+    constraint.seed_margin_memo(base.export_margin_memo())
+    optimizer = ExhaustiveOptimizer(
+        paper_session.model("hvt"), DesignSpace(), constraint,
+    )
+    policy = make_policy("M2", paper_session.yield_levels("hvt"))
+    optimizer.optimize(16384 * 8, policy, engine="pruned")  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        optimizer.optimize(16384 * 8, policy, engine="pruned")
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def _time_cell(paper_session, flavor, method, capacity_bytes, engine,
@@ -158,6 +190,7 @@ def bench_parallel_study_matrix(paper_session, report_writer):
     single_vec = _time_engine(paper_session, "vectorized")
     single_fused = _time_engine(paper_session, "fused")
     single_pruned = _time_engine(paper_session, "pruned")
+    single_yield = _time_yield_constraint(paper_session)
     fused_many, many_policies, many_results = _time_many(paper_session)
     pruning_cells = _bench_pruning(paper_session)
     arena_publish, arena_attach, warm_create, arena_nbytes = (
@@ -196,6 +229,11 @@ def bench_parallel_study_matrix(paper_session, report_writer):
             # only a fraction of the space gets scored.
             "pruned_seconds": single_pruned,
             "pruned_vs_fused": single_fused / single_pruned,
+            # The same pruned search under the ECC-relaxed yield-target
+            # constraint, Monte Carlo statistics warm: the steady-state
+            # price of yield-aware feasibility.
+            "yield_constraint_seconds": single_yield,
+            "yield_constraint_vs_pruned": single_yield / single_pruned,
         },
         "pruning": {
             "cells": pruning_cells,
@@ -248,6 +286,9 @@ def bench_parallel_study_matrix(paper_session, report_writer):
            baseline["pruning"]["total_fused_seconds"] * 1e3,
            baseline["pruning"]["total_pruned_seconds"] * 1e3,
            baseline["pruning"]["min_evaluated_fraction_16kb"]),
+        "yield-target constraint 16KB/HVT/M2 (SECDED, warm MC): "
+        "%.1f ms (%.2fx vs plain pruned)"
+        % (single_yield * 1e3, single_yield / single_pruned),
         "session arena (%.1f KB): publish %.2f ms, attach+rebuild "
         "%.2f ms vs warm Session.create %.1f ms (%.0fx)"
         % (arena_nbytes / 1024.0, arena_publish * 1e3, arena_attach * 1e3,

@@ -1,0 +1,119 @@
+"""ECC-relaxed yield study benchmark: fixed-delta vs yield-target EDP.
+
+Standalone script (not a pytest benchmark) so CI can run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_yield.py --quick
+
+Sweeps the capacity x flavor matrix with ``objective="yield"``: each
+cell runs the paper's fixed-floor search and the SECDED-relaxed
+yield-target search (:func:`repro.yields.study.compute_yield_cell`),
+charging the code's full cost — check-bit columns on every row, the
+encode/correct logic, and the search constrained to the relaxed margin
+floor and sensing window the code's failure budget supports.
+
+Writes the machine-readable ``BENCH_yield.json`` baseline (repo root):
+per-cell EDP for both arms, the relaxation parameters, the composed
+array yield at the relaxed optimum, and the headline — the cells where
+the ECC-relaxed design achieves *strictly lower* EDP than the
+fixed-delta baseline with all overhead included (the code pays for
+itself once its amortized column overhead drops below what the relaxed
+rails and sensing window recover; expect this at the larger
+capacities).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.analysis import run_study
+from repro.analysis.tables import render_dict_table
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(_HERE, "..", "BENCH_yield.json")
+CACHE_PATH = os.path.join(_HERE, "..", ".repro_cache.json")
+OUTPUT_PATH = os.path.join(_HERE, "output", "yield.txt")
+
+FULL = {"capacities": (1024, 4096, 16384), "flavors": ("lvt", "hvt")}
+QUICK = {"capacities": (16384,), "flavors": ("hvt",)}
+
+
+def run_sweep(sizing, code, y_target, engine, workers):
+    start = time.perf_counter()
+    run = run_study(
+        capacities=sizing["capacities"], flavors=sizing["flavors"],
+        methods=("M2",), workers=workers,
+        executor="serial" if workers == 1 else "auto",
+        engine=engine, cache_path=CACHE_PATH, voltage_mode="paper",
+        objective="yield", code=code, y_target=y_target,
+    )
+    return run, time.perf_counter() - start
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single-cell sweep (the strict-win cell)")
+    parser.add_argument("--code", default="secded")
+    parser.add_argument("--y-target", type=float, default=0.9)
+    parser.add_argument("--engine", default="pruned",
+                        choices=("pruned", "fused", "vectorized", "loop"))
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--output", default=BASELINE_PATH,
+                        help="where to write BENCH_yield.json")
+    args = parser.parse_args(argv)
+
+    sizing = QUICK if args.quick else FULL
+    run, seconds = run_sweep(sizing, args.code, args.y_target,
+                             args.engine, args.workers)
+    sweep = run.sweep
+    cells = sweep.summaries()
+    wins = [cell for cell in cells if cell["edp_gain"] > 0.0]
+
+    baseline = {
+        "benchmark": "yield",
+        "mode": "quick" if args.quick else "full",
+        "code": sweep.code,
+        "y_target": sweep.y_target,
+        "engine": args.engine,
+        "voltage_mode": sweep.voltage_mode,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "wall_seconds": round(seconds, 3),
+        "cells": cells,
+        "strict_wins": [
+            {"capacity_bytes": cell["capacity_bytes"],
+             "flavor": cell["flavor"],
+             "method": cell["method"],
+             "edp_gain": cell["edp_gain"]}
+            for cell in wins
+        ],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = sweep.report()
+    report += ("\nstrict ECC wins: %d/%d cells  (best gain %+.2f%%)"
+               % (len(wins), len(cells),
+                  100.0 * max((c["edp_gain"] for c in cells),
+                              default=0.0)))
+    os.makedirs(os.path.dirname(OUTPUT_PATH), exist_ok=True)
+    with open(OUTPUT_PATH, "w") as handle:
+        handle.write(report + "\n")
+    print(report)
+    print("baseline written to %s" % args.output)
+
+    if not wins:
+        print("FAIL: no cell where the ECC-relaxed design strictly "
+              "beats the fixed-delta baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,12 @@ the baseline.  Because both engines execute the same arithmetic, that
 factor cancels out hardware differences between the committed baseline
 and the CI runner, leaving only genuine code regressions.
 
-The policy-batched (``optimize_many``) and bound-and-prune (``pruned``)
-paths ride the same machine factor as extra legs; the pruned leg also
-re-checks that pruning leaves the 16KB/HVT/M2 argmin bit-identical to
-the fused engine's before timing it.  Legs whose baseline fields are
+The policy-batched (``optimize_many``), bound-and-prune (``pruned``)
+and yield-target-constraint paths ride the same machine factor as
+extra legs; the pruned leg also re-checks that pruning leaves the
+16KB/HVT/M2 argmin bit-identical to the fused engine's before timing
+it, and the yield leg re-checks that a non-correcting code reproduces
+the fixed-delta argmin exactly.  Legs whose baseline fields are
 missing (older baselines) skip gracefully.
 
 Exit codes: 0 = pass (or graceful skip), 1 = fused regression beyond
@@ -168,6 +170,66 @@ def main():
         failed = failed or pruned_regression > THRESHOLD
     else:
         print("  bound-and-prune: baseline predates the pruned engine — "
+              "leg skipped")
+
+    # The yield-target constraint rides the same machine factor (its
+    # steady-state cost is the pruned search plus memoized sigma
+    # lookups).  Before timing it, the non-correcting code must leave
+    # the gate cell's argmin bit-identical to the fixed-delta search —
+    # a relaxation with code="none" is a correctness bug.
+    base_yield = single.get("yield_constraint_seconds")
+    if base_yield:
+        from repro.opt import DesignSpace, ExhaustiveOptimizer, \
+            make_policy
+        from repro.opt.constraints import YieldTargetConstraint
+
+        base_constraint = session.constraint("hvt")
+        policy = make_policy("M2", session.yield_levels("hvt"))
+        fixed_ref = ExhaustiveOptimizer(
+            session.model("hvt"), DesignSpace(), base_constraint
+        ).optimize(16384 * 8, policy, engine="pruned")
+
+        def yield_constraint(code):
+            constraint = YieldTargetConstraint(
+                library=session.library, flavor="hvt",
+                delta=session.delta, y_target=0.9, code=code,
+                capacity_bits=16384 * 8,
+                word_bits=session.config.word_bits,
+                trust_fixed_rails=base_constraint.trust_fixed_rails,
+                flip_lookup=base_constraint.flip_lookup,
+            )
+            constraint.seed_margin_memo(
+                base_constraint.export_margin_memo())
+            return constraint
+
+        none_ref = ExhaustiveOptimizer(
+            session.model("hvt"), DesignSpace(), yield_constraint("none")
+        ).optimize(16384 * 8, policy, engine="pruned")
+        if (none_ref.design != fixed_ref.design
+                or none_ref.metrics.edp != fixed_ref.metrics.edp):
+            print("  yield-constraint: code='none' DIVERGED from the "
+                  "fixed-delta search (design %s vs %s)"
+                  % (none_ref.design, fixed_ref.design))
+            failed = True
+
+        optimizer = ExhaustiveOptimizer(
+            session.model("hvt"), DesignSpace(),
+            yield_constraint("secded"))
+        optimizer.optimize(16384 * 8, policy, engine="pruned")  # warm MC
+        now_yield = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            optimizer.optimize(16384 * 8, policy, engine="pruned")
+            now_yield = min(now_yield, time.perf_counter() - start)
+        expected_yield = base_yield * machine_factor
+        yield_regression = now_yield / expected_yield - 1.0
+        print("  yield-constraint: baseline %.2f ms, measured %.2f ms, "
+              "regression %+.1f%% (threshold +%.0f%%)"
+              % (base_yield * 1e3, now_yield * 1e3,
+                 yield_regression * 100.0, THRESHOLD * 100.0))
+        failed = failed or yield_regression > THRESHOLD
+    else:
+        print("  yield-constraint: baseline predates the yield leg — "
               "leg skipped")
 
     if failed:

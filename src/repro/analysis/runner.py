@@ -142,6 +142,34 @@ class ParetoSweep:
 
 
 @dataclass
+class YieldSweep:
+    """ECC-relaxed yield study cells keyed like the EDP sweep."""
+
+    results: dict         # (capacity_bytes, flavor, method) -> YieldCellResult
+    voltage_mode: str
+    code: str
+    y_target: float
+
+    def get(self, capacity_bytes, flavor, method):
+        return self.results[(capacity_bytes, flavor, method)]
+
+    def rows(self):
+        return [self.results[key].row() for key in sorted(self.results)]
+
+    def summaries(self):
+        """JSON-safe per-cell payloads (the bench / service format)."""
+        return [self.results[key].summary()
+                for key in sorted(self.results)]
+
+    def report(self):
+        return render_dict_table(
+            self.rows(),
+            title="ECC-relaxed yield study: %s @ Y>=%g (%s voltages)"
+            % (self.code, self.y_target, self.voltage_mode),
+        )
+
+
+@dataclass
 class StudyRunResult:
     """A finished study: the sweep plus its execution telemetry."""
 
@@ -184,6 +212,13 @@ class StudyRunResult:
 # ---------------------------------------------------------------------------
 
 _WORKER_STATE = {}
+
+
+def _objective_kind(objective):
+    """The dispatch kind: ``"edp"``/``"pareto"`` pass as strings, the
+    yield study ships its parameters as ``("yield", code, y_target)``
+    (a plain tuple so the process pool pickles it untouched)."""
+    return objective if isinstance(objective, str) else objective[0]
 
 
 def _worker_init(cache_path, voltage_mode, space, margin_memos,
@@ -235,6 +270,14 @@ def _run_unit_in_worker(unit, engine, keep_landscape, objective="edp"):
 
 def _execute_task(session, space, task, engine, keep_landscape,
                   objective="edp"):
+    if _objective_kind(objective) == "yield":
+        from ..yields.study import compute_yield_cell_timed
+
+        _, code, y_target = objective
+        return compute_yield_cell_timed(
+            session, task.capacity_bytes, task.flavor, task.method,
+            code=code, y_target=y_target, engine=engine, space=space,
+        )
     start = time.perf_counter()
     model = session.model(task.flavor)
     constraint = session.constraint(task.flavor)
@@ -263,11 +306,12 @@ def _study_units(tasks, engine, objective="edp"):
     (and task order within a unit) follows the canonical matrix order,
     so results remain deterministic.
 
-    Pareto sweeps always dispatch one task per unit: the pruned front
-    maintenance is incumbency-driven per cell, so there is no
-    policy-batched fast path to share.
+    Pareto and yield sweeps always dispatch one task per unit: the
+    pruned front maintenance (pareto) and the per-cell two-arm search
+    (yield) are incumbency-driven, so there is no policy-batched fast
+    path to share.
     """
-    if engine != "fused" or objective == "pareto":
+    if engine != "fused" or _objective_kind(objective) != "edp":
         return [(task,) for task in tasks]
     groups = {}
     for task in tasks:
@@ -367,7 +411,8 @@ def _cancel_pending(futures):
 def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
               methods=METHODS, workers=None, executor="auto",
               engine="vectorized", keep_landscape=False, space=None,
-              cache_path=None, voltage_mode="paper", objective="edp"):
+              cache_path=None, voltage_mode="paper", objective="edp",
+              code="secded", y_target=0.9):
     """Run the full study matrix, optionally across a worker pool.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or
@@ -381,12 +426,28 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     :meth:`~repro.opt.ExhaustiveOptimizer.pareto` sweep; the returned
     ``sweep`` is then a :class:`ParetoSweep` of
     :class:`~repro.opt.ParetoSearchResult` values.
+
+    ``objective="yield"`` runs the ECC-relaxed yield study
+    (:func:`repro.yields.study.compute_yield_cell` — a fixed-delta
+    baseline search *and* a margin-relaxed search under ``code`` at
+    array yield target ``y_target`` per cell); the returned ``sweep``
+    is then a :class:`YieldSweep` of
+    :class:`~repro.yields.study.YieldCellResult` values.  ``code`` and
+    ``y_target`` are ignored by the other objectives.
     """
-    if objective not in ("edp", "pareto"):
+    if objective not in ("edp", "pareto", "yield"):
         raise ValueError(
-            "unknown objective %r (expected 'edp' or 'pareto')"
-            % (objective,)
+            "unknown objective %r (expected 'edp', 'pareto', or "
+            "'yield')" % (objective,)
         )
+    if objective == "yield":
+        from ..yields.ecc import make_code
+
+        if not 0.0 < y_target < 1.0:
+            raise ValueError("y_target must be in (0, 1), got %r"
+                             % (y_target,))
+        make_code(code, 64)   # fail fast on an unknown code name
+        objective = ("yield", code, float(y_target))
     if session is None:
         session = Session.create(
             cache_path=cache_path or DEFAULT_CACHE_PATH,
@@ -510,7 +571,12 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     perf.get_registry().add_time("study.run_study", total_seconds)
     perf.count("study.tasks", len(tasks))
 
-    if objective == "pareto":
+    kind = _objective_kind(objective)
+    if kind == "yield":
+        sweep = YieldSweep(results=results,
+                           voltage_mode=session.voltage_mode,
+                           code=objective[1], y_target=objective[2])
+    elif kind == "pareto":
         sweep = ParetoSweep(results=results,
                             voltage_mode=session.voltage_mode)
     else:

@@ -47,9 +47,13 @@ class DeviceCaps:
 
 
 def c_cvdd(geometry, caps, org):
-    """Cell-Vdd rail capacitance: ``n_c (C_width + 2 C_dp) + 2*20*C_dp``."""
+    """Cell-Vdd rail capacitance: ``n_c (C_width + 2 C_dp) + 2*20*C_dp``.
+
+    Row-spanning wires load every *physical* column, so ECC check-bit
+    columns (``org.n_c_phys``; == ``n_c`` without a code) count here.
+    """
     return (
-        org.n_c * (geometry.c_width + 2.0 * caps.c_dp)
+        org.n_c_phys * (geometry.c_width + 2.0 * caps.c_dp)
         + 2.0 * RAIL_DRIVER_FINS * caps.c_dp
     )
 
@@ -57,7 +61,7 @@ def c_cvdd(geometry, caps, org):
 def c_cvss(geometry, caps, org):
     """Cell-Vss rail capacitance: ``n_c (C_width + 2 C_dn) + 2*20*C_dn``."""
     return (
-        org.n_c * (geometry.c_width + 2.0 * caps.c_dn)
+        org.n_c_phys * (geometry.c_width + 2.0 * caps.c_dn)
         + 2.0 * RAIL_DRIVER_FINS * caps.c_dn
     )
 
@@ -65,10 +69,11 @@ def c_cvss(geometry, caps, org):
 def c_wl(geometry, caps, org):
     """Wordline capacitance: ``n_c (C_width + 2 C_gn) + 27 (C_dn + C_dp)``.
 
-    Each cell loads the WL with its two access-transistor gates.
+    Each cell loads the WL with its two access-transistor gates; check
+    columns are real cells, so the physical column count applies.
     """
     return (
-        org.n_c * (geometry.c_width + 2.0 * caps.c_gn)
+        org.n_c_phys * (geometry.c_width + 2.0 * caps.c_gn)
         + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
     )
 
@@ -82,17 +87,17 @@ def c_col(geometry, caps, org, n_wr):
     """
     if org.is_broadcast:
         mux = (
-            org.n_c * geometry.c_width
+            org.n_c_phys * geometry.c_width
             + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
-            + 2.0 * org.word_bits * n_wr * (caps.c_gn + caps.c_gp)
+            + 2.0 * org.word_bits_phys * n_wr * (caps.c_gn + caps.c_gp)
         )
         return np.where(org.has_column_mux, mux, 0.0)
     if not org.has_column_mux:
         return 0.0 * n_wr if hasattr(n_wr, "shape") else 0.0
     return (
-        org.n_c * geometry.c_width
+        org.n_c_phys * geometry.c_width
         + WL_DRIVER_FINS * (caps.c_dn + caps.c_dp)
-        + 2.0 * org.word_bits * n_wr * (caps.c_gn + caps.c_gp)
+        + 2.0 * org.word_bits_phys * n_wr * (caps.c_gn + caps.c_gp)
     )
 
 

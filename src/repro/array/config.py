@@ -32,6 +32,20 @@ class ArrayConfig:
     #: column's bitline discharge/precharge and all W sensed/written
     #: columns per access instead of the single worst-case column.
     count_all_columns: bool = False
+    #: Extension (``"none"`` = paper-faithful): error-correcting code
+    #: stored as check-bit columns per word.  Any name accepted by
+    #: :func:`repro.yields.ecc.make_code` ("none", "secded",
+    #: "secded-x2", ...).  The code widens every row physically (larger
+    #: C_CVDD/C_CVSS/C_WL/C_COL, more leaking cells) and adds
+    #: encode/correct latency and energy to the write/read paths.
+    ecc: str = "none"
+    #: ECC timing organization.  ``False`` (inline): encode extends the
+    #: write path and correct the read path serially.  ``True``
+    #: (staged): correction runs in its own pipeline stage, so the
+    #: array cycle is ``max(d_rd, d_wr, encode, correct)`` — the usual
+    #: organization for near-threshold macros, where an inline
+    #: syndrome+correct chain would rival the array access itself.
+    ecc_pipelined: bool = False
 
     def __post_init__(self):
         if not 0.0 <= self.beta <= 1.0:
@@ -40,10 +54,17 @@ class ArrayConfig:
             raise ValueError("alpha must be in [0, 1]")
         if not 0.0 < self.dcdc_efficiency <= 1.0:
             raise ValueError("dcdc_efficiency must be in (0, 1]")
+        self.ecc_code()    # unknown code names fail at construction
 
     def delta(self, vdd):
         """Absolute noise-margin floor [V]."""
         return self.delta_fraction * vdd
+
+    def ecc_code(self):
+        """The resolved :class:`repro.yields.ecc.ECCCode` for this word."""
+        from ..yields.ecc import make_code
+
+        return make_code(self.ecc, self.word_bits)
 
     @property
     def assist_energy_factor(self):

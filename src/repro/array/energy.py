@@ -41,7 +41,9 @@ def read_energy(char, org, config, components):
     """
     assist = config.assist_energy_factor
     if config.count_all_columns:
-        bl_mult, sense_mult = org.n_c, config.word_bits
+        # Physical counts: ECC check columns discharge/sense like any
+        # other column (== the logical counts without a code).
+        bl_mult, sense_mult = org.n_c_phys, org.word_bits_phys
     else:
         bl_mult, sense_mult = 1.0, 1.0
     org_terms = (
@@ -75,10 +77,10 @@ def write_energy(char, org, config, components, v_wl, v_bl=0.0):
     assist = config.assist_energy_factor
     vdd = char.vdd
     if config.count_all_columns:
-        word_mult = config.word_bits
+        word_mult = org.word_bits_phys
         # Half-selected columns (WL on, no write) see a read-like
         # disturb discharge and need the full-swing precharge after.
-        pre_mult = org.n_c
+        pre_mult = org.n_c_phys
     else:
         word_mult, pre_mult = 1.0, 1.0
     # Per-policy case splits.  On the scalar path these stay Python

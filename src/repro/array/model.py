@@ -34,6 +34,7 @@ from .config import ArrayConfig
 from .energy import read_energy, total_energy, write_energy
 from .organization import ArrayOrganization, BroadcastOrganization
 from .timing import read_delay, write_delay
+from ..yields.ecc import ecc_overhead
 
 
 @dataclass(frozen=True)
@@ -252,12 +253,34 @@ class SRAMArrayModel:
     def __init__(self, characterization, config=None):
         self.char = characterization
         self.config = config or ArrayConfig()
+        # ECC is fixed per model: resolve the code once and characterize
+        # its organization-independent encode/correct terms from the
+        # decoder's unit gates.  ``check_bits == 0`` keeps every
+        # evaluation bit-identical to the no-ECC model.
+        self._ecc_code = self.config.ecc_code()
+        self._ecc = ecc_overhead(self._ecc_code, characterization.decoder)
+
+    @property
+    def ecc_code(self):
+        """The resolved :class:`~repro.yields.ecc.ECCCode`."""
+        return self._ecc_code
+
+    @property
+    def ecc_terms(self):
+        """The :class:`~repro.yields.ecc.ECCOverhead` added per access."""
+        return self._ecc
 
     def organization(self, capacity_bits, n_r):
         """Validated organization for a capacity/row-count pair."""
-        return ArrayOrganization.from_capacity(
+        org = ArrayOrganization.from_capacity(
             capacity_bits, n_r, self.config.word_bits
         )
+        if self._ecc_code.check_bits:
+            org = ArrayOrganization(
+                n_r=org.n_r, n_c=org.n_c, word_bits=org.word_bits,
+                check_bits=self._ecc_code.check_bits,
+            )
+        return org
 
     def evaluate(self, capacity_bits, design):
         """Full Table-1..3 + Eq.(2)-(5) evaluation of ``design``.
@@ -281,6 +304,7 @@ class SRAMArrayModel:
             org = BroadcastOrganization(
                 n_r=design.n_r, n_c=design.n_c,
                 word_bits=self.config.word_bits,
+                check_bits=self._ecc_code.check_bits,
             )
             if np.any(org.capacity_bits != capacity_bits):
                 raise ValueError(
@@ -293,6 +317,7 @@ class SRAMArrayModel:
             org = ArrayOrganization(
                 n_r=design.n_r, n_c=design.n_c,
                 word_bits=self.config.word_bits,
+                check_bits=self._ecc_code.check_bits,
             )
             if org.capacity_bits != capacity_bits:
                 raise ValueError(
@@ -325,6 +350,7 @@ class SRAMArrayModel:
             org = BroadcastOrganization(
                 n_r=design.n_r, n_c=design.n_c,
                 word_bits=self.config.word_bits,
+                check_bits=self._ecc_code.check_bits,
             )
             if np.any(org.capacity_bits != capacity_bits):
                 raise ValueError(
@@ -335,6 +361,7 @@ class SRAMArrayModel:
             org = ArrayOrganization(
                 n_r=design.n_r, n_c=design.n_c,
                 word_bits=self.config.word_bits,
+                check_bits=self._ecc_code.check_bits,
             )
             if org.capacity_bits != capacity_bits:
                 raise ValueError(
@@ -422,6 +449,7 @@ class SRAMArrayModel:
             row_org = ArrayOrganization(
                 n_r=row_design.n_r, n_c=row_design.n_c,
                 word_bits=self.config.word_bits,
+                check_bits=self._ecc_code.check_bits,
             )
             row_metrics.append(self._evaluate_core(
                 capacity_bits, row_design, row_org, shared
@@ -440,12 +468,37 @@ class SRAMArrayModel:
         d_rd = read_delay(self.char, org, components, read_parts)
         d_wr = write_delay(self.char, org, components, design.v_wl,
                            write_parts, design.v_bl)
+        leak_bits = capacity_bits
+        if self._ecc_code.check_bits:
+            # ECC: syndrome/correct logic joins the read path, the
+            # encoder the write path, and the check columns leak like
+            # any other cell.  The terms are organization-independent
+            # constants composed through ``+``/``max`` — they apply
+            # identically in the production evaluation and in
+            # ``evaluate_bounds``, which is what keeps the pruned
+            # engine's lower bounds admissible.  Inline: strictly
+            # serial.  Pipelined: correction is its own stage, so the
+            # cycle is the max over all stages.
+            read_parts["ecc"] = self._ecc.correct_delay
+            write_parts["ecc"] = self._ecc.encode_delay
+            if not self.config.ecc_pipelined:
+                d_rd = d_rd + self._ecc.correct_delay
+                d_wr = d_wr + self._ecc.encode_delay
+            leak_bits = org.n_r * org.n_c_phys
         d_array = np.maximum(d_rd, d_wr)
+        if self._ecc_code.check_bits and self.config.ecc_pipelined:
+            d_array = np.maximum(
+                d_array,
+                max(self._ecc.correct_delay, self._ecc.encode_delay),
+            )
         e_sw_rd = read_energy(self.char, org, self.config, components)
         e_sw_wr = write_energy(self.char, org, self.config, components,
                                design.v_wl, design.v_bl)
+        if self._ecc_code.check_bits:
+            e_sw_rd = e_sw_rd + self._ecc.correct_energy
+            e_sw_wr = e_sw_wr + self._ecc.encode_energy
         e_sw, e_leak, e_total = total_energy(
-            self.config, e_sw_rd, e_sw_wr, capacity_bits,
+            self.config, e_sw_rd, e_sw_wr, leak_bits,
             self.char.p_leak_sram, d_array,
         )
         # Rail-arrival requirement (Section 4): the assist rails switch
@@ -474,6 +527,7 @@ class SRAMArrayModel:
             read_parts=read_parts,
             write_parts=write_parts,
             rail_arrival_slack=wl_half_time - rail_settle,
-            footprint=self.char.geometry.footprint(org.n_r, org.n_c),
-            aspect_ratio=self.char.geometry.aspect_ratio(org.n_r, org.n_c),
+            footprint=self.char.geometry.footprint(org.n_r, org.n_c_phys),
+            aspect_ratio=self.char.geometry.aspect_ratio(
+                org.n_r, org.n_c_phys),
         )

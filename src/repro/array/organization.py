@@ -38,6 +38,13 @@ class ArrayOrganization:
     n_r: int
     n_c: int
     word_bits: int = DEFAULT_WORD_BITS
+    #: ECC check bits stored per word (extra physical columns beside the
+    #: ``n_c`` logical data columns; 0 = no code).  Check columns widen
+    #: the rows — every row-spanning wire/device count scales with
+    #: :attr:`n_c_phys` — but do not change addressing: the decoders see
+    #: only the logical geometry, and ``n_c_phys`` need not be a power
+    #: of two.
+    check_bits: int = 0
 
     #: Scalar organization: one (n_r, n_c) pair per instance.
     is_broadcast = False
@@ -51,6 +58,10 @@ class ArrayOrganization:
         if not is_power_of_two(self.word_bits):
             raise DesignSpaceError(
                 "word_bits must be a power of two, got %r" % (self.word_bits,)
+            )
+        if self.check_bits < 0:
+            raise DesignSpaceError(
+                "check_bits must be >= 0, got %r" % (self.check_bits,)
             )
 
     @classmethod
@@ -97,6 +108,18 @@ class ArrayOrganization:
     def words_per_row(self):
         return max(self.n_c // self.word_bits, 1)
 
+    @property
+    def n_c_phys(self):
+        """Physical columns per row: data plus per-word check columns."""
+        if not self.check_bits:
+            return self.n_c
+        return self.n_c + self.check_bits * self.words_per_row
+
+    @property
+    def word_bits_phys(self):
+        """Physical bits accessed per word (data + check bits)."""
+        return self.word_bits + self.check_bits
+
     def __str__(self):
         return "%dx%d (W=%d)" % (self.n_r, self.n_c, self.word_bits)
 
@@ -122,13 +145,19 @@ class BroadcastOrganization:
 
     is_broadcast = True
 
-    def __init__(self, n_r, n_c, word_bits=DEFAULT_WORD_BITS):
+    def __init__(self, n_r, n_c, word_bits=DEFAULT_WORD_BITS,
+                 check_bits=0):
         self.n_r = np.asarray(n_r)
         self.n_c = np.asarray(n_c)
         self.word_bits = word_bits
+        self.check_bits = check_bits
         if not is_power_of_two(word_bits):
             raise DesignSpaceError(
                 "word_bits must be a power of two, got %r" % (word_bits,)
+            )
+        if check_bits < 0:
+            raise DesignSpaceError(
+                "check_bits must be >= 0, got %r" % (check_bits,)
             )
         self._row_bits = _log2_int_array(self.n_r, "n_r")
         self._col_bits = _log2_int_array(self.n_c, "n_c")
@@ -165,6 +194,18 @@ class BroadcastOrganization:
     @property
     def words_per_row(self):
         return np.maximum(self.n_c // self.word_bits, 1)
+
+    @property
+    def n_c_phys(self):
+        """Physical columns per row (elementwise; == n_c without ECC)."""
+        if not self.check_bits:
+            return self.n_c
+        return self.n_c + self.check_bits * self.words_per_row
+
+    @property
+    def word_bits_phys(self):
+        """Physical bits accessed per word (data + check bits)."""
+        return self.word_bits + self.check_bits
 
     def __str__(self):
         return "<%d organizations (W=%d)>" % (self.n_r.size, self.word_bits)

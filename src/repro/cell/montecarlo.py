@@ -61,6 +61,29 @@ class MetricSamples:
         """Empirical fraction of samples with margin >= ``floor``."""
         return float(np.mean(self.values >= floor))
 
+    def percentile(self, q):
+        """Empirical margin percentile(s) [V].
+
+        ``q`` in [0, 100], scalar or sequence (linear interpolation
+        between order statistics, numpy's default).
+        """
+        result = np.percentile(self.values, q)
+        return float(result) if np.ndim(result) == 0 else result
+
+    def tail_probability(self, floor):
+        """Observed ``P(margin < floor)`` — the empirical estimator
+        only; complement of :meth:`yield_at`."""
+        return float(np.mean(self.values < floor))
+
+    def tail_estimate(self, floor):
+        """:class:`repro.yields.failure.FailureEstimate` of
+        ``P(margin < floor)``: the observed tail fraction when enough
+        failures were seen, the Gaussian-tail extrapolation in the
+        deep-yield regime where the sample tail is empty."""
+        from ..yields.failure import estimate_p_fail
+
+        return estimate_p_fail(self.values, floor)
+
 
 @dataclass
 class MonteCarloResult:

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli montecarlo --samples 2000 --metrics hsnm,rsnm,wm
     python -m repro.cli all
     python -m repro.cli pareto --capacities 16384 --flavors hvt
+    python -m repro.cli yield --capacities 16384 --code secded
     python -m repro.cli serve --port 8787 --jobs jobs.db
     python -m repro.cli jobs submit --queue jobs.db --capacities 128,1024
     python -m repro.cli jobs work --queue jobs.db
@@ -259,6 +260,87 @@ def run_pareto(argv):
     return 0
 
 
+def run_yield(argv):
+    """The ``yield`` subcommand: ECC-relaxed co-optimization study.
+
+    Each cell runs the fixed-delta baseline search *and* the
+    margin-relaxed search under the requested code at the requested
+    array yield target (``objective="yield"`` on
+    :func:`repro.analysis.run_study`), then reports the relaxed floor,
+    the relaxed sensing window, and the EDP gain with every check-bit
+    column and ECC logic term charged.
+    """
+    from .analysis.experiments import CAPACITIES_BYTES, FLAVORS, METHODS
+
+    parser = argparse.ArgumentParser(
+        prog="repro yield",
+        description="Compare fixed-delta optima against ECC-relaxed "
+                    "yield-target optima (see docs/MODELING.md section "
+                    "8 on the failure model).",
+    )
+    parser.add_argument("--capacities", default=None,
+                        help="comma-separated capacities in bytes "
+                             "(default: the paper's five)")
+    parser.add_argument("--flavors", default=None,
+                        help="comma-separated subset of lvt,hvt")
+    parser.add_argument("--methods", default=None,
+                        help="comma-separated subset of M1,M2")
+    parser.add_argument("--code", default="secded",
+                        help="ECC scheme: none, secded, or secded-xN "
+                             "(N-way interleaved; default secded)")
+    parser.add_argument("--y-target", type=float, default=0.9,
+                        help="array yield target in (0, 1) "
+                             "(default 0.9)")
+    parser.add_argument("--engine",
+                        choices=("pruned", "fused", "vectorized", "loop"),
+                        default="pruned",
+                        help="search engine for both arms")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count (1 = serial)")
+    parser.add_argument("--executor",
+                        choices=("auto", "serial", "thread", "process"),
+                        default="auto")
+    parser.add_argument("--cache", default=".repro_cache.json",
+                        help="characterization cache path ('' disables)")
+    parser.add_argument("--voltage-mode", choices=("measured", "paper"),
+                        default="paper")
+    parser.add_argument("--json", default=None,
+                        help="also dump the per-cell summaries to this "
+                             "path")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the perf telemetry report at the end")
+    args = parser.parse_args(argv)
+
+    capacities = (_parse_csv(args.capacities, int) if args.capacities
+                  else CAPACITIES_BYTES)
+    flavors = _parse_csv(args.flavors) if args.flavors else FLAVORS
+    methods = _parse_csv(args.methods) if args.methods else METHODS
+    run = run_study(
+        capacities=capacities, flavors=flavors, methods=methods,
+        workers=args.workers, executor=args.executor, engine=args.engine,
+        cache_path=args.cache or None, voltage_mode=args.voltage_mode,
+        objective="yield", code=args.code, y_target=args.y_target,
+    )
+    sweep = run.sweep
+    print(sweep.report())
+    best = max(sweep.results.values(), key=lambda cell: cell.edp_gain)
+    print()
+    print("best cell: %s  gain=%+.2f%%  (relaxed floor %.1f mV, "
+          "dVs %.0f mV, array yield %.6g)"
+          % (best.label, 100.0 * best.edp_gain,
+             best.delta_relaxed * 1e3,
+             best.sense_voltage_relaxed * 1e3, best.yield_coded))
+    if args.json:
+        save_json({"code": sweep.code, "y_target": sweep.y_target,
+                   "voltage_mode": sweep.voltage_mode,
+                   "cells": sweep.summaries()}, args.json)
+        print("result saved to %s" % args.json)
+    if args.profile:
+        print()
+        print(perf.get_registry().report())
+    return 0
+
+
 def run_serve(argv):
     """The ``serve`` subcommand: run the optimization service."""
     import asyncio
@@ -326,6 +408,10 @@ def run_serve(argv):
                              "(default: http://HOST:PORT)")
     parser.add_argument("--probe-interval", type=float, default=3.0,
                         help="peer health probe cadence [s]")
+    parser.add_argument("--proxy-retries", type=int, default=1,
+                        help="extra shard-proxy attempts against later "
+                             "healthy ring preferences before local "
+                             "failover (0 = single attempt)")
     args = parser.parse_args(argv)
     executor = args.executor
     if executor == "auto":
@@ -363,6 +449,7 @@ def run_serve(argv):
         job_workers=args.job_workers, job_lease_seconds=args.job_lease,
         peers=tuple(args.peer), self_url=args.self_url,
         probe_interval_s=args.probe_interval,
+        proxy_retries=args.proxy_retries,
     )
     asyncio.run(serve_forever(config))
     return 0
@@ -617,6 +704,8 @@ def run_fleet(argv):
                         help="status: a replica to ask for /v1/fleet")
     parser.add_argument("--cache", default=".repro_cache.json",
                         help="smoke: characterization cache path")
+    parser.add_argument("--hosts", type=int, default=2,
+                        help="smoke: serve replica count (>= 2)")
     parser.add_argument("--workers", type=int, default=2,
                         help="smoke: remote worker subprocess count")
     parser.add_argument("--throttle", type=float, default=0.4,
@@ -628,6 +717,7 @@ def run_fleet(argv):
         from .fleet.smoke import main as smoke_main
 
         return smoke_main(["--cache", args.cache,
+                           "--hosts", str(args.hosts),
                            "--workers", str(args.workers),
                            "--throttle", str(args.throttle),
                            "--timeout", str(args.timeout)])
@@ -649,6 +739,8 @@ def main(argv=None):
     try:
         if argv and argv[0] == "pareto":
             return run_pareto(argv[1:])
+        if argv and argv[0] == "yield":
+            return run_yield(argv[1:])
         if argv and argv[0] == "serve":
             return run_serve(argv[1:])
         if argv and argv[0] == "jobs":

@@ -1,18 +1,19 @@
-"""End-to-end fleet smoke test: 2 replicas + N remote workers, one
-replica SIGKILLed mid-sweep, bit-identical resume with zero recompute.
+"""End-to-end fleet smoke test: N replicas + N remote workers, the
+queue replica SIGKILLed mid-sweep, bit-identical resume, zero recompute.
 
-The topology is real — every box is its own OS process on localhost:
+The topology is real — every box is its own OS process on localhost,
+and ``--hosts`` sets the replica count (default 2, minimum 2):
 
-* **replica A** — ``repro serve`` hosting the durable queue *and* a
+* **replica 0** — ``repro serve`` hosting the durable queue *and* a
   store replica (``--jobs`` + ``--store``), zero in-process job
-  workers, peered with B,
-* **replica B** — ``repro serve`` hosting a second store replica,
-  peered with A,
-* **N workers** — ``python -m repro.jobs.worker --server A`` draining
-  A's queue over HTTP, each with its own local checkpoint store
-  replicated to both A and B.
+  workers,
+* **replicas 1..N-1** — ``repro serve`` each hosting a store replica
+  only; all replicas are peered in a full mesh,
+* **N workers** — ``python -m repro.jobs.worker --server <replica 0>``
+  draining the queue over HTTP, each with its own local checkpoint
+  store replicated to every replica.
 
-The script submits a 16-cell study sweep, SIGKILLs replica A (queue
+The script submits a 16-cell study sweep, SIGKILLs replica 0 (queue
 *and* store) mid-run, restarts it on the same port and files, and then
 proves the durable-fleet contract:
 
@@ -20,14 +21,15 @@ proves the durable-fleet contract:
    remote worker over HTTP,
 2. the resumed run recomputes **zero** completed cells — every cell is
    computed exactly once fleet-wide (checkpoints survive via the
-   workers' local stores and replica B, and flow back to the restarted
-   A through write-back backlogs and read repair),
-3. the final sweep on *both* replicas is **bit-identical** to an
+   workers' local stores and the surviving replicas, and flow back to
+   the restarted replica 0 through write-back backlogs and read
+   repair),
+3. the final sweep on *every* replica is **bit-identical** to an
    uninterrupted in-process :func:`run_study` over the same matrix.
 
 Run it directly (CI does)::
 
-    python -m repro.fleet.smoke --cache .repro_cache.json
+    python -m repro.fleet.smoke --cache .repro_cache.json --hosts 3
 
 Exit status 0 on success, 1 with a diagnosis on any violated guarantee.
 """
@@ -101,14 +103,18 @@ def _reserve_port():
         return sock.getsockname()[1]
 
 
-def _spawn_replica(port, peer_port, cache, jobs_path=None,
+def _spawn_replica(port, peer_ports, cache, jobs_path=None,
                    store_path=None):
+    """One serve replica fully peered with ``peer_ports`` (every other
+    replica in the fleet — the topology is a complete graph, so store
+    replication and shard routing see all N hosts)."""
     argv = [sys.executable, "-m", "repro.cli", "serve",
             "--host", "127.0.0.1", "--port", str(port),
             "--executor", "thread", "--workers", "2",
             "--cache", cache, "--store", store_path,
-            "--peer", "http://127.0.0.1:%d" % peer_port,
             "--probe-interval", "0.5"]
+    for peer_port in peer_ports:
+        argv += ["--peer", "http://127.0.0.1:%d" % peer_port]
     if jobs_path:
         argv += ["--jobs", jobs_path, "--job-workers", "0"]
     return _popen(argv)
@@ -170,10 +176,13 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro.fleet.smoke",
         description="Fleet kill/resume smoke test "
-                    "(2 replicas + N remote workers).")
+                    "(N replicas + N remote workers).")
     parser.add_argument("--cache", default=".repro_cache.json",
                         help="characterization cache (reused, not "
                              "recomputed, when it exists)")
+    parser.add_argument("--hosts", type=int, default=2,
+                        help="serve replica count (>= 2; replica 0 "
+                             "hosts the queue, the rest are store-only)")
     parser.add_argument("--workers", type=int, default=2,
                         help="remote worker subprocess count")
     parser.add_argument("--throttle", type=float, default=0.4,
@@ -181,6 +190,9 @@ def main(argv=None):
                              "SIGKILL window")
     parser.add_argument("--timeout", type=float, default=300.0)
     args = parser.parse_args(argv)
+    if args.hosts < 2:
+        parser.error("--hosts must be >= 2 (the kill/resume proof "
+                     "needs a surviving store replica)")
     cache = os.path.abspath(args.cache)
 
     failures = []
@@ -194,28 +206,35 @@ def main(argv=None):
     try:
         with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") \
                 as d:
-            port_a, port_b = _reserve_port(), _reserve_port()
-            url_a = "http://127.0.0.1:%d" % port_a
-            url_b = "http://127.0.0.1:%d" % port_b
+            hosts = args.hosts
+            ports = [_reserve_port() for _ in range(hosts)]
+            urls = ["http://127.0.0.1:%d" % port for port in ports]
+            port_a, url_a = ports[0], urls[0]
             queue_path = os.path.join(d, "queue-a.db")
-            store_a = os.path.join(d, "store-a.db")
-            store_b = os.path.join(d, "store-b.db")
+            stores = [os.path.join(d, "store-%d.db" % i)
+                      for i in range(hosts)]
 
             def start_replica_a():
-                replica = _spawn_replica(port_a, port_b, cache,
+                replica = _spawn_replica(port_a, ports[1:], cache,
                                          jobs_path=queue_path,
-                                         store_path=store_a)
+                                         store_path=stores[0])
                 procs.append(replica)
                 return replica
 
-            replica_b = _spawn_replica(port_b, port_a, cache,
-                                       store_path=store_b)
-            procs.append(replica_b)
+            # Store-only replicas 1..N-1 first (full-mesh peering:
+            # every replica lists every other as --peer), then the
+            # queue+store replica 0.
+            for i in range(1, hosts):
+                peer_ports = [p for p in ports if p != ports[i]]
+                procs.append(_spawn_replica(ports[i], peer_ports, cache,
+                                            store_path=stores[i]))
             replica_a = start_replica_a()
-            check(_wait_healthy(port_a, args.timeout)
-                  and _wait_healthy(port_b, args.timeout),
-                  "both replicas serving (A :%d queue+store, B :%d "
-                  "store)" % (port_a, port_b))
+            check(all(_wait_healthy(port, args.timeout)
+                      for port in ports),
+                  "all %d replicas serving (:%d queue+store, %s "
+                  "store-only)" % (hosts, port_a,
+                                   ", ".join(":%d" % p
+                                             for p in ports[1:])))
 
             # Submit the sweep to A over HTTP, like any fleet client.
             from ..service.client import ServiceClient
@@ -237,7 +256,7 @@ def main(argv=None):
 
             workers = [
                 _spawn_worker(url_a, os.path.join(d, "w%d.db" % i),
-                              [url_a, url_b], cache, "fleet-w%d" % i,
+                              list(urls), cache, "fleet-w%d" % i,
                               args.throttle)
                 for i in range(max(1, args.workers))
             ]
@@ -261,7 +280,7 @@ def main(argv=None):
             replica_a.wait(timeout=30)
             job = queue.get(job_id)
             check(killed_at is not None and not job.terminal,
-                  "replica A (queue+store) SIGKILLed mid-sweep "
+                  "replica 0 (queue+store) SIGKILLed mid-sweep "
                   "(after %s/%d cells, job state %r)"
                   % (killed_at, total, job.state))
 
@@ -283,7 +302,7 @@ def main(argv=None):
             # it (bumping the attempt counter).
             replica_a = start_replica_a()
             check(_wait_healthy(port_a, args.timeout),
-                  "replica A restarted on :%d" % port_a)
+                  "replica 0 restarted on :%d" % port_a)
 
             def done():
                 return queue.get(job_id).state == "done"
@@ -310,17 +329,19 @@ def main(argv=None):
                   "workers, %d skipped on resume)"
                   % (computed, len(workers), skipped))
 
-            # Bit-identity on BOTH replicas: the restarted A converged
-            # through write-back backlogs and read repair, B through
-            # live pushes — and every payload equals the uninterrupted
-            # in-process reference exactly.
+            # Bit-identity on EVERY replica: the restarted replica 0
+            # converged through write-back backlogs and read repair,
+            # the store-only survivors through live pushes — and every
+            # payload equals the uninterrupted in-process reference
+            # exactly.
             study = run_study(
                 session=session,
                 capacities=tuple(spec["capacities"]),
                 flavors=tuple(spec["flavors"]),
                 methods=tuple(spec["methods"]), workers=1,
             )
-            for name, path in (("A", store_a), ("B", store_b)):
+            for name, path in [(str(i), stores[i])
+                               for i in range(hosts)]:
                 store = ExperimentStore(path)
                 mismatches = [
                     task.label for task, key in cells
@@ -334,11 +355,12 @@ def main(argv=None):
                       + ("" if not mismatches else " (mismatch: %s)"
                          % ", ".join(mismatches)))
 
-            record = ExperimentStore(store_a).get(job.result_key,
-                                                  touch=False)
+            record = ExperimentStore(stores[0]).get(job.result_key,
+                                                    touch=False)
             check(record is not None
                   and len(record["cells"]) == total,
-                  "sweep record on A lists all %d cells" % total)
+                  "sweep record on replica 0 lists all %d cells"
+                  % total)
     finally:
         for proc in procs:
             if proc.poll() is None:

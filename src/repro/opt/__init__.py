@@ -15,7 +15,8 @@ Public API:
 """
 
 from .bounds import TileBounds, tile_lower_bounds
-from .constraints import MonteCarloYieldConstraint, YieldConstraint
+from .constraints import MonteCarloYieldConstraint, YieldConstraint, \
+    YieldTargetConstraint
 from .exhaustive import ExhaustiveOptimizer
 from .methods import (
     CONSOLIDATION_THRESHOLD,
@@ -49,6 +50,7 @@ __all__ = [
     "TileBounds",
     "VoltagePolicy",
     "YieldConstraint",
+    "YieldTargetConstraint",
     "YieldLevels",
     "best_weighted",
     "make_policy",

@@ -145,6 +145,198 @@ class YieldConstraint:
 
 
 @dataclass
+class YieldTargetConstraint:
+    """Array-yield-target constraint with ECC-aware margin relaxation.
+
+    Replaces the fixed floor ``min(margins) >= delta`` with "the array
+    yields at probability >= ``y_target`` given code ``code``".  Under
+    the Gaussian tail model a cell fails when its margin falls below
+    zero, so a per-cell failure budget ``p_max`` translates into a
+    required margin of ``z(p_max) * sigma`` over the variation sigma at
+    the operating point.  The paper's delta is exactly such a z-score
+    headroom for the *uncoded* budget; an error-correcting code raises
+    the admissible per-cell budget, lowering the requirement by::
+
+        requirement = delta - delta_z * sigma(v_ddc, v_ssc)
+        delta_z     = z(uncoded budget) - z(coded budget)
+
+    (:func:`repro.yields.failure.margin_relaxation_z`).  With
+    ``code="none"`` the relaxation is exactly ``0.0`` and the
+    constraint degenerates to :class:`YieldConstraint` bit-for-bit —
+    same margins, same comparisons, no Monte Carlo at all — so the
+    fixed-delta optimum is reproduced exactly for *any* ``y_target``.
+
+    ``sigma`` is the ddof=1 standard deviation of the per-sample
+    ``min(HSNM, RSNM)`` margin from the cell Monte Carlo engine,
+    memoized per (V_DDC, V_SSC) rail pair (it does not depend on V_WL).
+    Deterministic margins delegate to an internal
+    :class:`YieldConstraint`, so all four search engines see one
+    feasibility mask and stay bit-identical.
+    """
+
+    library: object
+    flavor: str
+    delta: float
+    y_target: float
+    code: object          # repro.yields.ecc.ECCCode
+    capacity_bits: int
+    word_bits: int = 64
+    trust_fixed_rails: bool = False
+    flip_lookup: object = None
+    n_samples: int = 120
+    seed: int = 0
+    #: Share of the coded per-cell failure budget granted to cell
+    #: stability; the remainder funds other correctable mechanisms
+    #: (the study's relaxed sensing margin).  1.0 = margins get it all.
+    margin_budget_fraction: float = 1.0
+    base: YieldConstraint = field(default=None, repr=False)
+    #: (v_ddc, v_ssc) -> (mu, sigma, tail_count, n_samples) of the
+    #: per-sample min(HSNM, RSNM) margin.
+    _stat_cache: dict = field(default_factory=dict, repr=False)
+    delta_z: float = field(default=None, repr=False)
+
+    def __post_init__(self):
+        from ..yields.ecc import make_code
+        from ..yields.failure import margin_relaxation_z
+
+        if isinstance(self.code, str):
+            self.code = make_code(self.code, self.word_bits)
+        if self.base is None:
+            self.base = YieldConstraint(
+                library=self.library, flavor=self.flavor,
+                delta=self.delta, trust_fixed_rails=self.trust_fixed_rails,
+                flip_lookup=self.flip_lookup,
+            )
+        if self.delta_z is None:
+            self.delta_z = margin_relaxation_z(
+                self.y_target, self.code, self.n_words,
+                budget_fraction=self.margin_budget_fraction,
+            )
+
+    @property
+    def n_words(self):
+        return self.capacity_bits // self.word_bits
+
+    # -- variation statistics ----------------------------------------------
+
+    def min_margin_stats(self, v_ddc, v_ssc):
+        """(mu, sigma, tail_count, n) of per-sample min(HSNM, RSNM)."""
+        key = (round(v_ddc, 4), round(v_ssc, 4))
+        if key not in self._stat_cache:
+            from ..cell.montecarlo import run_cell_montecarlo
+
+            bias = CellBias.read(vdd=self.library.vdd, v_ddc=v_ddc,
+                                 v_ssc=v_ssc)
+            result = run_cell_montecarlo(
+                self.base.cell, n_samples=self.n_samples, seed=self.seed,
+                vdd=self.library.vdd, read_bias=bias,
+                metrics=("hsnm", "rsnm"), snm_points=41,
+            )
+            # Samples are shift-aligned across metrics, so the
+            # elementwise min is the per-instance worst margin.
+            values = np.minimum(result.metric("hsnm").values,
+                                result.metric("rsnm").values)
+            self._stat_cache[key] = (
+                float(np.mean(values)),
+                float(np.std(values, ddof=1)),
+                int(np.sum(values < 0.0)),
+                int(values.size),
+            )
+        return self._stat_cache[key]
+
+    def sigma(self, v_ddc, v_ssc):
+        """Min-margin variation sigma at the rail pair [V]."""
+        return self.min_margin_stats(v_ddc, v_ssc)[1]
+
+    def requirement(self, v_ddc, v_ssc):
+        """The relaxed margin floor ``delta - delta_z * sigma`` [V].
+
+        Exactly ``delta`` (no Monte Carlo run) when the code buys no
+        relaxation, and never below zero — a negative requirement would
+        accept cells that already fail nominally.
+        """
+        if self.delta_z == 0.0:
+            return self.delta
+        return max(self.delta - self.delta_z * self.sigma(v_ddc, v_ssc),
+                   0.0)
+
+    # -- reporting ---------------------------------------------------------
+
+    def failure_estimate(self, v_ddc, v_ssc):
+        """Per-cell :class:`repro.yields.failure.FailureEstimate` at the
+        rail pair (functional floor: margin < 0)."""
+        from ..yields.failure import FailureEstimate, MIN_TAIL_EVENTS
+
+        from statistics import NormalDist
+
+        mu, sigma, tail, n = self.min_margin_stats(v_ddc, v_ssc)
+        empirical = tail / n
+        if sigma <= 0.0:
+            gaussian = 1.0 if mu < 0.0 else 0.0
+        else:
+            gaussian = NormalDist().cdf(-mu / sigma)
+        source = "empirical" if tail >= MIN_TAIL_EVENTS else "gaussian"
+        return FailureEstimate(
+            empirical=empirical, gaussian=gaussian, n_samples=n,
+            tail_count=tail, source=source,
+        )
+
+    def array_yield(self, v_ddc, v_ssc):
+        """(yield with code, yield without) at the rail pair."""
+        from ..yields.failure import array_yield, uncoded_array_yield
+
+        p = self.failure_estimate(v_ddc, v_ssc).p_fail
+        coded = array_yield(p, self.code, self.n_words)
+        uncoded = uncoded_array_yield(
+            p, self.n_words * self.code.data_bits
+        )
+        return coded, uncoded
+
+    # -- the optimizer-facing surface --------------------------------------
+
+    def margins(self, v_ddc, v_ssc, v_wl, v_bl=0.0):
+        """(HSNM, RSNM, WM) — the deterministic margins the fixed-delta
+        constraint reports (the relaxation moves the floor, not them)."""
+        return self.base.margins(v_ddc, v_ssc, v_wl, v_bl)
+
+    def satisfied(self, v_ddc, v_ssc, v_wl, v_bl=0.0):
+        hsnm, rsnm, wm = self.base.margins(v_ddc, v_ssc, v_wl, v_bl)
+        req = self.requirement(v_ddc, v_ssc)
+        if self.trust_fixed_rails:
+            return min(hsnm, rsnm) >= req
+        return min(hsnm, rsnm, wm) >= req
+
+    def margins_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        return self.base.margins_grid(v_ddc, v_ssc_values, v_wl, v_bl)
+
+    def satisfied_grid(self, v_ddc, v_ssc_values, v_wl, v_bl=0.0):
+        hsnm, rsnm, wm = self.base.margins_grid(
+            v_ddc, v_ssc_values, v_wl, v_bl
+        )
+        if self.delta_z == 0.0:
+            req = self.delta
+        else:
+            req = np.array([
+                self.requirement(v_ddc, float(v))
+                for v in np.asarray(v_ssc_values, dtype=float)
+            ])
+        if self.trust_fixed_rails:
+            return np.minimum(hsnm, rsnm) >= req
+        return np.minimum(np.minimum(hsnm, rsnm), wm) >= req
+
+    # -- memo transport ----------------------------------------------------
+
+    def export_margin_memo(self):
+        memo = self.base.export_margin_memo()
+        memo["sigma"] = dict(self._stat_cache)
+        return memo
+
+    def seed_margin_memo(self, memo):
+        self.base.seed_margin_memo(memo)
+        self._stat_cache.update(memo.get("sigma", {}))
+
+
+@dataclass
 class MonteCarloYieldConstraint:
     """The accurate mu - k*sigma formulation (extension).
 

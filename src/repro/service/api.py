@@ -169,6 +169,69 @@ class ParetoRequest:
 
 
 @dataclass(frozen=True)
+class YieldRequest:
+    """``POST /v1/yield`` — one ECC-relaxed yield study cell.
+
+    Runs the fixed-delta baseline search *and* the margin-relaxed
+    search under ``code`` at array yield target ``y_target``
+    (:func:`repro.yields.study.compute_yield_cell`), returning both
+    optima, the relaxed floor and sensing window, and the composed
+    array yield at the relaxed optimum.
+    """
+
+    capacity_bytes: int
+    flavor: str
+    method: str
+    engine: str
+    code: str
+    y_target: float
+
+    @classmethod
+    def parse(cls, body):
+        capacity = _require(body, "capacity_bytes", int)
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise BadRequest(
+                "capacity_bytes must be a positive power of two, got %d"
+                % capacity
+            )
+        code = _require(body, "code", str, default="secded")
+        from ..errors import DesignSpaceError
+        from ..yields.ecc import make_code
+
+        try:
+            code = make_code(code, 64).name
+        except DesignSpaceError as exc:
+            raise BadRequest(str(exc)) from exc
+        y_target = _require(body, "y_target", float, default=0.9)
+        if not 0.0 < y_target < 1.0:
+            raise BadRequest(
+                "y_target must be in (0, 1), got %r" % (y_target,)
+            )
+        return cls(
+            capacity_bytes=capacity,
+            flavor=_choice(body, "flavor", FLAVORS, "hvt"),
+            method=_choice(body, "method", METHODS, "M2"),
+            engine=_choice(body, "engine", SEARCH_ENGINES, "pruned"),
+            code=code,
+            y_target=float(y_target),
+        )
+
+    def key(self):
+        return _canonical("/v1/yield", asdict(self))
+
+    def group_key(self):
+        """Same flavor/engine study cells share one warm dispatch
+        (mirrors the optimize/pareto groups)."""
+        return ("yield", self.flavor, self.engine)
+
+    def item(self):
+        return {"capacity_bytes": self.capacity_bytes,
+                "method": self.method,
+                "code": self.code,
+                "y_target": self.y_target}
+
+
+@dataclass(frozen=True)
 class EvaluateRequest:
     """``POST /v1/evaluate`` — metrics of one explicit design point."""
 
@@ -278,6 +341,7 @@ class MonteCarloRequest:
 PARSERS = {
     "/v1/optimize": OptimizeRequest.parse,
     "/v1/pareto": ParetoRequest.parse,
+    "/v1/yield": YieldRequest.parse,
     "/v1/evaluate": EvaluateRequest.parse,
     "/v1/montecarlo": MonteCarloRequest.parse,
 }

@@ -183,6 +183,24 @@ class ServiceClient:
             "delay_exponent": delay_exponent,
         })[1]
 
+    def yield_study(self, capacity_bytes, flavor="hvt", method="M2",
+                    engine="pruned", code="secded", y_target=0.9):
+        """One ECC-relaxed yield study cell.
+
+        The payload carries both optima (``baseline_result`` /
+        ``relaxed_result``), the relaxed margin floor and sensing
+        window, the per-cell failure estimate, the composed array
+        yield, and the headline ``edp_gain``.
+        """
+        return self.request("POST", "/v1/yield", {
+            "capacity_bytes": capacity_bytes,
+            "flavor": flavor,
+            "method": method,
+            "engine": engine,
+            "code": code,
+            "y_target": y_target,
+        })[1]
+
     def evaluate(self, design, flavor="hvt"):
         """Metrics/margins of one explicit design point.
 

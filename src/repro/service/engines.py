@@ -239,6 +239,38 @@ def _pareto_group(session, job):
     return payloads
 
 
+def _yield_group(session, job):
+    flavor = job["flavor"]
+    engine = job["engine"]
+    payloads = []
+    for item in job["items"]:
+        perf.count("service.engine.yield_cells")
+        try:
+            from ..yields.study import compute_yield_cell
+
+            result = compute_yield_cell(
+                session, item["capacity_bytes"], flavor,
+                item["method"], code=item["code"],
+                y_target=item["y_target"], engine=engine,
+            )
+        except ReproError as exc:
+            payloads.append(_failed(422, str(exc)))
+            continue
+        # The stored payload is the summary plus both full optima (the
+        # exact-float study-cell payloads), so a served cell and a
+        # bench cell deduplicate under one store key and either arm can
+        # be reconstructed bit-for-bit.
+        stored = dict(result.summary())
+        stored["baseline_result"] = result_to_payload(result.baseline)
+        stored["relaxed_result"] = result_to_payload(result.relaxed)
+        response = payload_json_safe(stored)
+        response["engine"] = engine
+        entry = _ok(response)
+        entry["store_payload"] = stored
+        payloads.append(entry)
+    return payloads
+
+
 def _evaluate_group(session, job):
     flavor = job["flavor"]
     model = session.model(flavor)
@@ -353,6 +385,7 @@ def _montecarlo_group(session, job):
 _EXECUTORS = {
     "optimize": _optimize_group,
     "pareto": _pareto_group,
+    "yield": _yield_group,
     "evaluate": _evaluate_group,
     "montecarlo": _montecarlo_group,
 }

@@ -14,6 +14,8 @@ Endpoints:
 * ``POST /v1/optimize``    — min-EDP design for one capacity/flavor/method
 * ``POST /v1/pareto``      — energy-delay Pareto front (+ ``E^a D^b``
   pick) for one capacity/flavor/method
+* ``POST /v1/yield``       — ECC-relaxed yield study cell (fixed-delta
+  baseline vs margin-relaxed search under a code)
 * ``POST /v1/evaluate``    — metrics/margins of one explicit design point
 * ``POST /v1/montecarlo``  — cell margin distributions
 * ``POST /v1/jobs``        — submit a durable study sweep (202 Accepted)
@@ -79,6 +81,7 @@ from ..store import (
     pareto_cell_key,
     payload_json_safe,
     study_cell_key,
+    yield_cell_key,
 )
 
 logger = logging.getLogger("repro.service")
@@ -119,6 +122,11 @@ class ServiceConfig:
     probe_interval_s: float = 3.0    # peer health probe cadence
     ring_vnodes: int = 128        # consistent-hash points per member
     peer_timeout_s: float = 60.0  # read budget for proxied peer calls
+    #: Extra shard-proxy attempts against later healthy ring
+    #: preferences after the first proxied hop fails (0 = the old
+    #: single-attempt try-then-local-fallback behavior).  Each retry
+    #: bumps ``fleet.proxy_retries`` in /metrics.
+    proxy_retries: int = 1
 
     def resolved_workers(self):
         return self.workers or os.cpu_count() or 1
@@ -154,7 +162,7 @@ class ServiceConfig:
 def _job_from_group(group_key, items):
     """Rebuild the plain-data job a worker executes from a batch."""
     kind = group_key[0]
-    if kind in ("optimize", "pareto"):
+    if kind in ("optimize", "pareto", "yield"):
         # The method rides per-item (it is not part of the group key),
         # so one fused dispatch can policy-batch a cell's methods.
         _, flavor, engine = group_key
@@ -198,7 +206,7 @@ class OptimizationServer:
         self._probe_task = None
         #: Shard-routing outcome counts (rendered under /metrics).
         self._shard_stats = {"local": 0, "remote_owned": 0, "proxied": 0,
-                             "failovers": 0}
+                             "failovers": 0, "proxy_retries": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -515,7 +523,7 @@ class OptimizationServer:
         if hit:
             return self._item_response(item, cached=True)
         if (self.fleet is not None
-                and route in ("/v1/optimize", "/v1/pareto")
+                and route in ("/v1/optimize", "/v1/pareto", "/v1/yield")
                 and "x-fleet-forwarded" not in request.headers):
             proxied = await self._shard_route(route, request, key,
                                               request_id)
@@ -580,15 +588,20 @@ class OptimizationServer:
         return self._item_response(item, cached=False)
 
     async def _shard_route(self, route, request, key, request_id):
-        """Route one optimize/pareto request by its cache-key shard.
+        """Route one optimize/pareto/yield request by its cache-key
+        shard.
 
         Returns a ``(status, payload, headers)`` response when a peer
         owns the key and answered, or ``None`` when the key is local
-        (or every preferred peer is down — failover to local compute,
-        which the store fast-path still deduplicates globally).  The
-        ``X-Fleet-Forwarded`` marker caps the hop count at one, so two
-        replicas with momentarily different health views can never
-        proxy a request in a loop.
+        (or the proxy budget is exhausted — failover to local compute,
+        which the store fast-path still deduplicates globally).  A
+        failed hop no longer falls straight back to local compute: up
+        to ``config.proxy_retries`` further attempts walk the *healthy*
+        ring preference order (each counted as ``fleet.proxy_retries``
+        in /metrics), so one flaky owner does not forfeit the shard's
+        warm cache on its successor.  The ``X-Fleet-Forwarded`` marker
+        caps the hop count at one, so two replicas with momentarily
+        different health views can never proxy a request in a loop.
         """
         owner, peer = self.fleet.route(key)
         if peer is None:
@@ -602,36 +615,53 @@ class OptimizationServer:
             return None
         self._shard_stats["remote_owned"] += 1
         loop = asyncio.get_running_loop()
-        try:
-            status, payload, _ = await loop.run_in_executor(
-                None, lambda: peer.pool.request(
-                    request.method, route, request.json(),
-                    request_id=request_id,
-                    extra_headers={"X-Fleet-Forwarded": "1"}))
-        except (ServiceError, OSError) as exc:
-            self.fleet.mark_down(peer.url, exc)
-            self._shard_stats["failovers"] += 1
-            perf.count("fleet.shard_failovers")
-            logger.debug("shard proxy to %s failed (%s); computing "
-                         "locally rid=%s", peer.url, exc, request_id)
-            return None
-        if status >= 500:
-            # The peer is up but broken for this request; local compute
-            # is a better answer than relaying its 5xx.
-            self._shard_stats["failovers"] += 1
-            perf.count("fleet.shard_failovers")
-            return None
-        self._shard_stats["proxied"] += 1
-        perf.count("fleet.proxied_requests")
-        if status == 200 and isinstance(payload, dict):
-            meta = dict(payload.get("meta") or {})
-            meta.update({"proxied": True, "shard": peer.url})
-            payload["meta"] = meta
-            # Warm the local cache so repeats of a hot remote-owned key
-            # answer here without another hop.
-            cached = {k: v for k, v in payload.items() if k != "meta"}
-            self._cache.put(key, {"ok": True, "result": cached})
-        return status, payload, {}
+        budget = 1 + max(0, int(self.config.proxy_retries))
+        attempts = 0
+        for url in self.fleet.ring.preference(key):
+            if url == self.fleet.self_url:
+                # Every later preference routes back through here.
+                break
+            candidate = self.fleet.peers.get(url)
+            if candidate is None or not candidate.healthy:
+                continue
+            if attempts >= budget:
+                break
+            if attempts:
+                self._shard_stats["proxy_retries"] += 1
+                perf.count("fleet.proxy_retries")
+            attempts += 1
+            try:
+                status, payload, _ = await loop.run_in_executor(
+                    None, lambda peer=candidate: peer.pool.request(
+                        request.method, route, request.json(),
+                        request_id=request_id,
+                        extra_headers={"X-Fleet-Forwarded": "1"}))
+            except (ServiceError, OSError) as exc:
+                self.fleet.mark_down(candidate.url, exc)
+                logger.debug("shard proxy to %s failed (%s); trying "
+                             "next preference rid=%s",
+                             candidate.url, exc, request_id)
+                continue
+            if status >= 500:
+                # The peer is up but broken for this request; the next
+                # preference (or local compute) is a better answer than
+                # relaying its 5xx.
+                continue
+            self._shard_stats["proxied"] += 1
+            perf.count("fleet.proxied_requests")
+            if status == 200 and isinstance(payload, dict):
+                meta = dict(payload.get("meta") or {})
+                meta.update({"proxied": True, "shard": candidate.url})
+                payload["meta"] = meta
+                # Warm the local cache so repeats of a hot remote-owned
+                # key answer here without another hop.
+                cached = {k: v for k, v in payload.items()
+                          if k != "meta"}
+                self._cache.put(key, {"ok": True, "result": cached})
+            return status, payload, {}
+        self._shard_stats["failovers"] += 1
+        perf.count("fleet.shard_failovers")
+        return None
 
     def _store_key(self, route, req):
         """The experiment-store key of a request, when it has one.
@@ -652,6 +682,11 @@ class OptimizationServer:
             return pareto_cell_key(self.session, DesignSpace(),
                                    req.capacity_bytes, req.flavor,
                                    req.method, req.engine)
+        if route == "/v1/yield":
+            return yield_cell_key(self.session, DesignSpace(),
+                                  req.capacity_bytes, req.flavor,
+                                  req.method, req.code, req.y_target,
+                                  req.engine)
         return None
 
     def _item_response(self, item, cached, coalesced=False, stored=False):

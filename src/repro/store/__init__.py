@@ -38,6 +38,7 @@ from .store import (
     result_to_payload,
     study_cell_key,
     sweep_key,
+    yield_cell_key,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "result_to_payload",
     "study_cell_key",
     "sweep_key",
+    "yield_cell_key",
 ]

@@ -176,6 +176,35 @@ def pareto_cell_key(session, space, capacity_bytes, flavor, method,
     })
 
 
+def yield_cell_key(session, space, capacity_bytes, flavor, method,
+                   code, y_target, engine="pruned", n_samples=120,
+                   seed=0):
+    """Key of one ECC-relaxed yield study cell (``/v1/yield``).
+
+    Beyond the study-cell identity this captures the code, the array
+    yield target, and the Monte Carlo draw (``n_samples``/``seed``) the
+    margin sigma is estimated from — all of which move the relaxed
+    floor and therefore the optimum.
+    """
+    from ..opt.methods import make_policy
+    from ..yields.ecc import make_code
+
+    policy = make_policy(method, session.yield_levels(flavor))
+    return canonical_key("yield", {
+        "engine_version": ENGINE_VERSION,
+        "engine": engine,
+        "capacity_bits": int(capacity_bytes) * 8,
+        "flavor": flavor,
+        "policy": _policy_fields(policy),
+        "space": _space_fields(space),
+        "constraint": _constraint_info(session, flavor),
+        "code": make_code(code, session.config.word_bits).name,
+        "y_target": float(y_target),
+        "n_samples": int(n_samples),
+        "seed": int(seed),
+    })
+
+
 def sweep_key(spec):
     """Key of a whole study sweep from its normalized job spec.
 

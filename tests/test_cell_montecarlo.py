@@ -95,3 +95,60 @@ def test_zero_variation_gives_nominal(hvt_cell):
     )
     values = result.metric("hsnm").values
     assert float(np.std(values)) < 1e-9
+
+
+# -- margin-distribution export: percentile and tail queries ---------------
+
+def test_percentile_matches_order_statistics(mc_result):
+    samples = mc_result.metric("rsnm")
+    assert samples.percentile(0) == pytest.approx(samples.values.min())
+    assert samples.percentile(100) == pytest.approx(samples.values.max())
+    assert samples.percentile(50) == pytest.approx(
+        float(np.median(samples.values)))
+    p10, p90 = samples.percentile([10, 90])
+    assert p10 < samples.percentile(50) < p90
+
+
+def test_tail_probability_complements_yield(mc_result):
+    samples = mc_result.metric("hsnm")
+    floor = samples.percentile(25)
+    assert samples.tail_probability(floor) \
+        == pytest.approx(1.0 - samples.yield_at(floor))
+    assert samples.tail_probability(-1.0) == 0.0
+    assert samples.tail_probability(1.0) == 1.0
+
+
+def test_tail_estimate_empirical_in_observed_regime(mc_result):
+    samples = mc_result.metric("rsnm")
+    # The median splits the sample: a deeply observed tail.
+    est = samples.tail_estimate(samples.percentile(50))
+    assert est.source == "empirical"
+    assert est.empirical == pytest.approx(0.5, abs=0.05)
+    assert est.n_samples == 40
+
+
+def test_tail_estimate_gaussian_takeover_at_zero_failures(mc_result):
+    # Margins at nominal rails never dip anywhere near zero in a
+    # 40-sample run: the empirical estimator reads exactly 0 and the
+    # Gaussian extrapolator must take over with a usable tail mass.
+    samples = mc_result.metric("rsnm")
+    est = samples.tail_estimate(0.0)
+    assert est.tail_count == 0
+    assert est.empirical == 0.0
+    assert est.source == "gaussian"
+    assert 0.0 < est.gaussian < 0.5
+    assert est.p_fail == est.gaussian
+
+
+def test_tail_queries_engine_parity(hvt_cell):
+    kwargs = dict(n_samples=8, seed=3, vdd=VDD,
+                  metrics=("hsnm", "rsnm"), snm_points=41)
+    batched = run_cell_montecarlo(hvt_cell, engine="batched", **kwargs)
+    loop = run_cell_montecarlo(hvt_cell, engine="loop", **kwargs)
+    for name in ("hsnm", "rsnm"):
+        b, s = batched.metric(name), loop.metric(name)
+        assert b.percentile([5, 50, 95]) == pytest.approx(
+            s.percentile([5, 50, 95]))
+        floor = b.percentile(50)
+        assert b.tail_probability(floor) == s.tail_probability(floor)
+        assert b.tail_estimate(0.0) == s.tail_estimate(0.0)

@@ -1,16 +1,21 @@
-"""Fleet kill/resume, end to end: two serve replicas plus remote HTTP
+"""Fleet kill/resume, end to end: N serve replicas plus remote HTTP
 workers, SIGKILL the queue-hosting replica mid-sweep, restart it, and
 verify the sweep resumes bit-identically with zero recomputed cells.
 
 The heavy lifting (topology / kill / resume / compare) lives in
 ``repro.fleet.smoke`` — the same script CI runs — so this test just
 drives it against the repo's warm characterization cache and asserts
-its verdict.
+its verdict.  The topology is parameterized: the minimal 2-replica
+fleet and a 3-replica fleet, proving the kill/resume contract holds
+with more than one surviving store replica (checkpoints must converge
+on *every* store, not just the designated pair).
 """
 
 import os
 import subprocess
 import sys
+
+import pytest
 
 from .conftest import CACHE_PATH
 
@@ -18,7 +23,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
 
 
-def test_replica_sigkill_resume_is_bit_identical(paper_session):
+@pytest.mark.parametrize("hosts", [2, 3])
+def test_replica_sigkill_resume_is_bit_identical(paper_session, hosts):
     """``paper_session`` is requested only to guarantee the shared
     characterization cache is fully populated before the replica and
     worker subprocesses (which share it read-only) start."""
@@ -26,9 +32,10 @@ def test_replica_sigkill_resume_is_bit_identical(paper_session):
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         [sys.executable, "-m", "repro.fleet.smoke",
-         "--cache", CACHE_PATH],
+         "--cache", CACHE_PATH, "--hosts", str(hosts)],
         env=env, capture_output=True, text=True, timeout=1200,
     )
     tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-30:])
     assert proc.returncode == 0, tail
     assert "fleet smoke passed" in proc.stdout, tail
+    assert ("all %d replicas serving" % hosts) in proc.stdout, tail

@@ -146,6 +146,144 @@ def test_dead_peer_fails_over_to_local_compute(paper_session,
                    for k in remote_owned)
 
 
+def _wait_peers_healthy(fleet, timeout=10.0):
+    """Block until every peer is healthy again (probes run at 0.2 s,
+    so a peer marked down by an earlier injected failure recovers)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(fleet.healthy_peers()) == len(fleet.peers):
+            return
+        time.sleep(0.05)
+    raise AssertionError("peers never became healthy: %r"
+                         % [p.to_payload() for p in fleet.peers.values()])
+
+
+@pytest.fixture(scope="module")
+def trio(paper_session):
+    """Three live replicas in a full mesh — enough ring members for a
+    failed proxy hop to have a *remote* next preference."""
+    ports = free_ports(3)
+    replicas = []
+    try:
+        for port in ports:
+            peer_ports = [p for p in ports if p != port]
+            replica = ServerThread(fleet_config(port, peer_ports),
+                                   session=paper_session)
+            replica.__enter__()
+            replicas.append(replica)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if all(len(r.server.fleet.healthy_peers()) == 2
+                   for r in replicas):
+                break
+            time.sleep(0.05)
+        yield replicas
+    finally:
+        for replica in reversed(replicas):
+            replica.__exit__(None, None, None)
+
+
+def test_proxy_retry_walks_to_next_ring_preference(trio):
+    """When the owning peer's proxy hop fails, the retry budget tries
+    the next healthy ring preference instead of computing locally —
+    and the attempt is counted in the shard stats and /metrics."""
+    from repro.service.api import parse_request
+
+    entry = trio[0]
+    fleet = entry.server.fleet
+    _wait_peers_healthy(fleet)
+    peer_urls = set(fleet.peers)
+    chosen = None
+    for capacity in (128, 256, 512, 1024, 2048, 4096, 8192, 16384):
+        for flavor in ("lvt", "hvt"):
+            body = {"capacity_bytes": capacity, "flavor": flavor,
+                    "method": "M1", "engine": "vectorized"}
+            pref = fleet.ring.preference(
+                parse_request("/v1/optimize", dict(body)).key())
+            if pref[0] in peer_urls and pref[1] in peer_urls:
+                chosen = (body, pref)
+                break
+        if chosen:
+            break
+    assert chosen, "no probe key with two remote preferences"
+    body, pref = chosen
+
+    # Fail only the proxied POST hops to the first preference; health
+    # probes (GET /healthz) keep passing so the peer stays eligible.
+    first_peer = fleet.peers[pref[0]]
+    real_request = first_peer.pool.request
+
+    def flaky(method, path, *args, **kwargs):
+        if method == "POST":
+            raise OSError("injected proxy failure")
+        return real_request(method, path, *args, **kwargs)
+
+    before = dict(entry.server._shard_stats)
+    first_peer.pool.request = flaky
+    try:
+        with ServiceClient(port=entry.port) as client:
+            payload = client.request("POST", "/v1/optimize", body)[1]
+    finally:
+        first_peer.pool.request = real_request
+
+    assert payload["meta"]["proxied"] is True
+    assert payload["meta"]["shard"] == pref[1]
+    stats = entry.server._shard_stats
+    assert stats["proxy_retries"] == before["proxy_retries"] + 1
+    assert stats["proxied"] == before["proxied"] + 1
+    with ServiceClient(port=entry.port) as client:
+        metrics = client.metrics()
+    assert metrics["fleet"]["shards"]["proxy_retries"] >= 1
+
+
+def test_zero_retry_budget_fails_over_locally(trio):
+    """``proxy_retries=0`` restores the old single-attempt behavior:
+    the failed hop falls straight back to local compute."""
+    from repro.service.api import parse_request
+
+    entry = trio[0]
+    entry.server.config.proxy_retries = 0
+    fleet = entry.server.fleet
+    _wait_peers_healthy(fleet)
+    peer_urls = set(fleet.peers)
+    chosen = None
+    for capacity in (128, 256, 512, 1024, 2048, 4096, 8192, 16384):
+        for method in ("M2", "M1"):
+            body = {"capacity_bytes": capacity, "flavor": "lvt",
+                    "method": method, "engine": "loop"}
+            pref = fleet.ring.preference(
+                parse_request("/v1/optimize", dict(body)).key())
+            if pref[0] in peer_urls and pref[1] in peer_urls:
+                chosen = (body, pref)
+                break
+        if chosen:
+            break
+    assert chosen, "no probe key with two remote preferences"
+    body, pref = chosen
+
+    first_peer = fleet.peers[pref[0]]
+    real_request = first_peer.pool.request
+
+    def flaky(method, path, *args, **kwargs):
+        if method == "POST":
+            raise OSError("injected proxy failure")
+        return real_request(method, path, *args, **kwargs)
+
+    before = dict(entry.server._shard_stats)
+    first_peer.pool.request = flaky
+    try:
+        with ServiceClient(port=entry.port) as client:
+            payload = client.request("POST", "/v1/optimize", body)[1]
+    finally:
+        first_peer.pool.request = real_request
+        entry.server.config.proxy_retries = 1
+
+    assert "proxied" not in payload["meta"]
+    stats = entry.server._shard_stats
+    assert stats["proxy_retries"] == before["proxy_retries"]
+    assert stats["failovers"] == before["failovers"] + 1
+
+
 # ---------------------------------------------------------------------------
 # Introspection: /v1/fleet, /v1/fleet/metrics, /metrics gauges
 # ---------------------------------------------------------------------------
@@ -163,7 +301,8 @@ def test_fleet_payload_reports_topology_and_health(pair):
         [replica_a.server.fleet.self_url,
          replica_b.server.fleet.self_url])
     assert set(payload["shards"]) == {"local", "remote_owned",
-                                      "proxied", "failovers"}
+                                      "proxied", "failovers",
+                                      "proxy_retries"}
     assert "store_pending" in payload    # both replicas carry stores
 
 

@@ -246,6 +246,82 @@ def test_pareto_store_dedups_across_exponents(paper_session, tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Yield endpoint
+# ---------------------------------------------------------------------------
+
+def test_yield_matches_direct_study_cell(client, paper_session):
+    from repro.yields.study import compute_yield_cell
+
+    served = client.yield_study(1024, flavor="hvt", method="M2")
+    direct = compute_yield_cell(paper_session, 1024, "hvt", "M2")
+    expected = direct.summary()
+    for field in ("delta_z", "sigma0", "delta_relaxed",
+                  "sense_voltage_relaxed", "baseline_edp", "relaxed_edp",
+                  "edp_gain", "yield_coded"):
+        assert served[field] == expected[field], field
+    assert served["code_described"] == "(72,64) SECDED"
+    assert served["baseline_result"]["design"] is not None
+    assert served["relaxed_result"]["metrics"]["edp"] \
+        == expected["relaxed_edp"]
+    assert served["engine"] == "pruned"
+
+
+def test_yield_none_code_reproduces_fixed_delta(client):
+    served = client.yield_study(1024, flavor="hvt", method="M2",
+                                code="none")
+    assert served["delta_z"] == 0.0
+    assert served["edp_gain"] == 0.0
+    assert served["baseline_result"]["design"] \
+        == served["relaxed_result"]["design"]
+    assert served["relaxed_edp"] == served["baseline_edp"]
+
+
+def test_yield_repeat_request_hits_result_cache(client):
+    first = client.yield_study(1024, flavor="hvt", method="M2")
+    second = client.yield_study(1024, flavor="hvt", method="M2")
+    assert second["meta"]["cached"] is True
+    first.pop("meta")
+    second.pop("meta")
+    assert first == second
+
+
+def test_yield_invalid_inputs_are_400(client):
+    status, payload, _ = client.request(
+        "POST", "/v1/yield",
+        body={"capacity_bytes": 1024, "code": "not-a-code"},
+        check=False)
+    assert status == 400
+    assert "code" in payload["error"]
+    status, payload, _ = client.request(
+        "POST", "/v1/yield",
+        body={"capacity_bytes": 1024, "y_target": 1.5},
+        check=False)
+    assert status == 400
+    assert "y_target" in payload["error"]
+
+
+def test_yield_store_dedups_repeat_cells(paper_session, tmp_path):
+    # A second server sharing the store serves the cell without
+    # re-running either search (the study-cell payload is
+    # content-addressed like /v1/optimize and /v1/pareto).
+    store_path = str(tmp_path / "store.db")
+    config = ServiceConfig(port=0, executor="thread", workers=2,
+                           max_wait_ms=5.0, store_path=store_path)
+    with ServerThread(config, session=paper_session) as running:
+        with ServiceClient(port=running.port) as c:
+            first = c.yield_study(512, flavor="hvt", method="M2")
+    before = counter_value("service.engine.yield_cells")
+    with ServerThread(config, session=paper_session) as running:
+        with ServiceClient(port=running.port) as c:
+            second = c.yield_study(512, flavor="hvt", method="M2")
+    after = counter_value("service.engine.yield_cells")
+    assert after == before
+    assert second["meta"]["stored"] is True
+    assert second["relaxed_edp"] == first["relaxed_edp"]
+    assert second["baseline_result"] == first["baseline_result"]
+
+
+# ---------------------------------------------------------------------------
 # Singleflight: N identical concurrent requests -> one engine invocation
 # ---------------------------------------------------------------------------
 

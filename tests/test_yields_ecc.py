@@ -1,0 +1,180 @@
+"""Tests for repro.yields.ecc: code geometry and overhead terms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.yields.ecc import (
+    ECCOverhead,
+    ecc_overhead,
+    hamming_check_bits,
+    make_code,
+    secded_check_bits,
+)
+
+
+class TestCheckBits:
+    def test_hamming_classic_widths(self):
+        # The classic (2^k - 1, 2^k - 1 - k) family boundary cases.
+        assert hamming_check_bits(1) == 2
+        assert hamming_check_bits(4) == 3
+        assert hamming_check_bits(11) == 4
+        assert hamming_check_bits(26) == 5
+        assert hamming_check_bits(57) == 6
+        assert hamming_check_bits(64) == 7
+
+    def test_secded_64_is_72_64(self):
+        assert secded_check_bits(64) == 8
+
+    def test_rejects_zero_data_bits(self):
+        with pytest.raises(DesignSpaceError):
+            hamming_check_bits(0)
+
+
+class TestMakeCode:
+    def test_none_has_no_columns(self):
+        code = make_code("none", 64)
+        assert code.check_bits == 0
+        assert code.t == 0
+        assert not code.corrects
+        assert code.describe() == "none"
+
+    def test_secded_geometry(self):
+        code = make_code("secded", 64)
+        assert code.check_bits == 8
+        assert code.codeword_bits == 72
+        assert code.t == 1
+        assert code.corrects
+        assert code.describe() == "(72,64) SECDED"
+
+    def test_interleaved_ways(self):
+        code = make_code("secded-x2", 64)
+        assert code.interleave == 2
+        assert code.data_bits_per_way == 32
+        assert code.check_bits_per_way == secded_check_bits(32)
+        assert code.check_bits == 2 * secded_check_bits(32)
+        assert code.codeword_bits == 32 + secded_check_bits(32)
+
+    def test_rejects_unknown_and_malformed_names(self):
+        for name in ("paritee", "secded-x", "secded-x1", "secded-xQ"):
+            with pytest.raises(DesignSpaceError):
+                make_code(name, 64)
+
+    def test_rejects_non_dividing_interleave(self):
+        with pytest.raises(DesignSpaceError):
+            make_code("secded-x3", 64)
+
+
+class TestOverhead:
+    def test_none_is_exactly_zero(self, hvt_char):
+        zero = ecc_overhead(make_code("none", 64), hvt_char.decoder)
+        assert zero == ECCOverhead.zero()
+
+    def test_secded_terms_positive_and_ordered(self, hvt_char):
+        over = ecc_overhead(make_code("secded", 64), hvt_char.decoder)
+        assert over.encode_delay > 0.0
+        assert over.encode_energy > 0.0
+        # Correction recomputes the encode trees plus syndrome decode
+        # and the correcting XOR: strictly costlier on both axes.
+        assert over.correct_delay > over.encode_delay
+        assert over.correct_energy > over.encode_energy
+
+    def test_interleave_parallel_delay_scaled_energy(self, hvt_char):
+        one = ecc_overhead(make_code("secded", 64), hvt_char.decoder)
+        two = ecc_overhead(make_code("secded-x2", 64), hvt_char.decoder)
+        # Ways run in parallel: the shorter codeword has shallower
+        # trees, so delay does not grow; energy covers both ways.
+        assert two.correct_delay <= one.correct_delay
+        assert two.encode_delay <= one.encode_delay
+
+
+class TestArrayFlowThrough:
+    def test_check_columns_widen_rows(self, hvt_char):
+        from repro.array.organization import ArrayOrganization
+
+        org = ArrayOrganization(n_r=128, n_c=512, check_bits=8)
+        assert org.n_c_phys == 512 + 8 * org.words_per_row
+        assert org.word_bits_phys == org.word_bits + 8
+        # Decoders keep addressing the logical geometry.
+        plain = ArrayOrganization(n_r=128, n_c=512)
+        assert org.row_address_bits == plain.row_address_bits
+        assert org.column_address_bits == plain.column_address_bits
+
+    def test_no_code_is_bit_identical(self, hvt_char):
+        from repro.array.config import ArrayConfig
+        from repro.array.model import DesignPoint, SRAMArrayModel
+
+        base = SRAMArrayModel(hvt_char, ArrayConfig())
+        ecc0 = SRAMArrayModel(hvt_char, ArrayConfig(ecc="none"))
+        point = DesignPoint(n_r=128, n_c=512, n_pre=8, n_wr=4,
+                            v_ddc=0.55, v_ssc=-0.1, v_wl=0.55)
+        a = base.evaluate(128 * 512, point)
+        b = ecc0.evaluate(128 * 512, point)
+        assert a.edp == b.edp
+        assert a.d_array == b.d_array
+        assert a.e_total == b.e_total
+
+    def test_secded_charges_delay_and_energy(self, hvt_char):
+        from repro.array.config import ArrayConfig
+        from repro.array.model import DesignPoint, SRAMArrayModel
+
+        base = SRAMArrayModel(
+            hvt_char, ArrayConfig(count_all_columns=True))
+        ecc = SRAMArrayModel(
+            hvt_char, ArrayConfig(count_all_columns=True, ecc="secded"))
+        point = DesignPoint(n_r=128, n_c=512, n_pre=8, n_wr=4,
+                            v_ddc=0.55, v_ssc=-0.1, v_wl=0.55)
+        a = base.evaluate(128 * 512, point)
+        b = ecc.evaluate(128 * 512, point)
+        assert b.e_total > a.e_total
+        assert b.d_array > a.d_array
+        assert "ecc" in b.read_parts and "ecc" in b.write_parts
+
+    def test_pipelined_mode_bounds_inline_mode(self, hvt_char):
+        from repro.array.config import ArrayConfig
+        from repro.array.model import DesignPoint, SRAMArrayModel
+
+        inline = SRAMArrayModel(
+            hvt_char,
+            ArrayConfig(count_all_columns=True, ecc="secded"))
+        staged = SRAMArrayModel(
+            hvt_char,
+            ArrayConfig(count_all_columns=True, ecc="secded",
+                        ecc_pipelined=True))
+        point = DesignPoint(n_r=128, n_c=512, n_pre=8, n_wr=4,
+                            v_ddc=0.55, v_ssc=-0.1, v_wl=0.55)
+        a = inline.evaluate(128 * 512, point)
+        b = staged.evaluate(128 * 512, point)
+        # A pipeline stage never beats zero stages, but always beats
+        # serializing correction into the access.
+        assert b.d_array <= a.d_array
+        over = staged.ecc_terms
+        assert b.d_array >= max(over.correct_delay, over.encode_delay)
+
+    def test_broadcast_scalar_parity_with_code(self, hvt_char):
+        import numpy as np
+
+        from repro.array.config import ArrayConfig
+        from repro.array.model import DesignPoint, SRAMArrayModel
+
+        model = SRAMArrayModel(
+            hvt_char, ArrayConfig(count_all_columns=True, ecc="secded"))
+        v_sscs = np.array([0.0, -0.05, -0.1, -0.2])
+        grid = model.evaluate(
+            128 * 512,
+            DesignPoint(n_r=128, n_c=512, n_pre=8, n_wr=4,
+                        v_ddc=0.55, v_ssc=v_sscs, v_wl=0.55))
+        for i, v in enumerate(v_sscs):
+            scalar = model.evaluate(
+                128 * 512,
+                DesignPoint(n_r=128, n_c=512, n_pre=8, n_wr=4,
+                            v_ddc=0.55, v_ssc=float(v), v_wl=0.55))
+            assert scalar.edp == grid.edp[i]
+
+    def test_unknown_code_fails_at_config_construction(self):
+        from repro.array.config import ArrayConfig
+
+        with pytest.raises(DesignSpaceError):
+            ArrayConfig(ecc="not-a-code")
