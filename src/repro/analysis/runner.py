@@ -149,6 +149,8 @@ class YieldSweep:
     voltage_mode: str
     code: str
     y_target: float
+    #: Margin-floor relaxation estimator the study ran with.
+    sampler: str = "gaussian"
 
     def get(self, capacity_bytes, flavor, method):
         return self.results[(capacity_bytes, flavor, method)]
@@ -216,8 +218,9 @@ _WORKER_STATE = {}
 
 def _objective_kind(objective):
     """The dispatch kind: ``"edp"``/``"pareto"`` pass as strings, the
-    yield study ships its parameters as ``("yield", code, y_target)``
-    (a plain tuple so the process pool pickles it untouched)."""
+    yield study ships its parameters as ``("yield", code, y_target,
+    sampler, ci_target, max_samples)`` (a plain tuple so the process
+    pool pickles it untouched)."""
     return objective if isinstance(objective, str) else objective[0]
 
 
@@ -273,10 +276,12 @@ def _execute_task(session, space, task, engine, keep_landscape,
     if _objective_kind(objective) == "yield":
         from ..yields.study import compute_yield_cell_timed
 
-        _, code, y_target = objective
+        _, code, y_target, sampler, ci_target, max_samples = objective
         return compute_yield_cell_timed(
             session, task.capacity_bytes, task.flavor, task.method,
             code=code, y_target=y_target, engine=engine, space=space,
+            sampler=sampler, ci_target=ci_target,
+            max_samples=max_samples,
         )
     start = time.perf_counter()
     model = session.model(task.flavor)
@@ -412,7 +417,8 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
               methods=METHODS, workers=None, executor="auto",
               engine="vectorized", keep_landscape=False, space=None,
               cache_path=None, voltage_mode="paper", objective="edp",
-              code="secded", y_target=0.9):
+              code="secded", y_target=0.9, sampler="gaussian",
+              ci_target=0.1, max_samples=4096):
     """Run the full study matrix, optionally across a worker pool.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or
@@ -432,8 +438,12 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     baseline search *and* a margin-relaxed search under ``code`` at
     array yield target ``y_target`` per cell); the returned ``sweep``
     is then a :class:`YieldSweep` of
-    :class:`~repro.yields.study.YieldCellResult` values.  ``code`` and
-    ``y_target`` are ignored by the other objectives.
+    :class:`~repro.yields.study.YieldCellResult` values.
+    ``sampler``/``ci_target``/``max_samples`` select the margin-floor
+    relaxation estimator (``"gaussian"`` closed form, or a
+    :data:`repro.cell.importance.SAMPLERS` rare-event sampler with its
+    adaptive budget).  ``code``, ``y_target`` and the sampler knobs are
+    ignored by the other objectives.
     """
     if objective not in ("edp", "pareto", "yield"):
         raise ValueError(
@@ -441,13 +451,23 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
             "'yield')" % (objective,)
         )
     if objective == "yield":
+        from ..cell.importance import SAMPLERS
         from ..yields.ecc import make_code
 
         if not 0.0 < y_target < 1.0:
             raise ValueError("y_target must be in (0, 1), got %r"
                              % (y_target,))
         make_code(code, 64)   # fail fast on an unknown code name
-        objective = ("yield", code, float(y_target))
+        if sampler != "gaussian" and sampler not in SAMPLERS:
+            raise ValueError(
+                "unknown sampler %r (expected 'gaussian' or one of %s)"
+                % (sampler, "/".join(SAMPLERS))
+            )
+        if not 0.0 < ci_target < 1.0:
+            raise ValueError("ci_target must be in (0, 1), got %r"
+                             % (ci_target,))
+        objective = ("yield", code, float(y_target), sampler,
+                     float(ci_target), int(max_samples))
     if session is None:
         session = Session.create(
             cache_path=cache_path or DEFAULT_CACHE_PATH,
@@ -575,7 +595,8 @@ def run_study(session=None, capacities=CAPACITIES_BYTES, flavors=FLAVORS,
     if kind == "yield":
         sweep = YieldSweep(results=results,
                            voltage_mode=session.voltage_mode,
-                           code=objective[1], y_target=objective[2])
+                           code=objective[1], y_target=objective[2],
+                           sampler=objective[3])
     elif kind == "pareto":
         sweep = ParetoSweep(results=results,
                             voltage_mode=session.voltage_mode)

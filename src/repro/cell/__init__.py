@@ -10,9 +10,22 @@ Public API:
 * :func:`cell_leakage_power` — standby leakage.
 * :func:`cell_write_event` — transient write delay/energy.
 * :func:`run_cell_montecarlo` — variation-aware yield analysis.
+* :func:`estimate_tail` / :class:`TailSampleBuffer` — rare-event
+  (importance-sampled) margin tail estimation.
 """
 
 from .bias import CellBias
+from .importance import (
+    SAMPLERS,
+    MarginSolver,
+    ShiftSearch,
+    TailEstimate,
+    TailSampleBuffer,
+    cell_margin_solver,
+    estimate_tail,
+    find_failure_shift,
+    naive_samples_for_ci,
+)
 from .leakage import cell_leakage_power, leakage_vs_vdd
 from .montecarlo import (
     MonteCarloResult,
@@ -69,9 +82,14 @@ __all__ = [
     "dynamic_noise_margin",
     "read_timing_analysis",
     "retention_analysis",
+    "MarginSolver",
     "MonteCarloResult",
     "ReadState",
+    "SAMPLERS",
     "SRAM6TCell",
+    "ShiftSearch",
+    "TailEstimate",
+    "TailSampleBuffer",
     "TRANSISTOR_ROLES",
     "WriteEvent",
     "WriteMarginResult",
@@ -79,11 +97,15 @@ __all__ = [
     "butterfly",
     "cell_flips",
     "cell_leakage_power",
+    "cell_margin_solver",
     "cell_write_event",
+    "estimate_tail",
+    "find_failure_shift",
     "flip_wordline_voltage",
     "flip_wordline_voltage_batch",
     "hold_snm",
     "leakage_vs_vdd",
+    "naive_samples_for_ci",
     "read_current",
     "read_current_grid",
     "read_snm",

@@ -295,6 +295,20 @@ def run_yield(argv):
                         choices=("pruned", "fused", "vectorized", "loop"),
                         default="pruned",
                         help="search engine for both arms")
+    parser.add_argument("--sampler",
+                        choices=("gaussian", "naive", "antithetic",
+                                 "stratified", "shifted"),
+                        default="gaussian",
+                        help="margin-floor relaxation estimator: "
+                             "gaussian closed form (default) or a "
+                             "rare-event sampler (shifted = mean-shift "
+                             "importance sampling)")
+    parser.add_argument("--ci-target", type=float, default=0.1,
+                        help="relative 95%% CI half-width the sampled "
+                             "relaxation targets (default 0.1)")
+    parser.add_argument("--max-samples", type=int, default=4096,
+                        help="adaptive sample cap per rail pair for "
+                             "the rare-event samplers (default 4096)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker count (1 = serial)")
     parser.add_argument("--executor",
@@ -320,6 +334,8 @@ def run_yield(argv):
         workers=args.workers, executor=args.executor, engine=args.engine,
         cache_path=args.cache or None, voltage_mode=args.voltage_mode,
         objective="yield", code=args.code, y_target=args.y_target,
+        sampler=args.sampler, ci_target=args.ci_target,
+        max_samples=args.max_samples,
     )
     sweep = run.sweep
     print(sweep.report())
@@ -332,6 +348,7 @@ def run_yield(argv):
              best.sense_voltage_relaxed * 1e3, best.yield_coded))
     if args.json:
         save_json({"code": sweep.code, "y_target": sweep.y_target,
+                   "sampler": sweep.sampler,
                    "voltage_mode": sweep.voltage_mode,
                    "cells": sweep.summaries()}, args.json)
         print("result saved to %s" % args.json)

@@ -169,9 +169,33 @@ class YieldTargetConstraint:
     ``sigma`` is the ddof=1 standard deviation of the per-sample
     ``min(HSNM, RSNM)`` margin from the cell Monte Carlo engine,
     memoized per (V_DDC, V_SSC) rail pair (it does not depend on V_WL).
-    Deterministic margins delegate to an internal
+    The Vt shift matrix behind those statistics is drawn *once* and
+    shared by every rail pair (and every margin-floor iteration) — the
+    draw is seed-deterministic, so re-sampling it per point was pure
+    waste.  Deterministic margins delegate to an internal
     :class:`YieldConstraint`, so all four search engines see one
     feasibility mask and stay bit-identical.
+
+    ``sampler`` selects how the relaxation is measured:
+
+    * ``"gaussian"`` (default) — the closed-form ``delta_z * sigma``
+      above; bit-identical to the historical behavior.
+    * a :data:`repro.cell.importance.SAMPLERS` name — the relaxation is
+      read off a rare-event-sampled margin distribution instead of the
+      Gaussian extrapolation::
+
+          relaxation = Q(p_coded) - Q(p_uncoded)
+
+      where ``Q`` inverts the sampled tail mass
+      (:meth:`repro.cell.importance.TailSampleBuffer.floor_for`) — for
+      Gaussian margins this reduces to ``delta_z * sigma`` exactly.
+      One :class:`~repro.cell.importance.TailSampleBuffer` per rail
+      pair feeds every floor query; the margin-floor bisection reuses
+      its cached, consolidated samples with no re-solve and no
+      per-iteration allocation.  An unconverged or unresolvable tail
+      (``max_samples`` exhausted, or no samples below the budget
+      quantile) falls back to the Gaussian relaxation for that rail
+      pair.
     """
 
     library: object
@@ -189,11 +213,26 @@ class YieldTargetConstraint:
     #: stability; the remainder funds other correctable mechanisms
     #: (the study's relaxed sensing margin).  1.0 = margins get it all.
     margin_budget_fraction: float = 1.0
+    #: "gaussian" (closed form) or a rare-event sampler name.
+    sampler: str = "gaussian"
+    #: Relative 95% CI half-width the sampled relaxation targets.
+    ci_target: float = 0.1
+    #: Sample cap of the adaptive budget loop (per rail pair).
+    max_samples: int = 4096
     base: YieldConstraint = field(default=None, repr=False)
     #: (v_ddc, v_ssc) -> (mu, sigma, tail_count, n_samples) of the
     #: per-sample min(HSNM, RSNM) margin.
     _stat_cache: dict = field(default_factory=dict, repr=False)
     delta_z: float = field(default=None, repr=False)
+    #: The one shared Vt shift draw behind every min_margin_stats call.
+    _shift_matrix: object = field(default=None, repr=False)
+    _mc_cell: object = field(default=None, repr=False)
+    #: (v_ddc, v_ssc) -> TailSampleBuffer (sampled relaxation mode).
+    _buffer_cache: dict = field(default_factory=dict, repr=False)
+    #: (v_ddc, v_ssc) -> (relaxation [V], TailEstimate | None).
+    _relax_cache: dict = field(default_factory=dict, repr=False)
+    #: Failure direction reused as a search hint across rail pairs.
+    _direction_hint: object = field(default=None, repr=False)
 
     def __post_init__(self):
         from ..yields.ecc import make_code
@@ -201,6 +240,14 @@ class YieldTargetConstraint:
 
         if isinstance(self.code, str):
             self.code = make_code(self.code, self.word_bits)
+        if self.sampler != "gaussian":
+            from ..cell.importance import SAMPLERS
+
+            if self.sampler not in SAMPLERS:
+                raise ValueError(
+                    "unknown sampler %r (expected 'gaussian' or one of "
+                    "%s)" % (self.sampler, "/".join(SAMPLERS))
+                )
         if self.base is None:
             self.base = YieldConstraint(
                 library=self.library, flavor=self.flavor,
@@ -219,23 +266,39 @@ class YieldTargetConstraint:
 
     # -- variation statistics ----------------------------------------------
 
+    @property
+    def shift_matrix(self):
+        """The one seed-deterministic Vt shift draw every rail pair
+        (and every margin-floor iteration) shares.  Identical to what
+        each ``run_cell_montecarlo(n_samples, seed)`` call used to
+        re-draw per point — hoisted so it is sampled exactly once."""
+        if self._shift_matrix is None:
+            from ..cell.montecarlo import sample_shift_matrix
+
+            self._shift_matrix = sample_shift_matrix(
+                self.n_samples, seed=self.seed
+            )
+        return self._shift_matrix
+
     def min_margin_stats(self, v_ddc, v_ssc):
         """(mu, sigma, tail_count, n) of per-sample min(HSNM, RSNM)."""
         key = (round(v_ddc, 4), round(v_ssc, 4))
         if key not in self._stat_cache:
-            from ..cell.montecarlo import run_cell_montecarlo
+            from ..cell.montecarlo import _margins_batched, batched_cell
 
-            bias = CellBias.read(vdd=self.library.vdd, v_ddc=v_ddc,
-                                 v_ssc=v_ssc)
-            result = run_cell_montecarlo(
-                self.base.cell, n_samples=self.n_samples, seed=self.seed,
-                vdd=self.library.vdd, read_bias=bias,
-                metrics=("hsnm", "rsnm"), snm_points=41,
+            if self._mc_cell is None:
+                self._mc_cell = batched_cell(self.base.cell,
+                                             self.shift_matrix)
+            vdd = self.library.vdd
+            bias = CellBias.read(vdd=vdd, v_ddc=v_ddc, v_ssc=v_ssc)
+            collected = _margins_batched(
+                self._mc_cell, self.n_samples, vdd, bias,
+                CellBias.hold(vdd), ("hsnm", "rsnm"), 0.002, 41,
             )
             # Samples are shift-aligned across metrics, so the
             # elementwise min is the per-instance worst margin.
-            values = np.minimum(result.metric("hsnm").values,
-                                result.metric("rsnm").values)
+            values = np.minimum(np.asarray(collected["hsnm"]),
+                                np.asarray(collected["rsnm"]))
             self._stat_cache[key] = (
                 float(np.mean(values)),
                 float(np.std(values, ddof=1)),
@@ -249,7 +312,7 @@ class YieldTargetConstraint:
         return self.min_margin_stats(v_ddc, v_ssc)[1]
 
     def requirement(self, v_ddc, v_ssc):
-        """The relaxed margin floor ``delta - delta_z * sigma`` [V].
+        """The relaxed margin floor ``delta - relaxation`` [V].
 
         Exactly ``delta`` (no Monte Carlo run) when the code buys no
         relaxation, and never below zero — a negative requirement would
@@ -257,8 +320,115 @@ class YieldTargetConstraint:
         """
         if self.delta_z == 0.0:
             return self.delta
-        return max(self.delta - self.delta_z * self.sigma(v_ddc, v_ssc),
-                   0.0)
+        return max(self.delta - self.relaxation(v_ddc, v_ssc), 0.0)
+
+    def relaxation(self, v_ddc, v_ssc):
+        """Margin-floor relaxation the code buys at one rail pair [V]:
+        ``delta_z * sigma`` in Gaussian mode, the sampled quantile gap
+        ``Q(p_coded) - Q(p_uncoded)`` in sampler mode (memoized)."""
+        if self.sampler == "gaussian":
+            return self.delta_z * self.sigma(v_ddc, v_ssc)
+        key = (round(v_ddc, 4), round(v_ssc, 4))
+        if key not in self._relax_cache:
+            self._relax_cache[key] = self._sampled_relaxation(v_ddc,
+                                                              v_ssc)
+        return self._relax_cache[key][0]
+
+    # -- sampled relaxation (rare-event mode) ------------------------------
+
+    def _budgets(self):
+        """(uncoded, coded) per-cell failure budgets at the target."""
+        from ..yields.failure import (
+            coded_p_fail_budget,
+            uncoded_p_fail_budget,
+        )
+
+        p_uncoded = uncoded_p_fail_budget(
+            self.y_target, self.n_words * self.code.data_bits
+        )
+        p_coded = self.margin_budget_fraction * coded_p_fail_budget(
+            self.y_target, self.code, self.n_words
+        )
+        return p_uncoded, p_coded
+
+    def tail_buffer(self, v_ddc, v_ssc):
+        """The shared weighted-sample buffer at one rail pair.
+
+        Built once per rail pair; every floor query — the budget
+        quantiles of :meth:`relaxation`, the reported
+        :meth:`tail_estimate` — rides the same cached samples.  The
+        mean-shift search aims at the uncoded-budget quantile predicted
+        by the Gaussian stats (the deepest floor any query needs), and
+        its failure direction seeds the next rail pair's search.
+        """
+        from ..cell.importance import TailSampleBuffer, cell_margin_solver
+        from ..yields.failure import z_score
+
+        key = (round(v_ddc, 4), round(v_ssc, 4))
+        buffer = self._buffer_cache.get(key)
+        if buffer is None:
+            vdd = self.library.vdd
+            bias = CellBias.read(vdd=vdd, v_ddc=v_ddc, v_ssc=v_ssc)
+            solver = cell_margin_solver(self.base.cell, vdd, bias,
+                                        snm_points=41)
+            mu, sigma, _, _ = self.min_margin_stats(v_ddc, v_ssc)
+            p_uncoded, _ = self._budgets()
+            floor = mu - (z_score(p_uncoded) * sigma if sigma > 0.0
+                          else 0.0)
+            # SNM-style margins truncate at zero (a collapsed butterfly
+            # eye reads exactly 0), so a sub-zero Gaussian quantile is
+            # unreachable; aim the search just above the truncation
+            # instead and let the floor queries resolve the budgets on
+            # the sampled distribution.
+            if floor <= 0.0 < mu:
+                floor = min(0.05 * mu, 0.002)
+            buffer = TailSampleBuffer(
+                solver, sampler=self.sampler, seed=self.seed,
+                search_floor=floor, direction=self._direction_hint,
+            )
+            buffer.prepare()
+            if self._direction_hint is None and buffer.search.crossed:
+                self._direction_hint = buffer.search.direction
+            self._buffer_cache[key] = buffer
+        return buffer
+
+    def _sampled_relaxation(self, v_ddc, v_ssc):
+        """(relaxation [V], TailEstimate) at one rail pair, falling
+        back to the Gaussian ``delta_z * sigma`` when the sampler did
+        not converge or cannot resolve the budget quantiles."""
+        p_uncoded, p_coded = self._budgets()
+        buffer = self.tail_buffer(v_ddc, v_ssc)
+        estimate = buffer.estimate_to_ci(
+            buffer.search_floor, ci_target=self.ci_target,
+            max_samples=self.max_samples,
+        )
+        floor_uncoded = buffer.floor_for(p_uncoded)
+        floor_coded = buffer.floor_for(p_coded)
+        resolved = (buffer.coverage(floor_uncoded) > 0
+                    and buffer.coverage(floor_coded) > 0)
+        if estimate.converged and resolved:
+            relaxation = max(floor_coded - floor_uncoded, 0.0)
+        else:
+            relaxation = self.delta_z * self.sigma(v_ddc, v_ssc)
+        return relaxation, estimate
+
+    def tail_estimate(self, v_ddc, v_ssc, floor=0.0):
+        """Sampled :class:`~repro.cell.importance.TailEstimate` of
+        ``P(margin < floor)`` at the rail pair (functional floor by
+        default), over the shared buffer — extra floors cost no solver
+        calls beyond the samples already drawn."""
+        if self.sampler == "gaussian":
+            raise ValueError(
+                "tail_estimate needs a rare-event sampler; this "
+                "constraint runs with sampler='gaussian'"
+            )
+        buffer = self.tail_buffer(v_ddc, v_ssc)
+        if buffer.n_samples < 2 * buffer.block:
+            buffer.estimate_to_ci(
+                buffer.search_floor, ci_target=self.ci_target,
+                max_samples=self.max_samples,
+            )
+        return buffer.estimate(floor)
 
     # -- reporting ---------------------------------------------------------
 
@@ -329,11 +499,18 @@ class YieldTargetConstraint:
     def export_margin_memo(self):
         memo = self.base.export_margin_memo()
         memo["sigma"] = dict(self._stat_cache)
+        # Sampled relaxations travel as plain floats (the buffers hold
+        # live solver closures and stay process-local).
+        memo["relaxation"] = {
+            key: value[0] for key, value in self._relax_cache.items()
+        }
         return memo
 
     def seed_margin_memo(self, memo):
         self.base.seed_margin_memo(memo)
         self._stat_cache.update(memo.get("sigma", {}))
+        for key, relaxation in memo.get("relaxation", {}).items():
+            self._relax_cache.setdefault(key, (relaxation, None))
 
 
 @dataclass

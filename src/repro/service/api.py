@@ -185,6 +185,11 @@ class YieldRequest:
     engine: str
     code: str
     y_target: float
+    #: Margin-floor relaxation estimator: "gaussian" (closed form) or
+    #: a rare-event sampler (repro.cell.importance.SAMPLERS).
+    sampler: str = "gaussian"
+    ci_target: float = 0.1
+    max_samples: int = 4096
 
     @classmethod
     def parse(cls, body):
@@ -207,6 +212,21 @@ class YieldRequest:
             raise BadRequest(
                 "y_target must be in (0, 1), got %r" % (y_target,)
             )
+        from ..cell.importance import BLOCK, SAMPLERS
+
+        sampler = _choice(body, "sampler", ("gaussian",) + SAMPLERS,
+                          "gaussian")
+        ci_target = _require(body, "ci_target", float, default=0.1)
+        if not 0.0 < ci_target < 1.0:
+            raise BadRequest(
+                "ci_target must be in (0, 1), got %r" % (ci_target,)
+            )
+        max_samples = _require(body, "max_samples", int, default=4096)
+        if not 2 * BLOCK <= max_samples <= MAX_MC_SAMPLES:
+            raise BadRequest(
+                "max_samples must be in %d..%d, got %d"
+                % (2 * BLOCK, MAX_MC_SAMPLES, max_samples)
+            )
         return cls(
             capacity_bytes=capacity,
             flavor=_choice(body, "flavor", FLAVORS, "hvt"),
@@ -214,6 +234,9 @@ class YieldRequest:
             engine=_choice(body, "engine", SEARCH_ENGINES, "pruned"),
             code=code,
             y_target=float(y_target),
+            sampler=sampler,
+            ci_target=float(ci_target),
+            max_samples=int(max_samples),
         )
 
     def key(self):
@@ -228,7 +251,10 @@ class YieldRequest:
         return {"capacity_bytes": self.capacity_bytes,
                 "method": self.method,
                 "code": self.code,
-                "y_target": self.y_target}
+                "y_target": self.y_target,
+                "sampler": self.sampler,
+                "ci_target": self.ci_target,
+                "max_samples": self.max_samples}
 
 
 @dataclass(frozen=True)

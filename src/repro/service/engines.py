@@ -252,6 +252,9 @@ def _yield_group(session, job):
                 session, item["capacity_bytes"], flavor,
                 item["method"], code=item["code"],
                 y_target=item["y_target"], engine=engine,
+                sampler=item.get("sampler", "gaussian"),
+                ci_target=item.get("ci_target", 0.1),
+                max_samples=item.get("max_samples", 4096),
             )
         except ReproError as exc:
             payloads.append(_failed(422, str(exc)))

@@ -686,7 +686,9 @@ class OptimizationServer:
             return yield_cell_key(self.session, DesignSpace(),
                                   req.capacity_bytes, req.flavor,
                                   req.method, req.code, req.y_target,
-                                  req.engine)
+                                  req.engine, sampler=req.sampler,
+                                  ci_target=req.ci_target,
+                                  max_samples=req.max_samples)
         return None
 
     def _item_response(self, item, cached, coalesced=False, stored=False):

@@ -178,13 +178,15 @@ def pareto_cell_key(session, space, capacity_bytes, flavor, method,
 
 def yield_cell_key(session, space, capacity_bytes, flavor, method,
                    code, y_target, engine="pruned", n_samples=120,
-                   seed=0):
+                   seed=0, sampler="gaussian", ci_target=0.1,
+                   max_samples=4096):
     """Key of one ECC-relaxed yield study cell (``/v1/yield``).
 
     Beyond the study-cell identity this captures the code, the array
-    yield target, and the Monte Carlo draw (``n_samples``/``seed``) the
-    margin sigma is estimated from — all of which move the relaxed
-    floor and therefore the optimum.
+    yield target, the Monte Carlo draw (``n_samples``/``seed``) the
+    margin sigma is estimated from, and the relaxation estimator
+    (``sampler``/``ci_target``/``max_samples``) — all of which move
+    the relaxed floor and therefore the optimum.
     """
     from ..opt.methods import make_policy
     from ..yields.ecc import make_code
@@ -202,6 +204,9 @@ def yield_cell_key(session, space, capacity_bytes, flavor, method,
         "y_target": float(y_target),
         "n_samples": int(n_samples),
         "seed": int(seed),
+        "sampler": sampler,
+        "ci_target": float(ci_target),
+        "max_samples": int(max_samples),
     })
 
 

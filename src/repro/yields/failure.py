@@ -18,7 +18,12 @@ cannot be read), so ``p_fail = P(margin < floor)``.  Two estimators:
 
 :func:`estimate_p_fail` exposes both and selects the empirical count
 only when enough tail events were actually observed; the tests
-cross-check the two in the observable regime.
+cross-check the two in the observable regime.  For the deep tail a
+third, *sampled* path (:func:`estimate_p_fail_sampled`, or
+``estimate_p_fail(..., sampler=...)`` with a margin solver) runs the
+rare-event engine of :mod:`repro.cell.importance` and returns a
+:class:`~repro.cell.importance.TailEstimate` carrying confidence-
+interval fields.
 
 Composition
 -----------
@@ -42,6 +47,8 @@ from statistics import NormalDist
 
 import numpy as np
 
+from ..cell.importance import TailEstimate, estimate_tail
+
 _NORMAL = NormalDist()
 
 
@@ -61,15 +68,18 @@ def p_fail_gaussian(samples, floor):
     """Gaussian-tail extrapolation ``Phi((floor - mu) / sigma)``.
 
     ``mu``/``sigma`` are the sample mean and ddof=1 standard deviation
-    (matching :class:`repro.cell.montecarlo.MetricSamples`).  A
-    degenerate sigma collapses to a step at the mean.
+    (matching :class:`repro.cell.montecarlo.MetricSamples`).  Degenerate
+    inputs return finite values rather than relying on ``sigma > 0``: a
+    zero-variance vector (including a single sample, whose ddof=1 sigma
+    is undefined) collapses to a step at the mean — ``1.0`` when the
+    floor sits above every sample, ``0.0`` otherwise.
     """
     values = np.asarray(samples, dtype=float)
-    if values.size < 2:
-        raise ValueError("p_fail_gaussian needs at least two samples")
+    if values.size == 0:
+        raise ValueError("p_fail_gaussian needs at least one sample")
     mu = float(np.mean(values))
-    sigma = float(np.std(values, ddof=1))
-    if sigma <= 0.0:
+    sigma = (float(np.std(values, ddof=1)) if values.size > 1 else 0.0)
+    if not sigma > 0.0 or not math.isfinite(sigma):
         return 1.0 if floor > mu else 0.0
     return _NORMAL.cdf((floor - mu) / sigma)
 
@@ -98,15 +108,38 @@ class FailureEstimate:
 MIN_TAIL_EVENTS = 8
 
 
-def estimate_p_fail(samples, floor, min_tail=MIN_TAIL_EVENTS):
+def estimate_p_fail(samples, floor, min_tail=MIN_TAIL_EVENTS, *,
+                    solver=None, sampler=None, ci_target=0.1,
+                    max_samples=4096, seed=0):
     """Per-cell failure probability with estimator selection.
 
     Empirical when at least ``min_tail`` samples fell below ``floor``
     (the tail is actually observed); Gaussian-tail extrapolation
-    otherwise — in particular in the zero-observed-failure regime the
-    deep-yield search lives in.
+    otherwise — in particular in the ``tail_count == 0`` regime the
+    deep-yield search lives in, where the extrapolation is always
+    finite (zero-variance vectors step at the sample mean, see
+    :func:`p_fail_gaussian`).
+
+    Passing ``sampler`` (one of :data:`repro.cell.importance.SAMPLERS`)
+    together with a margin ``solver`` switches to the rare-event
+    engine instead: ``samples`` is ignored and the returned value is a
+    :class:`~repro.cell.importance.TailEstimate` with CI fields
+    (``p_fail``/``ci_half``/``ess``/``converged``) — the path that
+    stays meaningful down to 1e-9 tails.
     """
+    if sampler is not None:
+        if solver is None:
+            raise ValueError(
+                "sampler=%r needs a margin solver (samples alone "
+                "cannot resolve a deep tail)" % (sampler,)
+            )
+        return estimate_p_fail_sampled(
+            solver, floor, sampler=sampler, ci_target=ci_target,
+            max_samples=max_samples, seed=seed,
+        )
     values = np.asarray(samples, dtype=float)
+    if values.size == 0:
+        raise ValueError("estimate_p_fail needs at least one sample")
     tail = int(np.sum(values < floor))
     empirical = float(tail) / values.size
     gaussian = p_fail_gaussian(values, floor)
@@ -114,6 +147,23 @@ def estimate_p_fail(samples, floor, min_tail=MIN_TAIL_EVENTS):
     return FailureEstimate(
         empirical=empirical, gaussian=gaussian,
         n_samples=int(values.size), tail_count=tail, source=source,
+    )
+
+
+def estimate_p_fail_sampled(solver, floor, sampler="shifted",
+                            ci_target=0.1, max_samples=4096, seed=0,
+                            **kwargs):
+    """Rare-event :class:`~repro.cell.importance.TailEstimate` of
+    ``P(margin < floor)`` through a margin solver.
+
+    A thin front door over :func:`repro.cell.importance.estimate_tail`
+    (adaptive budget loop, deterministic block streams, the full
+    sampler menu) re-exported here so yield-layer callers get the
+    sampled estimator next to the empirical/Gaussian ones.
+    """
+    return estimate_tail(
+        solver, floor, sampler=sampler, ci_target=ci_target,
+        max_samples=max_samples, seed=seed, **kwargs
     )
 
 

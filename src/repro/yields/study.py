@@ -113,6 +113,13 @@ class YieldCellResult:
     #: True when the relaxed search fell back to the baseline rails
     #: (relaxed-level measurement or search infeasible).
     fallback: bool = False
+    #: Relaxation estimator: "gaussian" (closed form) or a rare-event
+    #: sampler name (:data:`repro.cell.importance.SAMPLERS`).
+    sampler: str = "gaussian"
+    #: Sampled :class:`~repro.cell.importance.TailEstimate` of the
+    #: functional tail ``P(margin < 0)`` at the relaxed optimum's rails
+    #: (None in gaussian mode or for a non-correcting code).
+    tail: object = None
 
     @property
     def key(self):
@@ -176,6 +183,8 @@ class YieldCellResult:
             "yield_coded": self.yield_coded,
             "yield_uncoded": self.yield_uncoded,
             "fallback": self.fallback,
+            "sampler": self.sampler,
+            "tail": None if self.tail is None else self.tail.summary(),
         }
 
 
@@ -197,8 +206,20 @@ def yield_study_configs(config, code_name, delta_v_sense=None):
 
 def compute_yield_cell(session, capacity_bytes, flavor, method="M2",
                        code="secded", y_target=0.9, engine="pruned",
-                       space=None, n_samples=120, seed=0):
-    """Run one study cell: fixed-delta baseline vs ECC-relaxed search."""
+                       space=None, n_samples=120, seed=0,
+                       sampler="gaussian", ci_target=0.1,
+                       max_samples=4096):
+    """Run one study cell: fixed-delta baseline vs ECC-relaxed search.
+
+    ``sampler`` selects the margin-floor relaxation estimator:
+    ``"gaussian"`` keeps the closed-form ``delta_z * sigma`` path
+    bit-for-bit; a rare-event sampler name runs the importance-sampled
+    margin-floor solve of :class:`~repro.opt.constraints.
+    YieldTargetConstraint` (one shared sample buffer per rail pair,
+    adaptive budget up to ``max_samples`` per pair targeting relative
+    CI ``ci_target``) and attaches the sampled functional-tail estimate
+    at the relaxed optimum to the result.
+    """
     from ..array.model import SRAMArrayModel
 
     space = space or DesignSpace()
@@ -228,6 +249,7 @@ def compute_yield_cell(session, capacity_bytes, flavor, method="M2",
         flip_lookup=base_constraint.flip_lookup,
         n_samples=n_samples, seed=seed,
         margin_budget_fraction=MARGIN_BUDGET_FRACTION,
+        sampler=sampler, ci_target=ci_target, max_samples=max_samples,
     )
     # Share every deterministic margin the baseline already measured.
     constraint.seed_margin_memo(base_constraint.export_margin_memo())
@@ -268,6 +290,7 @@ def compute_yield_cell(session, capacity_bytes, flavor, method="M2",
             capacity_bits, make_policy(method, levels), engine=engine
         )
 
+    tail = None
     if code_obj.corrects:
         design = relaxed.design
         p_fail = constraint.failure_estimate(design.v_ddc,
@@ -275,6 +298,9 @@ def compute_yield_cell(session, capacity_bytes, flavor, method="M2",
         yield_coded, yield_uncoded = constraint.array_yield(
             design.v_ddc, float(design.v_ssc)
         )
+        if sampler != "gaussian":
+            tail = constraint.tail_estimate(design.v_ddc,
+                                            float(design.v_ssc))
     else:
         p_fail, yield_coded, yield_uncoded = None, 1.0, 1.0
 
@@ -291,6 +317,7 @@ def compute_yield_cell(session, capacity_bytes, flavor, method="M2",
         baseline=baseline, relaxed=relaxed,
         p_fail=p_fail, yield_coded=yield_coded,
         yield_uncoded=yield_uncoded, fallback=fallback,
+        sampler=sampler, tail=tail,
     )
 
 

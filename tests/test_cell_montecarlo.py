@@ -140,6 +140,42 @@ def test_tail_estimate_gaussian_takeover_at_zero_failures(mc_result):
     assert est.p_fail == est.gaussian
 
 
+def test_percentile_extremes_on_degenerate_samples():
+    samples = MetricSamples("x", np.array([0.07]))
+    assert samples.percentile(0) == pytest.approx(0.07)
+    assert samples.percentile(100) == pytest.approx(0.07)
+    assert samples.percentile(50) == pytest.approx(0.07)
+
+
+def test_tail_probability_outside_support(mc_result):
+    samples = mc_result.metric("hsnm")
+    lo = float(samples.values.min())
+    hi = float(samples.values.max())
+    # The minimum itself is not a failure (strict <); just past the
+    # maximum everything is.
+    assert samples.tail_probability(lo) == 0.0
+    assert samples.tail_probability(np.nextafter(hi, np.inf)) == 1.0
+
+
+def test_tail_estimate_empty_tail_is_finite(mc_result):
+    samples = mc_result.metric("hsnm")
+    est = samples.tail_estimate(float(samples.values.min()) - 0.05)
+    assert est.tail_count == 0
+    assert est.empirical == 0.0
+    assert np.isfinite(est.p_fail)
+    assert 0.0 <= est.p_fail < 1e-3
+
+
+def test_tail_estimate_zero_variance_steps_at_mean():
+    flat = MetricSamples("x", np.full(32, 0.1))
+    below = flat.tail_estimate(0.05)
+    assert below.p_fail == 0.0
+    assert below.source == "gaussian"
+    above = flat.tail_estimate(0.15)
+    assert above.p_fail == 1.0
+    assert above.source == "empirical"
+
+
 def test_tail_queries_engine_parity(hvt_cell):
     kwargs = dict(n_samples=8, seed=3, vdd=VDD,
                   metrics=("hsnm", "rsnm"), snm_points=41)

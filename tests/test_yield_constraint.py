@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.opt import ExhaustiveOptimizer, YieldConstraint, \
@@ -180,6 +181,111 @@ class TestMemoRoundtrip:
         fresh.seed_margin_memo(memo)
         assert fresh.margins(0.55, 0.0, 0.55) \
             == constraint.margins(0.55, 0.0, 0.55)
+
+
+class TestSharedShiftMatrix:
+    """One Vt shift draw feeds every rail pair and every iteration."""
+
+    def test_one_draw_shared_across_rail_pairs(self, paper_session):
+        from repro.cell.montecarlo import sample_shift_matrix
+
+        constraint = _target_constraint(paper_session, "secded",
+                                        n_samples=60)
+        matrix = constraint.shift_matrix
+        assert constraint.shift_matrix is matrix
+        assert np.array_equal(matrix, sample_shift_matrix(60, seed=0))
+
+        constraint.sigma(0.55, 0.0)
+        batched = constraint._mc_cell
+        assert batched is not None
+        constraint.sigma(0.55, -0.05)
+        assert constraint._mc_cell is batched
+        assert constraint._shift_matrix is matrix
+
+    def test_stats_bit_identical_to_montecarlo_engine(self,
+                                                      paper_session):
+        from repro.cell.bias import CellBias
+        from repro.cell.montecarlo import run_cell_montecarlo
+
+        constraint = _target_constraint(paper_session, "secded",
+                                        n_samples=60)
+        mu, sigma, tail, n = constraint.min_margin_stats(0.55, 0.0)
+
+        vdd = paper_session.library.vdd
+        result = run_cell_montecarlo(
+            constraint.base.cell, n_samples=60, seed=0, vdd=vdd,
+            read_bias=CellBias.read(vdd=vdd, v_ddc=0.55, v_ssc=0.0),
+            metrics=("hsnm", "rsnm"), snm_points=41, engine="batched",
+        )
+        values = np.minimum(result.metric("hsnm").values,
+                            result.metric("rsnm").values)
+        assert n == values.size
+        assert mu == float(np.mean(values))
+        assert sigma == float(np.std(values, ddof=1))
+        assert tail == int(np.sum(values < 0.0))
+
+
+class TestSampledRelaxation:
+    """The rare-event sampler behind the margin-floor solve."""
+
+    def test_unknown_sampler_rejected(self, paper_session):
+        with pytest.raises(ValueError):
+            _target_constraint(paper_session, "secded", sampler="bogus")
+
+    def test_gaussian_mode_has_no_tail_estimate(self, paper_session):
+        constraint = _target_constraint(paper_session, "secded",
+                                        n_samples=60)
+        with pytest.raises(ValueError):
+            constraint.tail_estimate(0.55, 0.0)
+
+    def test_unconverged_budget_falls_back_to_gaussian(self,
+                                                       paper_session):
+        constraint = _target_constraint(
+            paper_session, "secded", n_samples=60, sampler="shifted",
+            ci_target=0.01, max_samples=128,
+        )
+        relax = constraint.relaxation(0.55, 0.0)
+        assert relax == constraint.delta_z * constraint.sigma(0.55, 0.0)
+        estimate = constraint._relax_cache[(0.55, 0.0)][1]
+        assert estimate is not None
+        assert not estimate.converged
+
+    def test_buffer_reused_across_floor_queries(self, paper_session):
+        constraint = _target_constraint(
+            paper_session, "secded", n_samples=60, sampler="shifted",
+            ci_target=0.5, max_samples=256,
+        )
+        relax = constraint.relaxation(0.55, 0.0)
+        buffer = constraint._buffer_cache[(0.55, 0.0)]
+        assert buffer.search is not None
+        evals = buffer.solver.n_evals
+        # Repeated relaxations, reported tails, and fresh floor
+        # bisections all ride the cached samples — zero re-solves.
+        assert constraint.relaxation(0.55, 0.0) == relax
+        estimate = constraint.tail_estimate(0.55, 0.0)
+        buffer.floor_for(1e-3)
+        assert buffer.solver.n_evals == evals
+        assert estimate.n_samples >= 2 * buffer.block
+        assert 0.0 <= relax
+        assert constraint.requirement(0.55, 0.0) <= constraint.delta
+
+    def test_sampled_relaxation_memo_roundtrip(self, paper_session):
+        constraint = _target_constraint(
+            paper_session, "secded", n_samples=60, sampler="shifted",
+            ci_target=0.5, max_samples=256,
+        )
+        relax = constraint.relaxation(0.55, 0.0)
+        memo = constraint.export_margin_memo()
+        assert memo["relaxation"] == {(0.55, 0.0): relax}
+
+        fresh = _target_constraint(
+            paper_session, "secded", n_samples=60, sampler="shifted",
+            ci_target=0.5, max_samples=256,
+        )
+        fresh.seed_margin_memo(memo)
+        assert fresh.relaxation(0.55, 0.0) == relax
+        # Answered from the memo: no buffer was ever built.
+        assert fresh._buffer_cache == {}
 
 
 class TestCodeResolution:
